@@ -1,0 +1,150 @@
+// Command pdbcli loads complete relations from CSV files and evaluates UA
+// queries over them, exactly or approximately.
+//
+// Usage:
+//
+//	pdbcli -rel Coins=coins.csv -rel Faces=faces.csv \
+//	       -query 'conf(project[CoinType](repairkey[@Count](Coins)))'
+//
+//	pdbcli -rel R=r.csv -queryfile program.ua -approx -eps0 0.05 -delta 0.1
+//
+// The query language is documented in internal/parser. Probabilistic data
+// is introduced with repairkey[...@W](...) over the loaded complete
+// relations; -approx switches confidence computation and σ̂ decisions to
+// the Karp–Luby / Figure-3 machinery with per-tuple error bounds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/urel"
+)
+
+type relFlags []string
+
+func (r *relFlags) String() string { return strings.Join(*r, ",") }
+
+func (r *relFlags) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	var (
+		rels      relFlags
+		query     = flag.String("query", "", "UA query text")
+		queryFile = flag.String("queryfile", "", "file containing the UA query program")
+		approx    = flag.Bool("approx", false, "use approximate evaluation (Karp–Luby + Figure 3)")
+		eps0      = flag.Float64("eps0", 0.05, "ε₀ for approximate evaluation")
+		delta     = flag.Float64("delta", 0.1, "target per-tuple error δ")
+		seed      = flag.Int64("seed", 1, "random seed for approximate evaluation")
+		explain   = flag.Bool("explain", false, "print the plan with inferred schemas instead of evaluating")
+	)
+	flag.Var(&rels, "rel", "Name=path.csv — a complete relation to load (repeatable)")
+	flag.Parse()
+
+	if err := run(rels, *query, *queryFile, *approx, *explain, *eps0, *delta, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "pdbcli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rels relFlags, query, queryFile string, approx, explain bool, eps0, delta float64, seed int64) error {
+	src := query
+	if queryFile != "" {
+		data, err := os.ReadFile(queryFile)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	}
+	if src == "" {
+		return fmt.Errorf("no query given; use -query or -queryfile")
+	}
+	q, err := parser.Parse(src)
+	if err != nil {
+		return err
+	}
+
+	db := urel.NewDatabase()
+	for _, spec := range rels {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -rel %q; want Name=path.csv", spec)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		r, err := parser.LoadCSV(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", path, err)
+		}
+		db.AddComplete(name, r)
+	}
+
+	// Static schema validation catches malformed programs before any
+	// evaluation work (and powers -explain).
+	if _, err := algebra.InferSchema(q, db); err != nil {
+		return err
+	}
+	if explain {
+		fmt.Print(algebra.Explain(q, db))
+		return nil
+	}
+
+	if !approx {
+		res, err := algebra.NewURelEvaluator(db).Eval(q)
+		if err != nil {
+			return err
+		}
+		printURel(res.Rel, res.Complete, nil)
+		return nil
+	}
+
+	eng := core.NewEngine(db, core.Options{Eps0: eps0, Delta: delta, Seed: seed})
+	res, err := eng.EvalApprox(q)
+	if err != nil {
+		return err
+	}
+	printURel(res.Rel, res.Complete, res)
+	fmt.Printf("\n# rounds=%d restarts=%d estimator-trials=%d decisions=%d singular-drops=%d\n",
+		res.Stats.FinalRounds, res.Stats.Restarts, res.Stats.EstimatorTrials,
+		res.Stats.Decisions, res.Stats.SingularDrops)
+	return nil
+}
+
+func printURel(r *urel.Relation, complete bool, res *core.Result) {
+	fmt.Println(strings.Join(r.Schema(), "\t"))
+	lines := make([]string, 0, r.Len())
+	for _, ut := range r.Tuples() {
+		parts := make([]string, 0, len(ut.Row)+2)
+		for _, v := range ut.Row {
+			parts = append(parts, v.String())
+		}
+		if !complete {
+			parts = append(parts, "D="+ut.D.Key())
+		}
+		if res != nil {
+			if e := res.TupleError(ut.Row); e > 0 {
+				parts = append(parts, fmt.Sprintf("±err≤%.4g", e))
+			}
+			if res.IsSingular(ut.Row) {
+				parts = append(parts, "SINGULAR")
+			}
+		}
+		lines = append(lines, strings.Join(parts, "\t"))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}

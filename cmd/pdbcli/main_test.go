@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCoinQuery(t *testing.T) {
+	dir := t.TempDir()
+	coins := writeFile(t, dir, "coins.csv", "CoinType,Count\nfair,2\n2headed,1\n")
+	query := "conf(project[CoinType](repairkey[@Count](Coins)))"
+	if err := run(relFlags{"Coins=" + coins}, query, "", false, false, 0.05, 0.1, 1); err != nil {
+		t.Fatalf("exact run failed: %v", err)
+	}
+	if err := run(relFlags{"Coins=" + coins}, query, "", true, false, 0.05, 0.1, 1); err != nil {
+		t.Fatalf("approx run failed: %v", err)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	dir := t.TempDir()
+	coins := writeFile(t, dir, "coins.csv", "CoinType,Count\nfair,2\n")
+	if err := run(relFlags{"Coins=" + coins}, "conf(Coins)", "", false, true, 0.05, 0.1, 1); err != nil {
+		t.Fatalf("explain run failed: %v", err)
+	}
+	// Schema errors are caught statically.
+	if err := run(relFlags{"Coins=" + coins}, "select[Nope = 1](Coins)", "", false, false, 0.05, 0.1, 1); err == nil {
+		t.Error("static schema validation should reject unknown attribute")
+	}
+}
+
+func TestRunQueryFile(t *testing.T) {
+	dir := t.TempDir()
+	coins := writeFile(t, dir, "coins.csv", "CoinType,Count\nfair,2\n2headed,1\n")
+	qf := writeFile(t, dir, "q.ua", "R := repairkey[@Count](Coins);\nposs(R);\n")
+	if err := run(relFlags{"Coins=" + coins}, "", qf, false, false, 0.05, 0.1, 1); err != nil {
+		t.Fatalf("query file run failed: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	coins := writeFile(t, dir, "coins.csv", "CoinType,Count\nfair,2\n")
+	cases := []struct {
+		name  string
+		rels  relFlags
+		query string
+		qfile string
+	}{
+		{"no query", relFlags{"Coins=" + coins}, "", ""},
+		{"bad rel spec", relFlags{"Coins"}, "Coins", ""},
+		{"missing file", relFlags{"Coins=/nonexistent.csv"}, "Coins", ""},
+		{"parse error", relFlags{"Coins=" + coins}, "select[", ""},
+		{"unknown relation", relFlags{"Coins=" + coins}, "Nope", ""},
+		{"missing query file", nil, "", filepath.Join(dir, "missing.ua")},
+	}
+	for _, c := range cases {
+		if err := run(c.rels, c.query, c.qfile, false, false, 0.05, 0.1, 1); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

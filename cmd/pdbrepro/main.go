@@ -1,0 +1,57 @@
+// Command pdbrepro regenerates every experiment table of the reproduction
+// (DESIGN.md's E1–E10: the paper's figures, worked examples, and
+// quantitative theorems).
+//
+// Usage:
+//
+//	pdbrepro [-experiment all|E1|…|E10] [-seed N] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		which = flag.String("experiment", "all", "experiment id (E1..E10) or 'all'")
+		seed  = flag.Int64("seed", 2008, "random seed (PODS'08 vintage)")
+		quick = flag.Bool("quick", false, "shrink trial counts for a fast pass")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	if *which != "all" {
+		run, title, ok := experiments.Lookup(*which)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use E1..E10 or all\n", *which)
+			os.Exit(2)
+		}
+		if err := runOne(*which, title, run, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, e := range experiments.All() {
+		if err := runOne(e.ID, e.Title, e.Run, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runOne(id, title string, run experiments.Runner, cfg experiments.Config) error {
+	fmt.Printf("=== %s — %s ===\n", id, title)
+	summary, err := run(os.Stdout, cfg)
+	if err != nil {
+		return fmt.Errorf("%s: %w", id, err)
+	}
+	fmt.Println("\nkey measurements:")
+	summary.Print(os.Stdout)
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,67 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/predapprox"
+	"repro/internal/workload"
+)
+
+func BenchmarkURelEvaluatorCoinExample(b *testing.B) {
+	db := coinDB()
+	_, _, _, u := coinQueries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewURelEvaluator(db).Eval(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorldsEvaluatorCoinExample(b *testing.B) {
+	db := coinDB()
+	_, _, _, u := coinQueries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, err := NewWorldsEvaluatorFromURel(db, 1<<16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ev.Eval(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactApproxSelect(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	db := workload.MultiClause(rng, "R", 16, 4, 4, 2)
+	q := ApproxSelect{
+		In:   Base{Name: "R"},
+		Args: []ConfArg{{Attrs: []string{"ID"}}},
+		Pred: predapprox.Linear([]float64{1}, 0.5),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewURelEvaluator(db).Eval(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRepairKeyEval(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	db := workload.DirtyCustomers(rng, 64, 4)
+	q := Conf{In: Project{
+		In:      RepairKey{In: Base{Name: "Candidates"}, Key: []string{"Cluster"}, Weight: "Weight"},
+		Targets: []expr.Target{expr.Keep("Cluster"), expr.Keep("Name")},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewURelEvaluator(db).Eval(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package algebra
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/predapprox"
+	"repro/internal/rel"
+	"repro/internal/urel"
+	"repro/internal/vars"
+)
+
+// randDB builds a small random U-relational database with two uncertain
+// relations R(A,B), S(B,C) and a complete weighted relation K(A,W).
+func randDB(rng *rand.Rand) *urel.Database {
+	db := urel.NewDatabase()
+	nv := 2 + rng.Intn(3)
+	for i := 0; i < nv; i++ {
+		p := 0.2 + 0.6*rng.Float64()
+		db.Vars.Add("v"+strconv.Itoa(i), []float64{p, 1 - p}, nil)
+	}
+	randAssign := func() vars.Assignment {
+		var bs []vars.Binding
+		for v := 0; v < nv; v++ {
+			if rng.Intn(3) == 0 {
+				bs = append(bs, vars.Binding{Var: vars.Var(v), Alt: int32(rng.Intn(2))})
+			}
+		}
+		a, _ := vars.NewAssignment(bs...)
+		return a
+	}
+	r := urel.NewRelation(rel.NewSchema("A", "B"))
+	for i := 0; i < 2+rng.Intn(4); i++ {
+		r.Add(randAssign(), rel.Tuple{rel.Int(int64(rng.Intn(3))), rel.Int(int64(rng.Intn(3)))})
+	}
+	s := urel.NewRelation(rel.NewSchema("B", "C"))
+	for i := 0; i < 2+rng.Intn(4); i++ {
+		s.Add(randAssign(), rel.Tuple{rel.Int(int64(rng.Intn(3))), rel.Int(int64(rng.Intn(3)))})
+	}
+	k := rel.NewRelation(rel.NewSchema("A", "W"))
+	for i := 0; i < 2+rng.Intn(3); i++ {
+		k.Add(rel.Tuple{rel.Int(int64(rng.Intn(2))), rel.Float(0.2 + rng.Float64())})
+	}
+	db.AddURelation("R", r, false)
+	db.AddURelation("S", s, false)
+	db.AddComplete("K", k)
+	return db
+}
+
+// randQuery builds a random positive UA query over the random database.
+func randQuery(rng *rand.Rand, depth int) Query {
+	if depth == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return Base{Name: "R"}
+		case 1:
+			return Base{Name: "S"}
+		default:
+			return Project{
+				In:      RepairKey{In: Base{Name: "K"}, Key: nil, Weight: "W"},
+				Targets: []expr.Target{expr.Keep("A")},
+			}
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		in := randQuery(rng, depth-1)
+		return Select{In: in, Pred: expr.Le(expr.A("B"), expr.CInt(int64(rng.Intn(3))))}
+	case 1:
+		in := randQuery(rng, depth-1)
+		return Project{In: in, Targets: []expr.Target{expr.Keep("B")}}
+	case 2:
+		return Join{L: randQuery(rng, depth-1), R: Base{Name: "S"}}
+	case 3:
+		l := randQuery(rng, depth-1)
+		return Union{L: l, R: l}
+	case 4:
+		return Join{L: Base{Name: "R"}, R: randQuery(rng, depth-1)}
+	default:
+		in := randQuery(rng, depth-1)
+		return Select{In: in, Pred: expr.Ge(expr.Add(expr.A("B"), expr.CInt(0)), expr.CInt(1))}
+	}
+}
+
+// normalizeQuery wraps plans so both branches have compatible schemas for
+// Union/Join: we restrict to plans that keep attribute B available by
+// construction above (projections to B, joins on B). A plan whose schemas
+// clash is skipped.
+func evalBothWays(t *testing.T, db *urel.Database, q Query) (uconf, wconf *rel.Relation, skip bool) {
+	t.Helper()
+	ev := NewURelEvaluator(db)
+	res, err := ev.Eval(Conf{In: q, As: "P"})
+	if err != nil {
+		return nil, nil, true // schema clash etc.: skip this random plan
+	}
+	wev, err := NewWorldsEvaluatorFromURel(db, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := wev.EvalConf(q, "P")
+	if err != nil {
+		t.Fatalf("worlds evaluator failed where urel succeeded: %v (q=%s)", err, q)
+	}
+	return urel.Poss(res.Rel), wc, false
+}
+
+// TestEvaluatorsAgreeOnRandomPlans is the central equivalence check: for
+// random positive UA[conf, repair-key] plans, the U-relational evaluator
+// and the possible-worlds reference produce identical confidence tables.
+func TestEvaluatorsAgreeOnRandomPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	checked := 0
+	for trial := 0; trial < 60; trial++ {
+		db := randDB(rng)
+		q := randQuery(rng, 1+rng.Intn(2))
+		uconf, wconf, skip := evalBothWays(t, db, q)
+		if skip {
+			continue
+		}
+		checked++
+		if uconf.Len() != wconf.Len() {
+			t.Fatalf("trial %d: result sizes differ: urel %d vs worlds %d\nq=%s\nurel:\n%s\nworlds:\n%s",
+				trial, uconf.Len(), wconf.Len(), q, uconf, wconf)
+		}
+		for _, tp := range uconf.Tuples() {
+			stored, ok := wconf.Lookup(findMatch(wconf, tp))
+			if !ok {
+				t.Fatalf("trial %d: tuple %v missing in worlds result (q=%s)", trial, tp, q)
+			}
+			pu := tp[len(tp)-1].AsFloat()
+			pw := stored[len(stored)-1].AsFloat()
+			if math.Abs(pu-pw) > 1e-9 {
+				t.Fatalf("trial %d: confidence mismatch for %v: urel %v vs worlds %v (q=%s)", trial, tp, pu, pw, q)
+			}
+		}
+	}
+	if checked < 25 {
+		t.Fatalf("too few valid random plans: %d", checked)
+	}
+}
+
+// findMatch finds in wconf a tuple whose data columns (all but last) equal
+// tp's, tolerating confidence differences which are checked separately.
+func findMatch(wconf *rel.Relation, tp rel.Tuple) rel.Tuple {
+	for _, cand := range wconf.Tuples() {
+		if cand[:len(cand)-1].Equal(tp[:len(tp)-1]) {
+			return cand
+		}
+	}
+	return nil
+}
+
+// σ̂ with exact confidences must agree across the two evaluators as well.
+func TestApproxSelectExactAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(4096))
+	for trial := 0; trial < 25; trial++ {
+		db := randDB(rng)
+		thresh := 0.2 + 0.6*rng.Float64()
+		q := ApproxSelect{
+			In:   Base{Name: "R"},
+			Args: []ConfArg{{Attrs: []string{"A"}}},
+			Pred: predapprox.Linear([]float64{1}, thresh),
+		}
+		ev := NewURelEvaluator(db)
+		ur, err := ev.Eval(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wev, err := NewWorldsEvaluatorFromURel(db, 1<<18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wdb, name, err := wev.Eval(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr := wdb.Worlds[0].Rels[name]
+		up := urel.Poss(ur.Rel)
+		if up.Len() != wr.Len() {
+			t.Fatalf("trial %d: σ̂ sizes differ: %d vs %d", trial, up.Len(), wr.Len())
+		}
+		for _, tp := range up.Tuples() {
+			if m := findMatch(wr, tp); m == nil {
+				t.Fatalf("trial %d: σ̂ tuple %v missing in worlds result", trial, tp)
+			}
+		}
+	}
+}
+
+// Two-argument σ̂ (a conditional-probability predicate, Example 6.1
+// shape): conf[A]/conf[∅] ≤ c.
+func TestApproxSelectConditional(t *testing.T) {
+	db := coinDB()
+	_, _, qT, _ := coinQueries()
+	// σ̂_{conf[CoinType]/conf[∅] ≤ 0.5}(T): selects coin types whose
+	// posterior is ≤ 1/2 — only "fair" (posterior 1/3).
+	q := ApproxSelect{
+		In:   qT,
+		Args: []ConfArg{{Attrs: []string{"CoinType"}}, {Attrs: nil}},
+		// P1/P2 ≤ 0.5 ⟺ P1 − 0.5·P2 ≤ 0 ⟺ −P1 + 0.5·P2 ≥ 0.
+		Pred: predapprox.Linear([]float64{-1, 0.5}, 0),
+	}
+	ev := NewURelEvaluator(db)
+	res, err := ev.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := urel.Poss(res.Rel)
+	if out.Len() != 1 {
+		t.Fatalf("σ̂ selected %d tuples, want 1:\n%s", out.Len(), out)
+	}
+	row := out.Tuples()[0]
+	if out.Value(row, "CoinType").AsString() != "fair" {
+		t.Errorf("selected %v, want fair", row)
+	}
+	p1 := out.Value(row, "P1").AsFloat()
+	p2 := out.Value(row, "P2").AsFloat()
+	if math.Abs(p1-1.0/6) > 1e-9 || math.Abs(p2-0.5) > 1e-9 {
+		t.Errorf("P1=%v (want 1/6), P2=%v (want 1/2)", p1, p2)
+	}
+}

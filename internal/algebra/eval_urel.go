@@ -1,0 +1,263 @@
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/expr"
+	"repro/internal/rel"
+	"repro/internal/urel"
+)
+
+// URelResult is the outcome of exact evaluation on a U-relational
+// database: the result U-relation (complete relations are U-relations with
+// empty D columns) and the completeness flag c(result).
+type URelResult struct {
+	Rel      *urel.Relation
+	Complete bool
+}
+
+// URelEvaluator evaluates UA queries exactly on a U-relational database:
+// positive relational algebra by the parsimonious translation, conf by
+// exact #P computation (dnf), σ̂ by its defining composition with exact
+// confidences. The evaluator works on a clone of the database, so
+// repair-key never mutates the caller's variable table.
+type URelEvaluator struct {
+	db     *urel.Database
+	nextRK int
+}
+
+// NewURelEvaluator clones db and returns an evaluator over the clone.
+func NewURelEvaluator(db *urel.Database) *URelEvaluator {
+	return &URelEvaluator{db: db.Clone()}
+}
+
+// DB exposes the evaluator's (cloned) database; repair-key applications
+// grow its variable table.
+func (e *URelEvaluator) DB() *urel.Database { return e.db }
+
+// Eval evaluates the query and returns the result relation.
+func (e *URelEvaluator) Eval(q Query) (URelResult, error) {
+	if err := Validate(q); err != nil {
+		return URelResult{}, err
+	}
+	return e.eval(q)
+}
+
+func (e *URelEvaluator) eval(q Query) (URelResult, error) {
+	switch n := q.(type) {
+	case Base:
+		r, ok := e.db.Rels[n.Name]
+		if !ok {
+			return URelResult{}, fmt.Errorf("algebra: unknown relation %q", n.Name)
+		}
+		return URelResult{Rel: r, Complete: e.db.Complete[n.Name]}, nil
+
+	case Select:
+		in, err := e.eval(n.In)
+		if err != nil {
+			return URelResult{}, err
+		}
+		return URelResult{Rel: urel.Select(in.Rel, n.Pred), Complete: in.Complete}, nil
+
+	case Project:
+		in, err := e.eval(n.In)
+		if err != nil {
+			return URelResult{}, err
+		}
+		return URelResult{Rel: urel.Project(in.Rel, n.Targets), Complete: in.Complete}, nil
+
+	case Product:
+		l, r, err := e.evalPair(n.L, n.R)
+		if err != nil {
+			return URelResult{}, err
+		}
+		p, err := urel.Product(l.Rel, r.Rel)
+		if err != nil {
+			return URelResult{}, err
+		}
+		return URelResult{Rel: p, Complete: l.Complete && r.Complete}, nil
+
+	case Join:
+		l, r, err := e.evalPair(n.L, n.R)
+		if err != nil {
+			return URelResult{}, err
+		}
+		return URelResult{Rel: urel.Join(l.Rel, r.Rel), Complete: l.Complete && r.Complete}, nil
+
+	case Union:
+		l, r, err := e.evalPair(n.L, n.R)
+		if err != nil {
+			return URelResult{}, err
+		}
+		u, err := urel.Union(l.Rel, r.Rel)
+		if err != nil {
+			return URelResult{}, err
+		}
+		return URelResult{Rel: u, Complete: l.Complete && r.Complete}, nil
+
+	case DiffC:
+		l, r, err := e.evalPair(n.L, n.R)
+		if err != nil {
+			return URelResult{}, err
+		}
+		if !l.Complete || !r.Complete {
+			return URelResult{}, fmt.Errorf("algebra: −c requires inputs complete by c")
+		}
+		d, err := urel.DiffComplete(l.Rel, r.Rel)
+		if err != nil {
+			return URelResult{}, err
+		}
+		return URelResult{Rel: d, Complete: true}, nil
+
+	case RepairKey:
+		in, err := e.eval(n.In)
+		if err != nil {
+			return URelResult{}, err
+		}
+		e.nextRK++
+		prefix := "rk" + strconv.Itoa(e.nextRK)
+		rk, err := urel.RepairKey(in.Rel, n.Key, n.Weight, e.db.Vars, prefix)
+		if err != nil {
+			return URelResult{}, err
+		}
+		return URelResult{Rel: rk, Complete: false}, nil
+
+	case Conf:
+		in, err := e.eval(n.In)
+		if err != nil {
+			return URelResult{}, err
+		}
+		c, err := urel.ConfExact(in.Rel, e.db.Vars, n.PCol())
+		if err != nil {
+			return URelResult{}, err
+		}
+		return URelResult{Rel: urel.FromComplete(c), Complete: true}, nil
+
+	case Poss:
+		in, err := e.eval(n.In)
+		if err != nil {
+			return URelResult{}, err
+		}
+		return URelResult{Rel: urel.FromComplete(urel.Poss(in.Rel)), Complete: true}, nil
+
+	case Cert:
+		in, err := e.eval(n.In)
+		if err != nil {
+			return URelResult{}, err
+		}
+		return URelResult{Rel: urel.FromComplete(urel.CertExact(in.Rel, e.db.Vars)), Complete: true}, nil
+
+	case Let:
+		def, err := e.eval(n.Def)
+		if err != nil {
+			return URelResult{}, err
+		}
+		oldRel, hadRel := e.db.Rels[n.Name]
+		oldC := e.db.Complete[n.Name]
+		e.db.Rels[n.Name] = def.Rel
+		e.db.Complete[n.Name] = def.Complete
+		res, err := e.eval(n.In)
+		if hadRel {
+			e.db.Rels[n.Name] = oldRel
+			e.db.Complete[n.Name] = oldC
+		} else {
+			delete(e.db.Rels, n.Name)
+			delete(e.db.Complete, n.Name)
+		}
+		return res, err
+
+	case ApproxSelect:
+		in, err := e.eval(n.In)
+		if err != nil {
+			return URelResult{}, err
+		}
+		out, err := e.approxSelectExact(in.Rel, n)
+		if err != nil {
+			return URelResult{}, err
+		}
+		return URelResult{Rel: urel.FromComplete(out), Complete: true}, nil
+
+	default:
+		return URelResult{}, fmt.Errorf("algebra: unknown query node %T", q)
+	}
+}
+
+func (e *URelEvaluator) evalPair(l, r Query) (URelResult, URelResult, error) {
+	lr, err := e.eval(l)
+	if err != nil {
+		return URelResult{}, URelResult{}, err
+	}
+	rr, err := e.eval(r)
+	if err != nil {
+		return URelResult{}, URelResult{}, err
+	}
+	return lr, rr, nil
+}
+
+// approxSelectExact evaluates σ̂ by its defining composition with exact
+// confidence computation: this is the Q (as opposed to Q∼) semantics of
+// Section 6.
+func (e *URelEvaluator) approxSelectExact(in *urel.Relation, n ApproxSelect) (*rel.Relation, error) {
+	confRels, err := BuildConfArgs(in, n.Args, func(r *urel.Relation, pcol string) (*rel.Relation, error) {
+		return urel.ConfExact(r, e.db.Vars, pcol)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return JoinAndFilter(confRels, n)
+}
+
+// BuildConfArgs computes, for each conf[Āᵢ] argument, the confidence
+// relation ρ_{P→Pi}(conf(π_{Āᵢ}(in))) using the supplied conf
+// implementation (exact or approximate).
+func BuildConfArgs(in *urel.Relation, args []ConfArg, conf func(*urel.Relation, string) (*rel.Relation, error)) ([]*rel.Relation, error) {
+	out := make([]*rel.Relation, len(args))
+	for i, a := range args {
+		targets := make([]expr.Target, len(a.Attrs))
+		for j, attr := range a.Attrs {
+			if !in.Schema().Has(attr) {
+				return nil, fmt.Errorf("algebra: σ̂ conf attribute %q not in schema %v", attr, in.Schema())
+			}
+			targets[j] = expr.Keep(attr)
+		}
+		proj := urel.Project(in, targets)
+		c, err := conf(proj, PColName(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// PColName returns the confidence column name for σ̂ argument i: P1, P2, …
+func PColName(i int) string { return "P" + strconv.Itoa(i+1) }
+
+// JoinAndFilter joins the per-argument confidence relations naturally and
+// keeps the rows satisfying the σ̂ predicate over (P1,…,Pk).
+func JoinAndFilter(confRels []*rel.Relation, n ApproxSelect) (*rel.Relation, error) {
+	joined := urel.FromComplete(confRels[0])
+	for _, c := range confRels[1:] {
+		joined = urel.Join(joined, urel.FromComplete(c))
+	}
+	schema := joined.Schema()
+	pIdx := make([]int, len(n.Args))
+	for i := range n.Args {
+		pIdx[i] = schema.Index(PColName(i))
+		if pIdx[i] < 0 {
+			return nil, fmt.Errorf("algebra: internal: missing conf column %s", PColName(i))
+		}
+	}
+	out := rel.NewRelation(schema)
+	x := make([]float64, len(n.Args))
+	for _, ut := range joined.Tuples() {
+		for i, j := range pIdx {
+			x[i] = ut.Row[j].AsFloat()
+		}
+		if n.Pred.Eval(x) {
+			out.Add(ut.Row)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package algebra
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/rel"
+	"repro/internal/urel"
+	"repro/internal/vars"
+	"repro/internal/worlds"
+)
+
+// fdHolds reports whether the functional dependency K → V holds in r.
+func fdHolds(r *rel.Relation) bool {
+	seen := map[string]string{}
+	for _, t := range r.Tuples() {
+		k := t[0].Key()
+		v := t[1].Key()
+		if prev, ok := seen[k]; ok && prev != v {
+			return false
+		}
+		seen[k] = v
+	}
+	return true
+}
+
+// TestTheorem44ConjunctionWithEGD validates the rewriting
+// Pr[φ ∧ ψ] = Pr[φ] − Pr[φ ∧ ¬ψ] against direct possible-worlds
+// evaluation, for φ = ∃ tuple with V = 1 and ψ = the FD K → V over a
+// random tuple-independent relation.
+func TestTheorem44ConjunctionWithEGD(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 40; trial++ {
+		// Random tuple-independent R(K, V) with small domains so FD
+		// violations are common.
+		db := urel.NewDatabase()
+		r := urel.NewRelation(rel.NewSchema("K", "V"))
+		n := 2 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			p := 0.2 + 0.6*rng.Float64()
+			v := db.Vars.Add("t"+strconv.Itoa(i), []float64{p, 1 - p}, nil)
+			r.Add(vars.MustAssignment(vars.Binding{Var: v, Alt: 0}), rel.Tuple{
+				rel.Int(int64(rng.Intn(2))),
+				rel.Int(int64(rng.Intn(2))),
+			})
+		}
+		db.AddURelation("R", r, false)
+
+		phi := Select{In: Base{Name: "R"}, Pred: expr.Eq(expr.A("V"), expr.CInt(1))}
+		c := ConjunctionWithEGD{
+			Phi:     phi,
+			RelName: "R",
+			Key:     []string{"K"},
+			Differ:  []string{"V"},
+			Group:   nil, // Boolean query: one probability
+		}
+		ev := NewURelEvaluator(db)
+		res, err := ev.EvalConfConjunctionEGD(c, "P")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0.0
+		if res.Rel.Len() == 1 {
+			got = res.Rel.Tuples()[0].Row[0].AsFloat()
+		} else if res.Rel.Len() > 1 {
+			t.Fatalf("trial %d: Boolean conjunction gave %d rows", trial, res.Rel.Len())
+		}
+
+		// Ground truth by world enumeration.
+		wdb, err := worlds.Expand(db, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		for _, w := range wdb.Worlds {
+			rw := w.Rels["R"]
+			phiHolds := false
+			for _, tp := range rw.Tuples() {
+				if rel.Equal(tp[1], rel.Int(1)) {
+					phiHolds = true
+					break
+				}
+			}
+			if phiHolds && fdHolds(rw) {
+				want += w.P
+			}
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Pr[φ∧ψ] = %v, worlds say %v", trial, got, want)
+		}
+	}
+}
+
+// Grouped variant: per-K probability that K has a V=1 tuple AND no FD
+// violation anywhere.
+func TestTheorem44Grouped(t *testing.T) {
+	db := urel.NewDatabase()
+	r := urel.NewRelation(rel.NewSchema("K", "V"))
+	add := func(name string, p float64, k, v int64) {
+		va := db.Vars.Add(name, []float64{p, 1 - p}, nil)
+		r.Add(vars.MustAssignment(vars.Binding{Var: va, Alt: 0}), rel.Tuple{rel.Int(k), rel.Int(v)})
+	}
+	add("a", 0.5, 0, 1) // key 0, value 1
+	add("b", 0.5, 0, 0) // key 0, value 0 — violates FD with a
+	add("c", 0.8, 1, 1) // key 1, value 1 — never conflicts
+	db.AddURelation("R", r, false)
+
+	phi := Select{In: Base{Name: "R"}, Pred: expr.Eq(expr.A("V"), expr.CInt(1))}
+	c := ConjunctionWithEGD{Phi: phi, RelName: "R", Key: []string{"K"}, Differ: []string{"V"}, Group: []string{"K"}}
+	ev := NewURelEvaluator(db)
+	res, err := ev.EvalConfConjunctionEGD(c, "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth per group by enumeration.
+	wdb, err := worlds.Expand(db, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]float64{}
+	for _, w := range wdb.Worlds {
+		rw := w.Rels["R"]
+		if !fdHolds(rw) {
+			continue
+		}
+		for _, tp := range rw.Tuples() {
+			if rel.Equal(tp[1], rel.Int(1)) {
+				want[tp[0].AsInt()] += w.P
+			}
+		}
+	}
+	out := urel.Poss(res.Rel)
+	if out.Len() != len(want) {
+		t.Fatalf("groups = %d, want %d\n%s", out.Len(), len(want), out)
+	}
+	for _, tp := range out.Tuples() {
+		k := out.Value(tp, "K").AsInt()
+		p := out.Value(tp, "P").AsFloat()
+		if math.Abs(p-want[k]) > 1e-9 {
+			t.Errorf("group %d: Pr = %v, want %v", k, p, want[k])
+		}
+	}
+}
+
+// ConfMinus (ungrouped) exposes just the probability difference.
+func TestConfMinusUngrouped(t *testing.T) {
+	db := urel.NewDatabase()
+	r := urel.NewRelation(rel.NewSchema("K"))
+	x := db.Vars.Add("x", []float64{0.6, 0.4}, nil)
+	y := db.Vars.Add("y", []float64{0.5, 0.5}, nil)
+	r.Add(vars.MustAssignment(vars.Binding{Var: x, Alt: 0}), rel.Tuple{rel.Int(0)})
+	r.Add(vars.MustAssignment(vars.Binding{Var: y, Alt: 0}), rel.Tuple{rel.Int(1)})
+	db.AddURelation("R", r, false)
+
+	// φ = π∅(R) nonempty; φ∧witness = π∅ of the x-tuple only.
+	phi := Project{In: Base{Name: "R"}, Targets: nil}
+	sub := Project{In: Select{In: Base{Name: "R"}, Pred: expr.Eq(expr.A("K"), expr.CInt(0))}}
+	q := ConfMinus(phi, sub, "P")
+	res, err := NewURelEvaluator(db).Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pr[R nonempty] = 1 − 0.4·0.5 = 0.8; Pr[x-tuple] = 0.6; diff 0.2.
+	out := urel.Poss(res.Rel)
+	if out.Len() != 1 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	if got := out.Value(out.Tuples()[0], "P").AsFloat(); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("P = %v, want 0.2", got)
+	}
+}
+
+// ConfMinusGrouped as a pure rewrite (inner-join semantics) agrees with
+// the evaluator-level outer difference when every group has a possible
+// violation.
+func TestConfMinusGroupedRewrite(t *testing.T) {
+	db := urel.NewDatabase()
+	r := urel.NewRelation(rel.NewSchema("K", "V"))
+	add := func(name string, p float64, k, v int64) {
+		va := db.Vars.Add(name, []float64{p, 1 - p}, nil)
+		r.Add(vars.MustAssignment(vars.Binding{Var: va, Alt: 0}), rel.Tuple{rel.Int(k), rel.Int(v)})
+	}
+	add("a", 0.5, 0, 1)
+	add("b", 0.4, 0, 0)
+	db.AddURelation("R", r, false)
+
+	phi := Project{
+		In:      Select{In: Base{Name: "R"}, Pred: expr.Eq(expr.A("V"), expr.CInt(1))},
+		Targets: []expr.Target{expr.Keep("K")},
+	}
+	neg := Project{
+		In: Join{
+			L: Select{In: Base{Name: "R"}, Pred: expr.Eq(expr.A("V"), expr.CInt(1))},
+			R: EGDViolation("R", []string{"K"}, []string{"V"}, nil),
+		},
+		Targets: []expr.Target{expr.Keep("K")},
+	}
+	q := ConfMinusGrouped(phi, neg, []string{"K"}, "P")
+	ev := NewURelEvaluator(db)
+	res, err := ev.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pr[φ] = 0.5; Pr[φ ∧ ¬ψ] = Pr[a ∧ b] = 0.2; difference 0.3.
+	out := urel.Poss(res.Rel)
+	if out.Len() != 1 {
+		t.Fatalf("rows = %d:\n%s", out.Len(), out)
+	}
+	if got := out.Value(out.Tuples()[0], "P").AsFloat(); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("P = %v, want 0.3", got)
+	}
+}

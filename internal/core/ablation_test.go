@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/predapprox"
+	"repro/internal/urel"
+	"repro/internal/workload"
+)
+
+// ablationQuery is the standard σ̂ workload the ablation benchmarks run.
+func ablationQuery() algebra.Query {
+	return algebra.ApproxSelect{
+		In:   algebra.Base{Name: "R"},
+		Args: []algebra.ConfArg{{Attrs: []string{"ID"}}},
+		Pred: predapprox.Linear([]float64{1}, 0.5),
+	}
+}
+
+// The singleton short-circuit changes cost, never results: on a
+// tuple-independent database both settings select the same tuples.
+func TestAblationSingletonShortcutSameResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	probs := workload.UniformProbs(rng, 6, 0.05, 0.95)
+	// Keep probabilities away from the 0.5 threshold for stable selection.
+	for i := range probs {
+		if probs[i] > 0.35 && probs[i] < 0.65 {
+			probs[i] = 0.8
+		}
+	}
+	db := workload.TupleIndependent("R", probs)
+	q := ablationQuery()
+	base, err := NewEngine(db, Options{Eps0: 0.05, Delta: 0.1, Seed: 4}).EvalApprox(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abl, err := NewEngine(db, Options{Eps0: 0.05, Delta: 0.1, Seed: 4, NoSingletonShortcut: true}).EvalApprox(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !urel.Poss(base.Rel).Project("ID").Equal(urel.Poss(abl.Rel).Project("ID")) {
+		t.Error("ablation changed σ̂ membership")
+	}
+	// The shortcut makes singleton confidences free; the ablation runs
+	// real estimator trials.
+	if base.Stats.EstimatorTrials != 0 {
+		t.Errorf("shortcut run should use 0 trials on singleton lineages, used %d", base.Stats.EstimatorTrials)
+	}
+	if abl.Stats.EstimatorTrials == 0 {
+		t.Error("ablation run should have spent estimator trials")
+	}
+}
+
+// Independent bounds are sharper: the run reaches δ in at most as many
+// rounds as the union bound (equal only for single-argument predicates
+// where the two coincide).
+func TestAblationIndependentBoundsTighter(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	db := workload.MultiClause(rng, "R", 2, 3, 4, 2)
+	q := algebra.ApproxSelect{
+		In:   algebra.Base{Name: "R"},
+		Args: []algebra.ConfArg{{Attrs: []string{"ID"}}, {Attrs: nil}},
+		Pred: predapprox.Linear([]float64{1, -0.3}, 0),
+	}
+	union, err := NewEngine(db, Options{Eps0: 0.05, Delta: 0.1, Seed: 2}).EvalApprox(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep, err := NewEngine(db, Options{Eps0: 0.05, Delta: 0.1, Seed: 2, IndependentBounds: true}).EvalApprox(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if indep.Stats.FinalRounds > union.Stats.FinalRounds {
+		t.Errorf("independent bounds needed more rounds (%d) than union (%d)",
+			indep.Stats.FinalRounds, union.Stats.FinalRounds)
+	}
+	if indep.MaxNonSingularError() > 0.1+1e-9 {
+		t.Errorf("independent bound %v above δ", indep.MaxNonSingularError())
+	}
+}
+
+func BenchmarkSigmaHatSingletonShortcut(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	db := workload.TupleIndependent("R", workload.UniformProbs(rng, 32, 0.05, 0.95))
+	q := ablationQuery()
+	b.Run("shortcut", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := NewEngine(db, Options{Eps0: 0.05, Delta: 0.1, Seed: int64(i)})
+			if _, err := eng.EvalApprox(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ablated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := NewEngine(db, Options{Eps0: 0.05, Delta: 0.1, Seed: int64(i), NoSingletonShortcut: true})
+			if _, err := eng.EvalApprox(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSigmaHatBoundCombination(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	db := workload.MultiClause(rng, "R", 4, 3, 4, 2)
+	q := algebra.ApproxSelect{
+		In:   algebra.Base{Name: "R"},
+		Args: []algebra.ConfArg{{Attrs: []string{"ID"}}, {Attrs: nil}},
+		Pred: predapprox.Linear([]float64{1, -0.3}, 0),
+	}
+	b.Run("union", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := NewEngine(db, Options{Eps0: 0.05, Delta: 0.1, Seed: int64(i)})
+			if _, err := eng.EvalApprox(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("independent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := NewEngine(db, Options{Eps0: 0.05, Delta: 0.1, Seed: int64(i), IndependentBounds: true})
+			if _, err := eng.EvalApprox(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/algebra"
+	"repro/internal/dnf"
+	"repro/internal/expr"
+	"repro/internal/karpluby"
+	"repro/internal/provenance"
+	"repro/internal/rel"
+	"repro/internal/urel"
+)
+
+// approxConf implements conf_{ε,δ} (Section 4 / Corollary 4.3): the output
+// is a complete relation with an estimated P column; per-tuple membership
+// bounds are inherited from the input (the P value itself carries the
+// (ε,δ) relative-error guarantee).
+func (run *evalRun) approxConf(in *evalResult, pcol string) (*evalResult, error) {
+	if in.rel.Schema().Has(pcol) {
+		return nil, fmt.Errorf("core: conf column %q already in schema %v", pcol, in.rel.Schema())
+	}
+	eps, delta := run.engine.opts.confEps(), run.engine.opts.confDelta()
+	out := urel.NewRelation(rel.NewSchema(append(in.rel.Schema().Clone(), pcol)...))
+	errs := provenance.Reliable()
+	sing := map[string]bool{}
+	for _, tc := range urel.Lineage(in.rel) {
+		p, trials, err := run.estimateConfidence(tc.F, eps, delta)
+		if err != nil {
+			return nil, err
+		}
+		run.trials += trials
+		outRow := append(tc.Row.Clone(), rel.Float(p))
+		out.Add(nil, outRow)
+		inKey := tc.Row.Key()
+		outKey := outRow.Key()
+		if v := in.errs.Get(inKey); v > 0 {
+			errs.Set(outKey, v)
+		}
+		if in.singular[inKey] {
+			sing[outKey] = true
+		}
+	}
+	return &evalResult{rel: out, complete: true, errs: errs, singular: sing}, nil
+}
+
+// estimateConfidence runs the Karp–Luby FPRAS for one clause set, with the
+// singleton short-circuit: a single clause's weight is its exact
+// probability (the estimator would return it deterministically anyway).
+func (run *evalRun) estimateConfidence(f dnf.F, eps, delta float64) (float64, int64, error) {
+	f = f.Dedup()
+	switch {
+	case len(f) == 0:
+		return 0, 0, nil
+	case len(f[0]) == 0:
+		return 1, 0, nil
+	case len(f) == 1:
+		return f[0].Weight(run.db.Vars), 0, nil
+	}
+	est, err := karpluby.NewEstimator(f, run.db.Vars, run.engine.rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	m := karpluby.TrialsFor(eps, delta, est.ClauseCount())
+	est.Add(int(m))
+	return est.Estimate(), est.Trials(), nil
+}
+
+// confValue is one approximable conf[Āᵢ] term of a σ̂ group: either an
+// exact probability (empty or singleton lineage) or a live Karp–Luby
+// estimator refined for the run's round budget.
+type confValue struct {
+	exact    bool
+	value    float64
+	est      *karpluby.Estimator
+	provErr  float64 // Σ µ over the input tuples in this term's provenance
+	singular bool
+}
+
+func (cv *confValue) estimate() float64 {
+	if cv.exact {
+		return cv.value
+	}
+	return cv.est.Estimate()
+}
+
+// delta returns the per-value error bound δᵢ(ε) after the run's rounds.
+func (cv *confValue) delta(eps float64) float64 {
+	if cv.exact {
+		return 0
+	}
+	return cv.est.Delta(eps)
+}
+
+// approxSelect implements σ̂ under approximation (Definition 6.2): for
+// every joined combination of the conf arguments' possible tuples, the
+// clause sets are estimated for `rounds` Karp–Luby rounds, the predicate
+// is decided on the estimates with ε = max(ε₀, ε_ψ(p̂)), and the
+// membership error of an emitted tuple is bounded per Lemma 6.4(2) by
+// Σᵢ δᵢ(ε) plus the provenance error of the conf inputs.
+func (run *evalRun) approxSelect(in *evalResult, n algebra.ApproxSelect) (*evalResult, error) {
+	// Build each argument's projected lineage with provenance errors.
+	argTuples := make([][]argTuple, len(n.Args))
+	argSchemas := make([]rel.Schema, len(n.Args))
+	for i, a := range n.Args {
+		for _, attr := range a.Attrs {
+			if !in.rel.Schema().Has(attr) {
+				return nil, fmt.Errorf("core: σ̂ conf attribute %q not in schema %v", attr, in.rel.Schema())
+			}
+		}
+		proj := urel.Project(in.rel, keepTargets(a.Attrs))
+		// Provenance error of each projected tuple: sum over distinct
+		// input data tuples projecting onto it.
+		provErr := map[string]float64{}
+		provSing := map[string]bool{}
+		seen := map[string]map[string]bool{}
+		attrIdx := make([]int, len(a.Attrs))
+		for j, attr := range a.Attrs {
+			attrIdx[j] = in.rel.Schema().Index(attr)
+		}
+		for _, ut := range in.rel.Tuples() {
+			outRow := make(rel.Tuple, len(attrIdx))
+			for j, idx := range attrIdx {
+				outRow[j] = ut.Row[idx]
+			}
+			ok, ik := outRow.Key(), ut.Row.Key()
+			if seen[ok] == nil {
+				seen[ok] = map[string]bool{}
+			}
+			if seen[ok][ik] {
+				continue
+			}
+			seen[ok][ik] = true
+			provErr[ok] += in.errs.Get(ik)
+			if in.singular[ik] {
+				provSing[ok] = true
+			}
+		}
+		var tuples []argTuple
+		for _, tc := range urel.Lineage(proj) {
+			cv, trials, err := run.newConfValue(tc.F)
+			if err != nil {
+				return nil, err
+			}
+			run.trials += trials
+			cv.provErr = provErr[tc.Row.Key()]
+			cv.singular = provSing[tc.Row.Key()]
+			tuples = append(tuples, argTuple{row: tc.Row, cv: cv, attr: proj.Schema()})
+		}
+		argTuples[i] = tuples
+		argSchemas[i] = proj.Schema()
+	}
+
+	// Output schema: union of argument attributes in order of first
+	// appearance, then P1..Pk.
+	var outAttrs []string
+	seenAttr := map[string]bool{}
+	for _, s := range argSchemas {
+		for _, a := range s {
+			if !seenAttr[a] {
+				seenAttr[a] = true
+				outAttrs = append(outAttrs, a)
+			}
+		}
+	}
+	outSchema := make(rel.Schema, 0, len(outAttrs)+len(n.Args))
+	outSchema = append(outSchema, outAttrs...)
+	for i := range n.Args {
+		outSchema = append(outSchema, algebra.PColName(i))
+	}
+	out := urel.NewRelation(rel.NewSchema(outSchema...))
+	errs := provenance.Reliable()
+	sing := map[string]bool{}
+
+	// Enumerate natural-join combinations of the argument tuples.
+	combo := make([]argTuple, len(n.Args))
+	var emit func(i int, bound map[string]rel.Value) error
+	emit = func(i int, bound map[string]rel.Value) error {
+		if i == len(n.Args) {
+			return run.decideCombo(n, combo, outAttrs, bound, out, errs, sing)
+		}
+		for _, at := range argTuples[i] {
+			merged, ok := mergeBindings(bound, at.attr, at.row)
+			if !ok {
+				continue
+			}
+			combo[i] = at
+			if err := emit(i+1, merged); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit(0, map[string]rel.Value{}); err != nil {
+		return nil, err
+	}
+	return &evalResult{rel: out, complete: true, errs: errs, singular: sing}, nil
+}
+
+// argTuple is one possible tuple of a σ̂ conf argument together with its
+// (approximable) confidence value.
+type argTuple struct {
+	row  rel.Tuple
+	cv   *confValue
+	attr rel.Schema
+}
+
+// keepTargets builds identity projection targets for the named attributes.
+func keepTargets(attrs []string) []expr.Target {
+	out := make([]expr.Target, len(attrs))
+	for i, a := range attrs {
+		out[i] = expr.Keep(a)
+	}
+	return out
+}
+
+// newConfValue wraps one clause set as an exact value or a refined
+// estimator (run.rounds rounds of |F| trials, the balanced scheme of the
+// end of Section 5).
+func (run *evalRun) newConfValue(f dnf.F) (*confValue, int64, error) {
+	f = f.Dedup()
+	switch {
+	case len(f) == 0:
+		return &confValue{exact: true, value: 0}, 0, nil
+	case len(f[0]) == 0:
+		return &confValue{exact: true, value: 1}, 0, nil
+	case len(f) == 1 && !run.engine.opts.NoSingletonShortcut:
+		return &confValue{exact: true, value: f[0].Weight(run.db.Vars)}, 0, nil
+	}
+	est, err := karpluby.NewEstimator(f, run.db.Vars, run.engine.rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	est.Add(int(run.rounds) * est.ClauseCount())
+	return &confValue{est: est}, est.Trials(), nil
+}
+
+// mergeBindings extends the attribute bindings with a tuple's values,
+// failing when a shared attribute disagrees (natural-join semantics).
+func mergeBindings(bound map[string]rel.Value, schema rel.Schema, row rel.Tuple) (map[string]rel.Value, bool) {
+	merged := make(map[string]rel.Value, len(bound)+len(schema))
+	for k, v := range bound {
+		merged[k] = v
+	}
+	for i, a := range schema {
+		if prev, ok := merged[a]; ok {
+			if !rel.Equal(prev, row[i]) {
+				return nil, false
+			}
+			continue
+		}
+		merged[a] = row[i]
+	}
+	return merged, true
+}
+
+// decideCombo decides the σ̂ predicate for one joined combination and
+// emits the tuple when the decision is positive, recording its error
+// bound: Σᵢ δᵢ(max(ε_φ, ε₀)) + Σᵢ provenance errors (Lemma 6.4(2)).
+func (run *evalRun) decideCombo(n algebra.ApproxSelect, combo []argTuple, outAttrs []string, bound map[string]rel.Value, out *urel.Relation, errs provenance.ErrMap, sing map[string]bool) error {
+	run.decisions++
+	k := len(combo)
+	est := make([]float64, k)
+	for i, at := range combo {
+		est[i] = at.cv.estimate()
+	}
+	margin := n.Pred.Margin(est)
+	eps := math.Max(run.engine.opts.Eps0, margin)
+	decisionErr, provErr := 0.0, 0.0
+	indep := 1.0
+	singular := margin < run.engine.opts.Eps0
+	for _, at := range combo {
+		d := at.cv.delta(eps)
+		decisionErr += d
+		indep *= 1 - math.Min(1, d)
+		provErr += at.cv.provErr
+		if at.cv.singular {
+			singular = true
+		}
+	}
+	if run.engine.opts.IndependentBounds {
+		// Lemma 5.1's sharper combination for independent estimators.
+		decisionErr = 1 - indep
+	}
+	tupleBound := decisionErr + provErr
+	if !singular && tupleBound > run.worstDecision {
+		run.worstDecision = tupleBound
+	}
+	if !n.Pred.Eval(est) {
+		if singular {
+			run.singularDrops++
+		}
+		return nil
+	}
+	row := make(rel.Tuple, 0, len(outAttrs)+k)
+	for _, a := range outAttrs {
+		row = append(row, bound[a])
+	}
+	for i := range combo {
+		row = append(row, rel.Float(est[i]))
+	}
+	out.Add(nil, row)
+	key := row.Key()
+	if tupleBound > 0 {
+		errs.Set(key, tupleBound)
+	}
+	if singular {
+		sing[key] = true
+	}
+	return nil
+}

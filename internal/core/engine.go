@@ -1,0 +1,556 @@
+// Package core is the paper's primary contribution assembled into a usable
+// engine: approximate evaluation of UA[conf, repair-key, σ̂] queries on
+// U-relational databases with per-tuple error bounds.
+//
+// The engine evaluates positive relational algebra and repair-key exactly
+// on the U-relational representation (they are cheap — Proposition 3.3),
+// approximates confidence with the Karp–Luby FPRAS (Section 4), decides σ̂
+// predicates with the margin machinery of Section 5, and accounts
+// membership-error bounds through provenance per Lemma 6.4. The top-level
+// EvalApprox implements Theorem 6.7's strategy: evaluate with a round
+// budget l, record per-tuple error bounds, and double l until every
+// non-singular output tuple's bound is below the target δ.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/provenance"
+	"repro/internal/rel"
+	"repro/internal/urel"
+)
+
+// Options configures approximate evaluation.
+type Options struct {
+	// Eps0 is ε₀, the smallest relative half-width the predicate
+	// approximation goes for; points closer than ε₀ to a decision
+	// boundary are singularities (Definition 5.6). Required > 0.
+	Eps0 float64
+	// Delta is the target per-tuple error probability δ.
+	Delta float64
+	// InitialRounds is the starting l of the doubling loop (default 1).
+	InitialRounds int64
+	// MaxRounds caps l; 0 means the Theorem 6.7 bound l₀ derived from the
+	// query and database (so termination is guaranteed in polynomial
+	// time).
+	MaxRounds int64
+	// ConfEps/ConfDelta parameterize standalone conf_{ε,δ} operators
+	// (Corollary 4.3). Zero values default to Eps0 and Delta.
+	ConfEps   float64
+	ConfDelta float64
+	// Seed seeds the engine's deterministic random source.
+	Seed int64
+	// NoSingletonShortcut disables the optimization that treats
+	// single-clause lineages as exact values (δᵢ = 0): with it set, every
+	// confidence goes through the Karp–Luby estimator. Ablation knob for
+	// the benchmark suite.
+	NoSingletonShortcut bool
+	// IndependentBounds combines per-decision error bounds with the
+	// independence form 1 − Π(1−δᵢ) of Lemma 5.1 instead of the union
+	// bound Σδᵢ. Valid because the estimators of one decision are
+	// independently seeded runs; kept off by default to match the
+	// algorithm as printed in Figure 3.
+	IndependentBounds bool
+}
+
+func (o Options) confEps() float64 {
+	if o.ConfEps > 0 {
+		return o.ConfEps
+	}
+	return o.Eps0
+}
+
+func (o Options) confDelta() float64 {
+	if o.ConfDelta > 0 {
+		return o.ConfDelta
+	}
+	return o.Delta
+}
+
+// Stats reports work done by an approximate evaluation.
+type Stats struct {
+	// FinalRounds is the l at which the doubling loop stopped.
+	FinalRounds int64
+	// Restarts is the number of times evaluation was restarted with a
+	// doubled l.
+	Restarts int
+	// EstimatorTrials is the total number of Karp–Luby estimator
+	// invocations across all restarts.
+	EstimatorTrials int64
+	// Decisions is the number of σ̂ predicate decisions taken in the
+	// final evaluation.
+	Decisions int
+	// SingularDrops counts σ̂ decisions that came out negative while
+	// flagged as potential ε₀-singularities: the dropped tuple's absence
+	// is not covered by the δ guarantee.
+	SingularDrops int
+}
+
+// Result is the outcome of an (approximate) query evaluation.
+type Result struct {
+	// Rel is the result as a U-relation (complete results have empty D
+	// columns).
+	Rel *urel.Relation
+	// Complete reports c(result).
+	Complete bool
+	// Errors maps a data tuple's key (rel.Tuple.Key) to its
+	// membership-error bound µ; missing keys mean 0. Bounds are clamped
+	// to [0,1] for reporting.
+	Errors provenance.ErrMap
+	// Singular holds the keys of tuples whose σ̂ decisions hit the ε₀
+	// floor: the point may be an ε₀-singularity and Theorem 6.7's
+	// guarantee does not cover it.
+	Singular map[string]bool
+	// Stats reports evaluation effort.
+	Stats Stats
+}
+
+// TupleError returns the clamped error bound of tuple t.
+func (r *Result) TupleError(t rel.Tuple) float64 {
+	return math.Min(1, r.Errors.Get(t.Key()))
+}
+
+// IsSingular reports whether t depends on a (potential) singularity.
+func (r *Result) IsSingular(t rel.Tuple) bool { return r.Singular[t.Key()] }
+
+// MaxNonSingularError returns the worst clamped bound over non-singular
+// tuples.
+func (r *Result) MaxNonSingularError() float64 {
+	worst := 0.0
+	for k, v := range r.Errors {
+		if r.Singular[k] {
+			continue
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return math.Min(1, worst)
+}
+
+// Engine evaluates UA queries against a U-relational database.
+type Engine struct {
+	db   *urel.Database
+	opts Options
+	rng  *rand.Rand
+}
+
+// NewEngine builds an engine over db. The database is cloned per
+// evaluation, never mutated.
+func NewEngine(db *urel.Database, opts Options) *Engine {
+	return &Engine{db: db, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// DB returns the engine's database.
+func (e *Engine) DB() *urel.Database { return e.db }
+
+// EvalExact evaluates the query with exact confidence computation
+// (delegating to the algebra package's U-relational evaluator).
+func (e *Engine) EvalExact(q algebra.Query) (algebra.URelResult, error) {
+	return algebra.NewURelEvaluator(e.db).Eval(q)
+}
+
+// EvalApprox evaluates the query approximately per Theorem 6.7: it runs
+// the plan with round budget l, doubling l until every non-singular output
+// tuple's error bound is ≤ δ (or the round cap is reached).
+func (e *Engine) EvalApprox(q algebra.Query) (*Result, error) {
+	if err := algebra.Validate(q); err != nil {
+		return nil, err
+	}
+	if e.opts.Eps0 <= 0 || e.opts.Eps0 >= 1 {
+		return nil, fmt.Errorf("core: ε₀ must be in (0,1), got %v", e.opts.Eps0)
+	}
+	if e.opts.Delta <= 0 || e.opts.Delta >= 1 {
+		return nil, fmt.Errorf("core: δ must be in (0,1), got %v", e.opts.Delta)
+	}
+	l := e.opts.InitialRounds
+	if l <= 0 {
+		l = 1
+	}
+	maxL := e.opts.MaxRounds
+	if maxL <= 0 {
+		maxL = e.theorem67Cap(q)
+	}
+	var trials int64
+	restarts := 0
+	for {
+		run := &evalRun{engine: e, db: e.db.Clone(), rounds: l}
+		res, err := run.eval(q)
+		if err != nil {
+			return nil, err
+		}
+		trials += run.trials
+		// Termination criterion of Theorem 6.7: every non-singular
+		// decision (positive or negative) and every non-singular result
+		// tuple's accumulated bound must be ≤ δ. Singular tuples never
+		// converge and are excluded (the theorem only covers tuples
+		// without singularities in their provenance).
+		worst := run.worstDecision
+		for k, v := range res.errs {
+			if res.singular[k] {
+				continue
+			}
+			if v > worst {
+				worst = v
+			}
+		}
+		if worst <= e.opts.Delta || l >= maxL {
+			stats := Stats{
+				FinalRounds:     l,
+				Restarts:        restarts,
+				EstimatorTrials: trials,
+				Decisions:       run.decisions,
+				SingularDrops:   run.singularDrops,
+			}
+			return finishResult(res, stats), nil
+		}
+		l *= 2
+		if l > maxL {
+			l = maxL
+		}
+		restarts++
+	}
+}
+
+// theorem67Cap computes the l₀ of Theorem 6.7's proof from the query's
+// σ̂ structure and the database size: l₀ ≥ 3·log(2·k·d·n^{k·d}/δ)/ε₀².
+func (e *Engine) theorem67Cap(q algebra.Query) int64 {
+	k, d := 1, 0
+	algebra.Walk(q, func(n algebra.Query) {
+		if as, ok := n.(algebra.ApproxSelect); ok {
+			d++
+			if len(as.Args) > k {
+				k = len(as.Args)
+			}
+		}
+	})
+	if d == 0 {
+		return 1
+	}
+	n := 1
+	for _, r := range e.db.Rels {
+		n += r.Len() * len(r.Schema())
+	}
+	cap66 := provenance.RoundsForProposition66(k, d, n, e.opts.Eps0, e.opts.Delta)
+	if cap66 < 1 {
+		return 1
+	}
+	return cap66
+}
+
+func finishResult(r *evalResult, stats Stats) *Result {
+	clamped := provenance.ErrMap{}
+	for k, v := range r.errs {
+		clamped[k] = math.Min(1, v)
+	}
+	return &Result{
+		Rel:      r.rel,
+		Complete: r.complete,
+		Errors:   clamped,
+		Singular: r.singular,
+		Stats:    stats,
+	}
+}
+
+// evalRun is one pass of approximate evaluation at a fixed round budget.
+type evalRun struct {
+	engine    *Engine
+	db        *urel.Database
+	rounds    int64
+	nextRK    int
+	trials    int64
+	decisions int
+	// worstDecision is the largest non-singular per-decision error bound
+	// seen, including negative decisions (whose tuples do not appear in
+	// the result and so carry no entry in the error map). The doubling
+	// loop must not terminate while any decision — positive or negative —
+	// is still unreliable.
+	worstDecision float64
+	singularDrops int
+}
+
+// evalResult carries a relation plus its unreliability metadata.
+type evalResult struct {
+	rel      *urel.Relation
+	complete bool
+	errs     provenance.ErrMap
+	singular map[string]bool
+}
+
+func reliableResult(r *urel.Relation, complete bool) *evalResult {
+	return &evalResult{rel: r, complete: complete, errs: provenance.Reliable(), singular: map[string]bool{}}
+}
+
+func (run *evalRun) eval(q algebra.Query) (*evalResult, error) {
+	switch n := q.(type) {
+	case algebra.Base:
+		r, ok := run.db.Rels[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown relation %q", n.Name)
+		}
+		return reliableResult(r, run.db.Complete[n.Name]), nil
+
+	case algebra.Select:
+		in, err := run.eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		out := urel.Select(in.rel, n.Pred)
+		// (t, σ_φ(R)) ≺ (t, R): bounds carry over for surviving tuples.
+		errs := provenance.Reliable()
+		sing := map[string]bool{}
+		for _, ut := range out.Tuples() {
+			k := ut.Row.Key()
+			if v := in.errs.Get(k); v > 0 {
+				errs.Set(k, v)
+			}
+			if in.singular[k] {
+				sing[k] = true
+			}
+		}
+		return &evalResult{rel: out, complete: in.complete, errs: errs, singular: sing}, nil
+
+	case algebra.Project:
+		in, err := run.eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		out := urel.Project(in.rel, n.Targets)
+		// (t.Ā, π_Ā(R)) ≺ (t, R): each output tuple accumulates the
+		// bounds of every input tuple projecting onto it (Example 6.5's
+		// fan-in sum). Distinct (D, row) pairs of the input can collapse
+		// to one output pair; sum over distinct input data tuples.
+		errs := provenance.Reliable()
+		sing := map[string]bool{}
+		seen := map[string]map[string]bool{}
+		for _, ut := range in.rel.Tuples() {
+			inKey := ut.Row.Key()
+			outRow := projectRow(in.rel, ut.Row, n.Targets)
+			outKey := outRow.Key()
+			if seen[outKey] == nil {
+				seen[outKey] = map[string]bool{}
+			}
+			if seen[outKey][inKey] {
+				continue
+			}
+			seen[outKey][inKey] = true
+			if v := in.errs.Get(inKey); v > 0 {
+				errs.Add(outKey, v)
+			}
+			if in.singular[inKey] {
+				sing[outKey] = true
+			}
+		}
+		return &evalResult{rel: out, complete: in.complete, errs: errs, singular: sing}, nil
+
+	case algebra.Product:
+		l, err := run.eval(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := run.eval(n.R)
+		if err != nil {
+			return nil, err
+		}
+		out, err := urel.Product(l.rel, r.rel)
+		if err != nil {
+			return nil, err
+		}
+		return combineBinary(out, l, r, func(row rel.Tuple) (rel.Tuple, rel.Tuple) {
+			return row[:len(l.rel.Schema())], row[len(l.rel.Schema()):]
+		}), nil
+
+	case algebra.Join:
+		l, err := run.eval(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := run.eval(n.R)
+		if err != nil {
+			return nil, err
+		}
+		out := urel.Join(l.rel, r.rel)
+		lSchema, rSchema := l.rel.Schema(), r.rel.Schema()
+		outSchema := out.Schema()
+		rIdx := make([]int, len(rSchema))
+		for i, a := range rSchema {
+			rIdx[i] = outSchema.Index(a)
+		}
+		return combineBinary(out, l, r, func(row rel.Tuple) (rel.Tuple, rel.Tuple) {
+			lrow := row[:len(lSchema)]
+			rrow := make(rel.Tuple, len(rSchema))
+			for i, j := range rIdx {
+				rrow[i] = row[j]
+			}
+			return lrow, rrow
+		}), nil
+
+	case algebra.Union:
+		l, err := run.eval(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := run.eval(n.R)
+		if err != nil {
+			return nil, err
+		}
+		out, err := urel.Union(l.rel, r.rel)
+		if err != nil {
+			return nil, err
+		}
+		errs := provenance.Reliable()
+		sing := map[string]bool{}
+		for _, ut := range out.Tuples() {
+			k := ut.Row.Key()
+			if v := l.errs.Get(k) + r.errs.Get(k); v > 0 {
+				errs.Set(k, v)
+			}
+			if l.singular[k] || r.singular[k] {
+				sing[k] = true
+			}
+		}
+		return &evalResult{rel: out, complete: l.complete && r.complete, errs: errs, singular: sing}, nil
+
+	case algebra.DiffC:
+		l, err := run.eval(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := run.eval(n.R)
+		if err != nil {
+			return nil, err
+		}
+		if !l.complete || !r.complete {
+			return nil, fmt.Errorf("core: −c requires inputs complete by c")
+		}
+		out, err := urel.DiffComplete(l.rel, r.rel)
+		if err != nil {
+			return nil, err
+		}
+		// Difference is not in the positive fragment of Lemma 6.4; the
+		// conservative bound adds the right side's worst tuple error for
+		// each left tuple (a right tuple wrongly present/absent can flip
+		// a left tuple's membership in the result).
+		rWorst := r.errs.Max()
+		errs := provenance.Reliable()
+		sing := map[string]bool{}
+		rSingular := len(r.singular) > 0
+		for _, ut := range out.Tuples() {
+			k := ut.Row.Key()
+			if v := l.errs.Get(k) + rWorst; v > 0 {
+				errs.Set(k, v)
+			}
+			if l.singular[k] || rSingular {
+				sing[k] = true
+			}
+		}
+		return &evalResult{rel: out, complete: true, errs: errs, singular: sing}, nil
+
+	case algebra.RepairKey:
+		in, err := run.eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		if !in.errs.IsReliable() {
+			return nil, fmt.Errorf("core: repair-key over unreliable input is not supported (paper footnote 3)")
+		}
+		run.nextRK++
+		rk, err := urel.RepairKey(in.rel, n.Key, n.Weight, run.db.Vars, "rk"+strconv.Itoa(run.nextRK))
+		if err != nil {
+			return nil, err
+		}
+		return reliableResult(rk, false), nil
+
+	case algebra.Conf:
+		in, err := run.eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return run.approxConf(in, n.PCol())
+
+	case algebra.Poss:
+		in, err := run.eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		out := urel.FromComplete(urel.Poss(in.rel))
+		return &evalResult{rel: out, complete: true, errs: in.errs.Clone(), singular: in.singular}, nil
+
+	case algebra.Cert:
+		in, err := run.eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		// cert is a conf = 1 test: a singularity for approximation
+		// (Example 5.7). The engine computes it exactly.
+		out := urel.FromComplete(urel.CertExact(in.rel, run.db.Vars))
+		return &evalResult{rel: out, complete: true, errs: in.errs.Clone(), singular: in.singular}, nil
+
+	case algebra.Let:
+		def, err := run.eval(n.Def)
+		if err != nil {
+			return nil, err
+		}
+		oldRel, hadRel := run.db.Rels[n.Name]
+		oldC := run.db.Complete[n.Name]
+		run.db.Rels[n.Name] = def.rel
+		run.db.Complete[n.Name] = def.complete
+		// The binding's unreliability must flow to Base references; keep
+		// it in a side table.
+		if !def.errs.IsReliable() || len(def.singular) > 0 {
+			return nil, fmt.Errorf("core: let-binding %q of an unreliable relation is not supported; apply σ̂ in the body", n.Name)
+		}
+		res, err := run.eval(n.In)
+		if hadRel {
+			run.db.Rels[n.Name] = oldRel
+			run.db.Complete[n.Name] = oldC
+		} else {
+			delete(run.db.Rels, n.Name)
+			delete(run.db.Complete, n.Name)
+		}
+		return res, err
+
+	case algebra.ApproxSelect:
+		in, err := run.eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return run.approxSelect(in, n)
+
+	default:
+		return nil, fmt.Errorf("core: unknown query node %T", q)
+	}
+}
+
+// projectRow applies projection targets to one row of r.
+func projectRow(r *urel.Relation, row rel.Tuple, targets []expr.Target) rel.Tuple {
+	env := expr.Env{Schema: r.Schema(), Tuple: row}
+	out := make(rel.Tuple, len(targets))
+	for i, tg := range targets {
+		out[i] = tg.Expr.Eval(env)
+	}
+	return out
+}
+
+// combineBinary builds the error/singularity maps of a product or join
+// result: µ(⟨r,s⟩) = µ(r) + µ(s), per the ≺ cases for ×.
+func combineBinary(out *urel.Relation, l, r *evalResult, split func(rel.Tuple) (rel.Tuple, rel.Tuple)) *evalResult {
+	errs := provenance.Reliable()
+	sing := map[string]bool{}
+	for _, ut := range out.Tuples() {
+		lrow, rrow := split(ut.Row)
+		k := ut.Row.Key()
+		if v := l.errs.Get(lrow.Key()) + r.errs.Get(rrow.Key()); v > 0 {
+			errs.Set(k, v)
+		}
+		if l.singular[lrow.Key()] || r.singular[rrow.Key()] {
+			sing[k] = true
+		}
+	}
+	return &evalResult{rel: out, complete: l.complete && r.complete, errs: errs, singular: sing}
+}

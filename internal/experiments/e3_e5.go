@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/dnf"
+	"repro/internal/karpluby"
+	"repro/internal/predapprox"
+	"repro/internal/stats"
+	"repro/internal/vars"
+	"repro/internal/workload"
+	"repro/internal/worlds"
+)
+
+// E3AdaptivePredicate reproduces the behaviour of the Figure 3 algorithm
+// (Theorem 5.8): on non-singular inputs the decision error stays within δ,
+// and the adaptive round count beats the naive bound
+// ⌈3·log(2k/δ)/ε₀²⌉ by roughly the paper's (ε²_φ − ε²₀)/ε²_φ factor.
+func E3AdaptivePredicate(w io.Writer, cfg Config) (Summary, error) {
+	s := newSummary("E3")
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const eps0, delta = 0.05, 0.1
+	trialsPer := cfg.scale(120, 30)
+
+	fmt.Fprintf(w, "Figure 3 algorithm on φ: p ≥ c, Karp–Luby approximables (ε₀=%.2f, δ=%.2f)\n", eps0, delta)
+	tbl := stats.NewTable(w, "true margin", "err rate", "δ", "adaptive rounds (mean)", "naive rounds", "speedup", "paper speedup ≈")
+
+	type band struct {
+		name    string
+		loP     float64
+		hiP     float64
+		cOffset float64
+	}
+	// Bands of distance between the true confidence and the threshold.
+	bands := []band{
+		{"wide", 0.65, 0.8, -0.35},
+		{"medium", 0.55, 0.7, -0.2},
+		{"narrow", 0.5, 0.6, -0.1},
+	}
+	naiveRounds := float64(int(math.Ceil(3 * math.Log(2/delta) / (eps0 * eps0))))
+	for _, b := range bands {
+		var errs, rounds, speedups []float64
+		done := 0
+		for done < trialsPer {
+			tab := vars.NewTable()
+			f := workload.RandomDNF(rng, tab, 4, 5, 2)
+			p := dnf.Confidence(f, tab)
+			if p < b.loP || p > b.hiP {
+				continue
+			}
+			c := p + b.cOffset
+			phi := predapprox.Linear([]float64{1}, c)
+			if predapprox.IsSingular(phi, []float64{p}, 2*eps0) {
+				continue
+			}
+			est, err := karpluby.NewEstimator(f, tab, rng)
+			if err != nil {
+				return s, err
+			}
+			d, err := predapprox.Decide(phi, []predapprox.Approximable{est}, predapprox.Options{Eps0: eps0, Delta: delta})
+			if err != nil {
+				return s, err
+			}
+			done++
+			truth := phi.Eval([]float64{p})
+			if d.Value != truth {
+				errs = append(errs, 1)
+			} else {
+				errs = append(errs, 0)
+			}
+			rounds = append(rounds, float64(d.Rounds))
+			speedups = append(speedups, naiveRounds/float64(d.Rounds))
+			// The paper's predicted improvement factor uses the margin at
+			// the true point.
+			_ = phi
+		}
+		errRate := stats.Mean(errs)
+		meanRounds := stats.Mean(rounds)
+		// Paper's predicted improvement ≈ ε²_φ/(ε²_φ − ε₀²) slowdown
+		// avoided; report the ideal-round ratio for the band's midpoint.
+		midP := (b.loP + b.hiP) / 2
+		epsPhi := predapprox.Linear([]float64{1}, midP+b.cOffset).Margin([]float64{midP})
+		paperSpeedup := (epsPhi * epsPhi) / (eps0 * eps0)
+		tbl.Row(b.name, errRate, delta, meanRounds, naiveRounds, stats.Mean(speedups), paperSpeedup)
+		s.Values["err_rate_"+b.name] = errRate
+		s.Values["mean_rounds_"+b.name] = meanRounds
+		s.Values["speedup_"+b.name] = stats.Mean(speedups)
+	}
+	tbl.Flush()
+	s.Values["delta"] = delta
+	s.Values["naive_rounds"] = naiveRounds
+	return s, nil
+}
+
+// E4KarpLubyFPRAS validates Proposition 4.2: over a grid of (ε, δ), the
+// measured frequency of |p̂−p| ≥ ε·p stays below δ, and the prescribed
+// trial count scales linearly in |F| and 1/ε².
+func E4KarpLubyFPRAS(w io.Writer, cfg Config) (Summary, error) {
+	s := newSummary("E4")
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	runs := cfg.scale(300, 60)
+
+	tab := vars.NewTable()
+	f := workload.RandomDNF(rng, tab, 6, 8, 3)
+	exact := dnf.Confidence(f, tab)
+	fmt.Fprintf(w, "Karp–Luby FPRAS on a %d-clause DNF, exact p = %.5f\n", len(f), exact)
+	tbl := stats.NewTable(w, "ε", "δ", "trials m", "violation rate", "within δ?")
+	worstRatio := 0.0
+	for _, eps := range []float64{0.2, 0.1, 0.05} {
+		for _, delta := range []float64{0.2, 0.05} {
+			m := karpluby.TrialsFor(eps, delta, len(f))
+			bad := 0
+			for r := 0; r < runs; r++ {
+				est, err := karpluby.NewEstimator(f, tab, rng)
+				if err != nil {
+					return s, err
+				}
+				est.Add(int(m))
+				if math.Abs(est.Estimate()-exact) >= eps*exact {
+					bad++
+				}
+			}
+			rate := float64(bad) / float64(runs)
+			tbl.Row(eps, delta, m, rate, rate <= delta)
+			if r := rate / delta; r > worstRatio {
+				worstRatio = r
+			}
+		}
+	}
+	tbl.Flush()
+	s.Values["worst_violation_over_delta"] = worstRatio
+
+	// Cost scaling: m = ⌈3|F|·log(2/δ)/ε²⌉ is linear in |F|.
+	fmt.Fprintln(w, "\nPrescribed trials vs clause count (ε=0.1, δ=0.05):")
+	tbl2 := stats.NewTable(w, "|F|", "m", "m/|F|")
+	base := float64(karpluby.TrialsFor(0.1, 0.05, 1))
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		m := karpluby.TrialsFor(0.1, 0.05, n)
+		tbl2.Row(n, m, float64(m)/float64(n))
+	}
+	tbl2.Flush()
+	s.Values["per_clause_trials"] = base
+	return s, nil
+}
+
+// E5ExactVsApprox measures the Theorem 3.4 / Corollary 4.3 contrast: exact
+// confidence computation (#P: Shannon expansion, world enumeration) grows
+// exponentially with the instance while the FPRAS stays polynomial; the
+// table shows the crossover.
+func E5ExactVsApprox(w io.Writer, cfg Config) (Summary, error) {
+	s := newSummary("E5")
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sizes := []int{8, 12, 16, 20}
+	if cfg.Quick {
+		sizes = []int{8, 12, 16}
+	}
+	fmt.Fprintln(w, "Exact vs approximate confidence (random DNFs, clauses = vars, ε=0.1, δ=0.05):")
+	tbl := stats.NewTable(w, "vars", "clauses", "exact enum (ms)", "exact shannon (ms)", "karp-luby (ms)", "KL trials")
+	var lastEnum, lastKL float64
+	for _, n := range sizes {
+		tab := vars.NewTable()
+		f := workload.RandomDNF(rng, tab, n, n, 3)
+
+		t0 := time.Now()
+		pEnum := dnf.ConfidenceByEnumeration(f, tab)
+		enumMS := float64(time.Since(t0).Microseconds()) / 1000
+
+		t1 := time.Now()
+		pShan := dnf.Confidence(f, tab)
+		shanMS := float64(time.Since(t1).Microseconds()) / 1000
+
+		t2 := time.Now()
+		est, err := karpluby.NewEstimator(f, tab, rng)
+		if err != nil {
+			return s, err
+		}
+		m := karpluby.TrialsFor(0.1, 0.05, len(f))
+		est.Add(int(m))
+		pKL := est.Estimate()
+		klMS := float64(time.Since(t2).Microseconds()) / 1000
+
+		if math.Abs(pEnum-pShan) > 1e-9 {
+			return s, fmt.Errorf("exact evaluators disagree: %v vs %v", pEnum, pShan)
+		}
+		if exactErr := math.Abs(pKL - pEnum); exactErr > 0.25*pEnum {
+			fmt.Fprintf(w, "  (note: KL estimate off by %.3f at n=%d)\n", exactErr, n)
+		}
+		tbl.Row(n, n, enumMS, shanMS, klMS, m)
+		lastEnum, lastKL = enumMS, klMS
+	}
+	tbl.Flush()
+	s.Values["largest_enum_ms"] = lastEnum
+	s.Values["largest_kl_ms"] = lastKL
+	if lastKL > 0 {
+		s.Values["enum_over_kl_at_largest"] = lastEnum / lastKL
+	}
+	fmt.Fprintln(w, "\nShape check (paper): exact is #P-hard — enumeration cost doubles per added variable;")
+	fmt.Fprintln(w, "the FPRAS cost grows linearly in |F| (Corollary 4.3) and wins beyond the crossover.")
+
+	// Succinctness: the hardness of Theorem 3.4 versus the LOGSPACE bound
+	// of Proposition 3.5 comes from the representation gap — n binary
+	// variables are 2n U-tuples but 2^n possible worlds.
+	fmt.Fprintln(w, "\nRepresentation gap (tuple-independent relation of n tuples):")
+	tbl3 := stats.NewTable(w, "n", "U-tuples", "worlds", "expand (ms)")
+	expandSizes := []int{6, 10, 14}
+	if !cfg.Quick {
+		expandSizes = append(expandSizes, 18)
+	}
+	var lastGap float64
+	for _, n := range expandSizes {
+		db := workload.TupleIndependent("R", workload.UniformProbs(rng, n, 0.2, 0.8))
+		t0 := time.Now()
+		wdb, err := worlds.Expand(db, 1<<22)
+		if err != nil {
+			return s, err
+		}
+		ms := float64(time.Since(t0).Microseconds()) / 1000
+		tbl3.Row(n, db.Rels["R"].Len(), len(wdb.Worlds), ms)
+		lastGap = float64(len(wdb.Worlds)) / float64(db.Rels["R"].Len())
+	}
+	tbl3.Flush()
+	s.Values["worlds_per_utuple_at_largest"] = lastGap
+	return s, nil
+}

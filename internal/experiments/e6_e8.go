@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/dnf"
+	"repro/internal/karpluby"
+	"repro/internal/predapprox"
+	"repro/internal/stats"
+	"repro/internal/vars"
+)
+
+// E6LinearEpsilon validates Theorem 5.2: the closed-form ε for random
+// linear inequalities coincides with the brute-force maximal homogeneous
+// orthotope, and the Boolean-combination rules stay sound.
+func E6LinearEpsilon(w io.Writer, cfg Config) (Summary, error) {
+	s := newSummary("E6")
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trials := cfg.scale(400, 80)
+
+	var diffs []float64
+	clamped := 0
+	for i := 0; i < trials; i++ {
+		k := 1 + rng.Intn(3)
+		coef := make([]float64, k)
+		for j := range coef {
+			coef[j] = rng.Float64()*4 - 2
+		}
+		phi := predapprox.Linear(coef, rng.Float64()*1.2-0.6)
+		p := make([]float64, k)
+		for j := range p {
+			p[j] = 0.1 + 0.8*rng.Float64()
+		}
+		got := phi.Margin(p)
+		if got >= predapprox.EpsMax-1e-6 {
+			clamped++
+			continue
+		}
+		bf := predapprox.BruteForceMargin(phi, p, 0.004, 6)
+		diffs = append(diffs, math.Abs(got-bf))
+	}
+	fmt.Fprintf(w, "Theorem 5.2 closed form vs brute force (%d random linear atoms, %d clamped at ε≈1):\n", trials, clamped)
+	tbl := stats.NewTable(w, "mean |diff|", "p95 |diff|", "max |diff|", "grid step")
+	tbl.Row(stats.Mean(diffs), stats.Quantile(diffs, 0.95), stats.Max(diffs), 0.004)
+	tbl.Flush()
+	s.Values["max_diff"] = stats.Max(diffs)
+	s.Values["mean_diff"] = stats.Mean(diffs)
+
+	// Boolean combinations: soundness rate of the composed margin.
+	unsound := 0
+	boolTrials := cfg.scale(300, 60)
+	for i := 0; i < boolTrials; i++ {
+		mk := func() predapprox.Pred {
+			coef := []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2}
+			return predapprox.Linear(coef, rng.Float64()*1.2-0.6)
+		}
+		var phi predapprox.Pred
+		if rng.Intn(2) == 0 {
+			phi = predapprox.AndOf(mk(), mk())
+		} else {
+			phi = predapprox.OrOf(mk(), predapprox.NotOf(mk()))
+		}
+		p := []float64{0.1 + 0.8*rng.Float64(), 0.1 + 0.8*rng.Float64()}
+		m := phi.Margin(p)
+		if m <= 1e-9 {
+			continue
+		}
+		bf := predapprox.BruteForceMargin(phi, p, 0.004, 8)
+		if m > bf+0.012 && m < predapprox.EpsMax-1e-6 {
+			unsound++
+		}
+	}
+	fmt.Fprintf(w, "\nBoolean combinations (min/max rules): %d/%d margins exceeded the brute-force radius.\n", unsound, boolTrials)
+	s.Values["bool_unsound"] = float64(unsound)
+	return s, nil
+}
+
+// E7CornerPoint validates Theorem 5.5: for single-occurrence algebraic
+// predicates, corner agreement implies orthotope homogeneity; the
+// binary-search margin is both sound (grid-verified) and maximal.
+func E7CornerPoint(w io.Writer, cfg Config) (Summary, error) {
+	s := newSummary("E7")
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trials := cfg.scale(250, 50)
+
+	mk := []func() (predapprox.AExpr, int){
+		func() (predapprox.AExpr, int) {
+			return predapprox.Sub(predapprox.Mul(predapprox.Slot(0), predapprox.Slot(1)), predapprox.Num(0.05+0.3*rng.Float64())), 2
+		},
+		func() (predapprox.AExpr, int) {
+			return predapprox.Sub(predapprox.Div(predapprox.Slot(0), predapprox.Slot(1)), predapprox.Num(0.3+rng.Float64())), 2
+		},
+		func() (predapprox.AExpr, int) {
+			return predapprox.Sub(predapprox.Add(predapprox.Mul(predapprox.Slot(0), predapprox.Slot(1)), predapprox.Slot(2)), predapprox.Num(0.2+0.6*rng.Float64())), 3
+		},
+	}
+	unsound, nontrivial := 0, 0
+	var margins []float64
+	for i := 0; i < trials; i++ {
+		f, k := mk[rng.Intn(len(mk))]()
+		atom, err := predapprox.NewAlgAtom(f, k)
+		if err != nil {
+			return s, err
+		}
+		p := make([]float64, k)
+		for j := range p {
+			p[j] = 0.15 + 0.7*rng.Float64()
+		}
+		m := atom.Margin(p)
+		margins = append(margins, m)
+		if m <= 1e-6 || m >= predapprox.EpsMax-1e-6 {
+			continue
+		}
+		nontrivial++
+		if !predapprox.OrthotopeHomogeneous(atom, p, m*0.98, 7) {
+			unsound++
+		}
+	}
+	fmt.Fprintf(w, "Theorem 5.5 corner-point margins (%d random algebraic atoms):\n", trials)
+	tbl := stats.NewTable(w, "nontrivial margins", "grid-verified unsound", "mean margin", "median margin")
+	tbl.Row(nontrivial, unsound, stats.Mean(margins), stats.Quantile(margins, 0.5))
+	tbl.Flush()
+	s.Values["unsound"] = float64(unsound)
+	s.Values["nontrivial"] = float64(nontrivial)
+	return s, nil
+}
+
+// E8Singularity reproduces the singularity discussion (Definition 5.6,
+// Example 5.7, Remark 5.3): the cost of the Figure 3 algorithm blows up as
+// the true value approaches the decision boundary until the ε₀ floor
+// bounds it, and the certainty test conf = 1 is never positively
+// decidable.
+func E8Singularity(w io.Writer, cfg Config) (Summary, error) {
+	s := newSummary("E8")
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const eps0, delta = 0.02, 0.1
+	reps := cfg.scale(25, 8)
+
+	fmt.Fprintf(w, "Figure 3 cost vs distance to the boundary (φ: p ≥ 0.5, ε₀=%.2f, δ=%.2f):\n", eps0, delta)
+	tbl := stats.NewTable(w, "p − c", "singular (ε₀)?", "mean rounds", "mean trials", "flag rate")
+	var roundsAtBoundary float64
+	for _, gap := range []float64{0.2, 0.1, 0.05, 0.02, 0.005, 0.0} {
+		p := 0.5 + gap
+		phi := predapprox.Linear([]float64{1}, 0.5)
+		sing := predapprox.IsSingular(phi, []float64{p}, eps0)
+		var rounds, flags, trials []float64
+		for r := 0; r < reps; r++ {
+			tab := vars.NewTable()
+			f := calibratedDNF(tab, p)
+			est, err := karpluby.NewEstimator(f, tab, rng)
+			if err != nil {
+				return s, err
+			}
+			d, err := predapprox.Decide(phi, []predapprox.Approximable{est}, predapprox.Options{Eps0: eps0, Delta: delta})
+			if err != nil {
+				return s, err
+			}
+			rounds = append(rounds, float64(d.Rounds))
+			trials = append(trials, float64(est.Trials()))
+			if d.HitEpsilonFloor {
+				flags = append(flags, 1)
+			} else {
+				flags = append(flags, 0)
+			}
+		}
+		tbl.Row(gap, sing, stats.Mean(rounds), stats.Mean(trials), stats.Mean(flags))
+		if gap == 0 {
+			roundsAtBoundary = stats.Mean(rounds)
+			s.Values["flag_rate_at_boundary"] = stats.Mean(flags)
+		}
+	}
+	tbl.Flush()
+	s.Values["rounds_at_boundary"] = roundsAtBoundary
+
+	// Example 5.7: conf = 1 is a singularity for every ε₀.
+	one := predapprox.Linear([]float64{1}, 1)
+	all := true
+	for _, e := range []float64{0.001, 0.01, 0.1} {
+		if !predapprox.IsSingular(one, []float64{1}, e) {
+			all = false
+		}
+	}
+	fmt.Fprintf(w, "\nExample 5.7: p = 1 under φ: p ≥ 1 is an ε₀-singularity for all tested ε₀: %v\n", all)
+	if all {
+		s.Values["certainty_always_singular"] = 1
+	}
+	return s, nil
+}
+
+// calibratedDNF builds a 2-clause DNF over fresh variables whose exact
+// confidence is target: clauses x=0 and y=0, each of probability
+// a = 1−sqrt(1−target), give p = 1−(1−a)² = target.
+func calibratedDNF(tab *vars.Table, target float64) dnf.F {
+	a := 1 - math.Sqrt(1-target)
+	base := tab.Len()
+	tab.Add(fmt.Sprintf("c%d_x", base), []float64{a, 1 - a}, nil)
+	tab.Add(fmt.Sprintf("c%d_y", base), []float64{a, 1 - a}, nil)
+	return dnf.F{
+		vars.MustAssignment(vars.Binding{Var: vars.Var(base), Alt: 0}),
+		vars.MustAssignment(vars.Binding{Var: vars.Var(base + 1), Alt: 0}),
+	}
+}

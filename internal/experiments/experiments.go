@@ -1,0 +1,84 @@
+// Package experiments contains one driver per reproducible artifact of the
+// paper — its three figures, its worked examples, and its quantitative
+// theorems (see DESIGN.md's experiment index E1–E10). Each driver prints a
+// paper-style table and returns the key measured quantities so golden
+// tests and EXPERIMENTS.md can assert the paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Config controls experiment scale and determinism.
+type Config struct {
+	// Seed drives all randomness; equal seeds give equal tables.
+	Seed int64
+	// Quick shrinks trial counts for use in tests and benchmarks.
+	Quick bool
+}
+
+func (c Config) scale(full, quick int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Summary carries an experiment's headline measurements.
+type Summary struct {
+	Name   string
+	Values map[string]float64
+}
+
+func newSummary(name string) Summary {
+	return Summary{Name: name, Values: map[string]float64{}}
+}
+
+// Print renders the summary's key/value pairs sorted by key.
+func (s Summary) Print(w io.Writer) {
+	keys := make([]string, 0, len(s.Values))
+	for k := range s.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %-40s %.6g\n", k, s.Values[k])
+	}
+}
+
+// Runner is an experiment entry point.
+type Runner func(w io.Writer, cfg Config) (Summary, error)
+
+// All lists the experiments in order, keyed by their DESIGN.md ids.
+func All() []struct {
+	ID, Title string
+	Run       Runner
+} {
+	return []struct {
+		ID, Title string
+		Run       Runner
+	}{
+		{"E1", "Figure 1 / Example 2.2: coin tossing, U-relations and the posterior table U", E1CoinExample},
+		{"E2", "Figure 2 / Example 5.4: ε-maximization geometry", E2EpsilonGeometry},
+		{"E3", "Figure 3 / Theorem 5.8: adaptive predicate approximation", E3AdaptivePredicate},
+		{"E4", "Section 4 / Proposition 4.2: Karp–Luby FPRAS guarantee", E4KarpLubyFPRAS},
+		{"E5", "Theorem 3.4 vs Corollary 4.3: exact #P vs FPRAS crossover", E5ExactVsApprox},
+		{"E6", "Theorem 5.2: closed-form ε vs brute-force orthotopes", E6LinearEpsilon},
+		{"E7", "Theorem 5.5: corner-point criterion for algebraic predicates", E7CornerPoint},
+		{"E8", "Definition 5.6 / Example 5.7: singularities", E8Singularity},
+		{"E9", "Lemma 6.4 / Example 6.5: provenance error bounds", E9ProvenanceBounds},
+		{"E10", "Theorem 6.7: end-to-end approximate query evaluation", E10QueryApprox},
+	}
+}
+
+// Lookup finds an experiment by id (e.g. "E4").
+func Lookup(id string) (Runner, string, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e.Run, e.Title, true
+		}
+	}
+	return nil, "", false
+}

@@ -1,0 +1,221 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rel"
+)
+
+func env(schema rel.Schema, vals ...rel.Value) Env {
+	return Env{Schema: schema, Tuple: rel.Tuple(vals)}
+}
+
+func TestExprEval(t *testing.T) {
+	e := env(rel.NewSchema("A", "B"), rel.Int(6), rel.Float(1.5))
+	cases := []struct {
+		e    Expr
+		want rel.Value
+	}{
+		{CInt(3), rel.Int(3)},
+		{A("A"), rel.Int(6)},
+		{A("B"), rel.Float(1.5)},
+		{A("missing"), rel.Null()},
+		{Add(A("A"), CInt(1)), rel.Int(7)},
+		{Sub(A("A"), A("B")), rel.Float(4.5)},
+		{Mul(A("A"), CInt(2)), rel.Int(12)},
+		{Div(A("A"), CInt(4)), rel.Float(1.5)},
+		{Div(A("A"), CInt(0)), rel.Null()},
+	}
+	for _, c := range cases {
+		got := c.e.Eval(e)
+		if got.IsNull() != c.want.IsNull() || (!got.IsNull() && !rel.Equal(got, c.want)) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestCmpOps(t *testing.T) {
+	e := env(rel.NewSchema("X"), rel.Int(5))
+	cases := []struct {
+		p    Pred
+		want bool
+	}{
+		{Eq(A("X"), CInt(5)), true},
+		{Eq(A("X"), CFloat(5.0)), true},
+		{Ne(A("X"), CInt(5)), false},
+		{Lt(A("X"), CInt(6)), true},
+		{Le(A("X"), CInt(5)), true},
+		{Gt(A("X"), CInt(5)), false},
+		{Ge(A("X"), CInt(5)), true},
+		{Eq(A("X"), CStr("5")), false}, // cross-kind comparison is not equal
+	}
+	for _, c := range cases {
+		if got := c.p.Holds(e); got != c.want {
+			t.Errorf("%s = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNullComparesFalse(t *testing.T) {
+	e := env(rel.NewSchema("X"), rel.Int(1))
+	p := Eq(A("missing"), A("missing"))
+	if p.Holds(e) {
+		t.Error("NULL = NULL must be false in selections")
+	}
+	q := Ne(A("missing"), CInt(0))
+	if q.Holds(e) {
+		t.Error("NULL <> 0 must be false in selections")
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	e := env(rel.NewSchema("X"), rel.Int(5))
+	tr := Eq(A("X"), CInt(5))
+	fa := Eq(A("X"), CInt(6))
+	if !AndOf(tr, tr).Holds(e) || AndOf(tr, fa).Holds(e) {
+		t.Error("And broken")
+	}
+	if !OrOf(fa, tr).Holds(e) || OrOf(fa, fa).Holds(e) {
+		t.Error("Or broken")
+	}
+	if NotOf(tr).Holds(e) || !NotOf(fa).Holds(e) {
+		t.Error("Not broken")
+	}
+	if !AndOf().Holds(e) {
+		t.Error("empty And should be true")
+	}
+	if OrOf().Holds(e) {
+		t.Error("empty Or should be false")
+	}
+	if !(True{}).Holds(e) || (False{}).Holds(e) {
+		t.Error("True/False broken")
+	}
+}
+
+func TestNegateOp(t *testing.T) {
+	ops := []CmpOp{CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe}
+	for _, op := range ops {
+		if op.Negate().Negate() != op {
+			t.Errorf("double negation of %v changed it", op)
+		}
+		// Semantics: for non-null values op and Negate(op) partition.
+		l, r := rel.Int(3), rel.Int(4)
+		if op.Apply(l, r) == op.Negate().Apply(l, r) {
+			t.Errorf("%v and its negation agree", op)
+		}
+	}
+}
+
+// randomPred builds a random predicate tree over attributes X, Y.
+func randomPred(rng *rand.Rand, depth int) Pred {
+	if depth == 0 || rng.Intn(3) == 0 {
+		ops := []CmpOp{CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe}
+		l := Expr(A("X"))
+		if rng.Intn(2) == 0 {
+			l = Add(A("X"), A("Y"))
+		}
+		return Cmp{Op: ops[rng.Intn(len(ops))], L: l, R: CInt(int64(rng.Intn(7) - 3))}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return And{Kids: []Pred{randomPred(rng, depth-1), randomPred(rng, depth-1)}}
+	case 1:
+		return Or{Kids: []Pred{randomPred(rng, depth-1), randomPred(rng, depth-1)}}
+	default:
+		return Not{Kid: randomPred(rng, depth-1)}
+	}
+}
+
+// hasNot reports whether a predicate tree contains a Not above an atom.
+func hasNot(p Pred) bool {
+	switch q := p.(type) {
+	case Not:
+		return true
+	case And:
+		for _, k := range q.Kids {
+			if hasNot(k) {
+				return true
+			}
+		}
+	case Or:
+		for _, k := range q.Kids {
+			if hasNot(k) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Property: NNF preserves semantics and eliminates Not nodes.
+func TestNNFEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	schema := rel.NewSchema("X", "Y")
+	for trial := 0; trial < 500; trial++ {
+		p := randomPred(rng, 4)
+		n := NNF(p)
+		if hasNot(n) {
+			t.Fatalf("NNF(%s) = %s still contains Not", p, n)
+		}
+		for x := -3; x <= 3; x++ {
+			for y := -3; y <= 3; y++ {
+				e := env(schema, rel.Int(int64(x)), rel.Int(int64(y)))
+				if p.Holds(e) != n.Holds(e) {
+					t.Fatalf("NNF changed semantics of %s at (%d,%d): nnf=%s", p, x, y, n)
+				}
+			}
+		}
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	p := AndOf(Gt(Add(A("A"), A("B")), CInt(0)), NotOf(Eq(A("C"), CStr("x"))))
+	got := p.Attrs(nil)
+	want := map[string]bool{"A": true, "B": true, "C": true}
+	if len(got) != 3 {
+		t.Fatalf("Attrs = %v", got)
+	}
+	for _, a := range got {
+		if !want[a] {
+			t.Errorf("unexpected attr %q", a)
+		}
+	}
+}
+
+func TestTargets(t *testing.T) {
+	e := env(rel.NewSchema("P1", "P2"), rel.Float(0.5), rel.Float(0.25))
+	tg := As("P", Div(A("P1"), A("P2")))
+	if tg.As != "P" {
+		t.Error("target name wrong")
+	}
+	if got := tg.Expr.Eval(e); !rel.Equal(got, rel.Float(2)) {
+		t.Errorf("P1/P2 = %v", got)
+	}
+	all := KeepAll(rel.NewSchema("A", "B"))
+	if len(all) != 2 || all[0].As != "A" || all[1].As != "B" {
+		t.Errorf("KeepAll = %v", all)
+	}
+}
+
+// Property check using testing/quick: comparisons are total on ints.
+func TestCmpTotality(t *testing.T) {
+	f := func(a, b int64) bool {
+		l, r := rel.Int(a), rel.Int(b)
+		eq := CmpEq.Apply(l, r)
+		lt := CmpLt.Apply(l, r)
+		gt := CmpGt.Apply(l, r)
+		// Exactly one of eq/lt/gt holds.
+		n := 0
+		for _, v := range []bool{eq, lt, gt} {
+			if v {
+				n++
+			}
+		}
+		return n == 1 && CmpLe.Apply(l, r) == (eq || lt) && CmpGe.Apply(l, r) == (eq || gt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package karpluby implements the Karp–Luby Monte Carlo algorithm in the
+// version for approximating tuple confidence given in Section 4 of the
+// paper (Definition 4.1), together with the Chernoff-bound bookkeeping
+// that turns it into an (ε,δ) FPRAS (Proposition 4.2).
+//
+// The estimator draws a clause f ∈ F with probability p_f/M (where
+// M = Σ p_f), extends it to a total assignment f* over the variables of F,
+// and returns 1 iff f is the smallest-index clause consistent with f*. The
+// estimator is unbiased for p/M, so p̂ = X·M/m after m trials.
+//
+// The Estimator is incremental: Figure 3's adaptive algorithm adds batches
+// of |F| trials per round and re-derives the current error bound
+// δ(ε) = 2·exp(−m·ε²/(3·|F|)) after each round.
+package karpluby
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dnf"
+	"repro/internal/vars"
+)
+
+// Estimator is an incremental Karp–Luby confidence estimator for a single
+// clause set F. It is not safe for concurrent use; create one per
+// goroutine.
+type Estimator struct {
+	f      dnf.F
+	table  *vars.Table
+	vars   []vars.Var // variables mentioned by F, sorted
+	m      float64    // M = Σ p_f
+	cum    []float64  // cumulative clause weights for sampling
+	rng    *rand.Rand
+	hits   int64 // Σ X_i
+	trials int64 // m
+
+	// scratch buffers reused across trials to avoid allocation
+	world map[vars.Var]int32
+}
+
+// ErrEmpty is returned when the clause set has zero total weight (no
+// clauses): the confidence is exactly 0 and needs no estimation.
+var ErrEmpty = errors.New("karpluby: empty clause set")
+
+// NewEstimator builds an estimator for clause set f. Duplicate clauses are
+// removed first (they would bias M but not p). A clause set containing the
+// empty assignment has confidence exactly 1; the estimator handles it by
+// construction (single clause, always minimal).
+func NewEstimator(f dnf.F, table *vars.Table, rng *rand.Rand) (*Estimator, error) {
+	f = f.Dedup()
+	if len(f) == 0 {
+		return nil, ErrEmpty
+	}
+	e := &Estimator{
+		f:     f,
+		table: table,
+		vars:  f.Vars(),
+		rng:   rng,
+		world: make(map[vars.Var]int32),
+	}
+	e.cum = make([]float64, len(f))
+	total := 0.0
+	for i, a := range f {
+		total += a.Weight(table)
+		e.cum[i] = total
+	}
+	e.m = total
+	if total <= 0 {
+		return nil, ErrEmpty
+	}
+	return e, nil
+}
+
+// ClauseCount returns |F| after deduplication.
+func (e *Estimator) ClauseCount() int { return len(e.f) }
+
+// M returns the total clause weight Σ p_f.
+func (e *Estimator) M() float64 { return e.m }
+
+// Trials returns the number of estimator invocations so far.
+func (e *Estimator) Trials() int64 { return e.trials }
+
+// sampleOnce runs one Karp–Luby trial (Definition 4.1) and returns 0 or 1.
+func (e *Estimator) sampleOnce() int {
+	// Step 1: choose f with probability p_f/M.
+	u := e.rng.Float64() * e.m
+	idx := sort.SearchFloat64s(e.cum, u)
+	if idx == len(e.cum) {
+		idx = len(e.cum) - 1
+	}
+	chosen := e.f[idx]
+
+	// Step 2: extend to a total assignment f* over vars(F): keep the
+	// chosen clause's bindings, sample every other variable per W.
+	for k := range e.world {
+		delete(e.world, k)
+	}
+	for _, b := range chosen {
+		e.world[b.Var] = b.Alt
+	}
+	for _, v := range e.vars {
+		if _, ok := e.world[v]; ok {
+			continue
+		}
+		e.world[v] = e.sampleAlt(v)
+	}
+
+	// Step 3: return 1 iff chosen is the smallest-index clause consistent
+	// with f*.
+	for i := 0; i < idx; i++ {
+		if e.consistent(e.f[i]) {
+			return 0
+		}
+	}
+	return 1
+}
+
+// sampleAlt draws an alternative of v according to its probabilities.
+func (e *Estimator) sampleAlt(v vars.Var) int32 {
+	u := e.rng.Float64()
+	probs := e.table.Info(v).Probs
+	acc := 0.0
+	for alt, p := range probs {
+		acc += p
+		if u < acc {
+			return int32(alt)
+		}
+	}
+	return int32(len(probs) - 1)
+}
+
+// consistent reports whether the current sampled world extends clause a.
+func (e *Estimator) consistent(a vars.Assignment) bool {
+	for _, b := range a {
+		if got, ok := e.world[b.Var]; !ok || got != b.Alt {
+			return false
+		}
+	}
+	return true
+}
+
+// Step runs |F| more trials — one round of the inner loop of the paper's
+// Figure 3 algorithm. It makes Estimator satisfy the Approximable
+// interface of the predapprox package.
+func (e *Estimator) Step() { e.Add(len(e.f)) }
+
+// Add runs n more trials.
+func (e *Estimator) Add(n int) {
+	for i := 0; i < n; i++ {
+		e.hits += int64(e.sampleOnce())
+	}
+	e.trials += int64(n)
+}
+
+// Estimate returns the current estimate p̂ = X·M/m. With zero trials it
+// returns M as a safe upper bound (p ≤ M always).
+func (e *Estimator) Estimate() float64 {
+	if e.trials == 0 {
+		return math.Min(e.m, 1)
+	}
+	return float64(e.hits) * e.m / float64(e.trials)
+}
+
+// Delta returns the paper's error bound for the current trial count:
+// δ(ε) = 2·exp(−m·ε²/(3·|F|)), i.e. Pr[|p̂−p| ≥ ε·p] ≤ Delta(ε).
+func (e *Estimator) Delta(eps float64) float64 {
+	return DeltaBound(eps, e.trials, len(e.f))
+}
+
+// DeltaBound is the Chernoff-derived bound δ(ε) = 2·exp(−m·ε²/(3·|F|)).
+func DeltaBound(eps float64, trials int64, clauses int) float64 {
+	if trials == 0 {
+		return 1
+	}
+	d := 2 * math.Exp(-float64(trials)*eps*eps/(3*float64(clauses)))
+	return math.Min(d, 1)
+}
+
+// TrialsFor returns the paper's sample count m = ⌈3·|F|·log(2/δ)/ε²⌉
+// that guarantees an (ε,δ) approximation.
+func TrialsFor(eps, delta float64, clauses int) int64 {
+	return int64(math.Ceil(3 * float64(clauses) * math.Log(2/delta) / (eps * eps)))
+}
+
+// Confidence runs the full FPRAS: it draws TrialsFor(eps, delta, |F|)
+// samples and returns p̂ with Pr[|p̂−p| ≥ ε·p] ≤ δ.
+func Confidence(f dnf.F, table *vars.Table, eps, delta float64, rng *rand.Rand) (float64, error) {
+	f = f.Dedup()
+	if len(f) == 0 {
+		return 0, nil
+	}
+	if len(f[0]) == 0 {
+		return 1, nil
+	}
+	e, err := NewEstimator(f, table, rng)
+	if err != nil {
+		return 0, err
+	}
+	e.Add(int(TrialsFor(eps, delta, e.ClauseCount())))
+	return e.Estimate(), nil
+}

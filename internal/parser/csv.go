@@ -1,0 +1,39 @@
+package parser
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"repro/internal/rel"
+)
+
+// LoadCSV reads a relation from CSV: the first record is the header
+// (attribute names); fields are parsed with rel.Parse (int, float, bool,
+// string; empty → NULL).
+func LoadCSV(r io.Reader) (*rel.Relation, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("parser: reading CSV header: %w", err)
+	}
+	out := rel.NewRelation(rel.NewSchema(header...))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("parser: reading CSV row: %w", err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("parser: CSV row has %d fields, header has %d", len(rec), len(header))
+		}
+		row := make(rel.Tuple, len(rec))
+		for i, field := range rec {
+			row[i] = rel.Parse(field)
+		}
+		out.Add(row)
+	}
+}

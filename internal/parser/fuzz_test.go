@@ -1,0 +1,40 @@
+package parser
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that the parser is total: any input either parses or
+// returns an error, never panics, and parsed programs re-render through
+// the algebra's String() without crashing.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"R",
+		"conf(R)",
+		"select[A = 1](R)",
+		"project[A, B as C](R)",
+		"repairkey[K @ W](R)",
+		"aselect[p1 / p2 <= 0.5 over conf[A], conf[]](R)",
+		"X := conf(R); select[P >= 0.5](X)",
+		"union(R, diff(S, T))",
+		"select[not (A = 'x') and B >= -2.5e0](R)",
+		"project[](R)",
+		"((((",
+		"select[A ? B](R)",
+		"'unterminated",
+		"aselect[p1 = 1 over conf[]](R)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if q == nil {
+			t.Fatal("nil query without error")
+		}
+		_ = q.String()
+	})
+}

@@ -1,0 +1,132 @@
+// Package parser implements a small textual surface syntax for the
+// paper's uncertainty algebra, so the CLI can run ad-hoc UA queries:
+//
+//	R := project[CoinType](repairkey[@Count](Coins));
+//	S := project[CoinType, Toss, Face](
+//	       repairkey[CoinType, Toss @ FProb](product(Faces, Tosses)));
+//	T := join(R, project[CoinType](select[Toss = 1 and Face = 'H'](S)));
+//	conf(T);
+//
+// A program is a sequence of `name := query;` bindings followed by a final
+// query; bindings become algebra.Let nodes. The operators are:
+//
+//	select[cond](q)             σ — cond over attributes, with arithmetic
+//	project[t1, t2, ...](q)     π/ρ — targets are `expr as Name` or `Attr`
+//	product(q1, q2)             ×
+//	join(q1, q2)                natural ⋈
+//	union(q1, q2)               ∪
+//	diff(q1, q2)                −c
+//	repairkey[A1, A2 @ W](q)    repair-key (key may be empty: [@W])
+//	conf(q), conf as P2(q)      confidence
+//	poss(q), cert(q)            possible / certain tuples
+//	aselect[pred over conf[A], conf[]](q)   σ̂ — pred over p1..pk
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // single punctuation or operator like := <= >= <>
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes a query program.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.' || l.src[l.pos] == 'e' ||
+				(l.pos > start && (l.src[l.pos] == '+' || l.src[l.pos] == '-') && (l.src[l.pos-1] == 'e'))) {
+				l.pos++
+			}
+			text := l.src[start:l.pos]
+			if _, err := strconv.ParseFloat(text, 64); err != nil {
+				return nil, fmt.Errorf("parser: bad number %q at %d", text, start)
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: text, pos: start})
+		case c == '\'':
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("parser: unterminated string at %d", start)
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: l.src[start+1 : l.pos], pos: start})
+			l.pos++
+		default:
+			// Multi-char operators first.
+			rest := l.src[l.pos:]
+			matched := ""
+			for _, op := range []string{":=", "<=", ">=", "<>", "--"} {
+				if strings.HasPrefix(rest, op) {
+					matched = op
+					break
+				}
+			}
+			if matched == "--" {
+				// Line comment.
+				for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+					l.pos++
+				}
+				continue
+			}
+			if matched != "" {
+				l.pos += len(matched)
+				l.toks = append(l.toks, token{kind: tokPunct, text: matched, pos: start})
+				continue
+			}
+			if strings.ContainsRune("()[],;@=<>+-*/", rune(c)) {
+				l.pos++
+				l.toks = append(l.toks, token{kind: tokPunct, text: string(c), pos: start})
+				continue
+			}
+			return nil, fmt.Errorf("parser: unexpected character %q at %d", c, start)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }

@@ -1,0 +1,129 @@
+package predapprox
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAlgAtomSingleOccurrence(t *testing.T) {
+	// x0 + x0 violates the restriction.
+	if _, err := NewAlgAtom(Add(Slot(0), Slot(0)), 1); err == nil {
+		t.Error("double occurrence must be rejected")
+	}
+	if _, err := NewAlgAtom(Sub(Mul(Slot(0), Slot(1)), Num(0.1)), 2); err != nil {
+		t.Errorf("single occurrence rejected: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAlgAtom should panic on violation")
+		}
+	}()
+	MustAlgAtom(Mul(Slot(0), Slot(0)), 1)
+}
+
+func TestAlgAtomEval(t *testing.T) {
+	// x0·x1 − 0.1 ≥ 0.
+	a := MustAlgAtom(Sub(Mul(Slot(0), Slot(1)), Num(0.1)), 2)
+	if !a.Eval([]float64{0.5, 0.5}) {
+		t.Error("0.25 − 0.1 ≥ 0 should hold")
+	}
+	if a.Eval([]float64{0.1, 0.5}) {
+		t.Error("0.05 − 0.1 ≥ 0 should fail")
+	}
+	if a.Arity() != 2 {
+		t.Error("arity wrong")
+	}
+}
+
+func TestAlgAtomMarginMatchesLinear(t *testing.T) {
+	// f = x0 − 0.4 is the linear atom x0 ≥ 0.4: margins must agree.
+	alg := MustAlgAtom(Sub(Slot(0), Num(0.4)), 1)
+	lin := Linear([]float64{1}, 0.4)
+	for _, p := range [][]float64{{0.5}, {0.9}, {0.3}, {0.41}} {
+		ma, ml := alg.Margin(p), lin.Margin(p)
+		if math.Abs(ma-ml) > 1e-9 {
+			t.Errorf("p=%v: alg margin %v vs linear %v", p, ma, ml)
+		}
+	}
+}
+
+func TestAlgAtomRatioMatchesExample54(t *testing.T) {
+	// x0/x1 − 1/2 ≥ 0 at (1/2, 1/2): ε = 1/3 like the linearized form.
+	alg := MustAlgAtom(Sub(Div(Slot(0), Slot(1)), Num(0.5)), 2)
+	eps := alg.Margin([]float64{0.5, 0.5})
+	if math.Abs(eps-1.0/3) > 1e-9 {
+		t.Errorf("ratio-form ε = %v, want 1/3", eps)
+	}
+}
+
+// Theorem 5.5: corner agreement implies orthotope homogeneity. The margin
+// from corner-check binary search must certify a genuinely homogeneous
+// orthotope (validated against dense grid scans, experiment E7).
+func TestAlgAtomCornerCriterionSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	exprs := []func() (AExpr, int){
+		func() (AExpr, int) { return Sub(Mul(Slot(0), Slot(1)), Num(0.05+0.3*rng.Float64())), 2 },
+		func() (AExpr, int) { return Sub(Div(Slot(0), Slot(1)), Num(0.3+rng.Float64())), 2 },
+		func() (AExpr, int) {
+			return Sub(Add(Mul(Slot(0), Slot(1)), Slot(2)), Num(0.2+0.5*rng.Float64())), 3
+		},
+		func() (AExpr, int) { return Sub(Slot(0), Mul(Num(0.5+rng.Float64()), Slot(1))), 2 },
+	}
+	for trial := 0; trial < 120; trial++ {
+		f, k := exprs[rng.Intn(len(exprs))]()
+		atom, err := NewAlgAtom(f, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := make([]float64, k)
+		for i := range p {
+			p[i] = 0.15 + 0.7*rng.Float64()
+		}
+		m := atom.Margin(p)
+		if m <= 1e-6 {
+			continue
+		}
+		probe := math.Min(m*0.98, m-1e-9)
+		if !orthotopeHomogeneous(atom, p, probe, 7, atom.Eval(p)) {
+			t.Fatalf("trial %d: margin %v not homogeneous for %s at %v", trial, m, atom, p)
+		}
+	}
+}
+
+// Binary-search maximality: slightly beyond the margin some corner must
+// disagree (the margin is not needlessly small).
+func TestAlgAtomMarginMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 80; trial++ {
+		c := 0.05 + 0.3*rng.Float64()
+		atom := MustAlgAtom(Sub(Mul(Slot(0), Slot(1)), Num(c)), 2)
+		p := []float64{0.2 + 0.6*rng.Float64(), 0.2 + 0.6*rng.Float64()}
+		m := atom.Margin(p)
+		if m >= EpsMax-1e-9 || m <= 1e-9 {
+			continue
+		}
+		beyond := math.Min(m*1.05+1e-6, EpsMax)
+		if atom.cornersAgreeAt(p, beyond, atom.Eval(p)) {
+			t.Fatalf("trial %d: margin %v not maximal (corners still agree at %v)", trial, m, beyond)
+		}
+	}
+}
+
+func TestAExprString(t *testing.T) {
+	f := Sub(Div(Slot(0), Slot(1)), Num(0.5))
+	if f.String() != "((x0 / x1) - 0.5)" {
+		t.Errorf("String = %q", f.String())
+	}
+}
+
+func TestDivisionByZeroInsideOrthotope(t *testing.T) {
+	// f = 1/(x0 − 0.5): at p near 0.5 the orthotope contains the pole;
+	// the margin must shrink accordingly rather than blow up.
+	atom := MustAlgAtom(Div(Num(1), Sub(Slot(0), Num(0.5))), 1)
+	m := atom.Margin([]float64{0.6})
+	// Pole at x=0.5: orthotope lower end 0.6/(1+ε) hits 0.5 at ε=0.2.
+	if m > 0.2+1e-6 {
+		t.Errorf("margin %v crosses the pole at ε=0.2", m)
+	}
+}

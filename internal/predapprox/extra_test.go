@@ -1,0 +1,169 @@
+package predapprox
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStrictAtomSemantics(t *testing.T) {
+	ge := LinAtom{Coef: []float64{1}, B: 0.5}
+	gt := LinAtom{Coef: []float64{1}, B: 0.5, Strict: true}
+	if !ge.Eval([]float64{0.5}) {
+		t.Error("x ≥ 0.5 at 0.5 should hold")
+	}
+	if gt.Eval([]float64{0.5}) {
+		t.Error("x > 0.5 at 0.5 should not hold")
+	}
+	// Negation flips strictness: ¬(x ≥ b) = −x > −b.
+	neg := ge.negated()
+	if !neg.Strict {
+		t.Error("negating ≥ must give >")
+	}
+	if neg.Eval([]float64{0.5}) {
+		t.Error("¬(0.5 ≥ 0.5) must be false")
+	}
+	if !neg.Eval([]float64{0.4}) {
+		t.Error("¬(0.4 ≥ 0.5) must be true")
+	}
+	// Double negation restores semantics everywhere.
+	dd := neg.negated()
+	for _, x := range []float64{0.2, 0.5, 0.9} {
+		if dd.Eval([]float64{x}) != ge.Eval([]float64{x}) {
+			t.Errorf("double negation differs at %v", x)
+		}
+	}
+}
+
+// Margins of strict and non-strict atoms coincide (the boundary has
+// measure zero; singularity detection covers it).
+func TestStrictMarginSameGeometry(t *testing.T) {
+	ge := LinAtom{Coef: []float64{1, -2}, B: 0.1}
+	gt := LinAtom{Coef: []float64{1, -2}, B: 0.1, Strict: true}
+	for _, p := range [][]float64{{0.9, 0.2}, {0.3, 0.4}, {0.5, 0.1}} {
+		if math.Abs(ge.Margin(p)-gt.Margin(p)) > 1e-12 {
+			t.Errorf("strict margin differs at %v", p)
+		}
+	}
+}
+
+// Property: the linear margin is scale-invariant in the coefficients
+// (multiplying (a, b) by λ > 0 leaves the geometry unchanged).
+func TestLinearMarginScaleInvariant(t *testing.T) {
+	f := func(a1, a2 int8, b int8, lam uint8, x1, x2 uint8) bool {
+		lambda := 0.5 + float64(lam%40)/10
+		coef := []float64{float64(a1) / 16, float64(a2) / 16}
+		bb := float64(b) / 32
+		p := []float64{0.1 + float64(x1%80)/100, 0.1 + float64(x2%80)/100}
+		m1 := Linear(coef, bb).Margin(p)
+		m2 := Linear([]float64{coef[0] * lambda, coef[1] * lambda}, bb*lambda).Margin(p)
+		return math.Abs(m1-m2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: margins shrink (weakly) as the point approaches the boundary
+// along a ray for the atom x ≥ b.
+func TestMarginMonotoneInDistance(t *testing.T) {
+	phi := Linear([]float64{1}, 0.5)
+	last := math.Inf(1)
+	for _, x := range []float64{0.95, 0.85, 0.75, 0.65, 0.55} {
+		m := phi.Margin([]float64{x})
+		if m > last+1e-12 {
+			t.Errorf("margin increased approaching the boundary: %v at %v", m, x)
+		}
+		last = m
+	}
+}
+
+func TestDecideIndependentOption(t *testing.T) {
+	phi := Linear([]float64{1, -1}, 0)
+	// Two exact values: both options agree and give zero bounds.
+	for _, ind := range []bool{false, true} {
+		d, err := Decide(phi, []Approximable{Exact(0.8), Exact(0.2)},
+			Options{Eps0: 0.05, Delta: 0.1, Independent: ind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Value || d.ErrorBound != 0 {
+			t.Errorf("independent=%v: %+v", ind, d)
+		}
+	}
+}
+
+// A custom Approximable whose Delta never shrinks: the round cap must
+// terminate Decide anyway.
+type stubborn struct{ v float64 }
+
+func (s stubborn) Step()                     {}
+func (s stubborn) Estimate() float64         { return s.v }
+func (s stubborn) Delta(eps float64) float64 { return 0.9 }
+
+func TestDecideTerminatesOnStubbornApproximable(t *testing.T) {
+	phi := Linear([]float64{1}, 0.5)
+	d, err := Decide(phi, []Approximable{stubborn{v: 0.9}}, Options{Eps0: 0.1, Delta: 0.05, MaxRounds: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rounds != 25 {
+		t.Errorf("rounds = %d, want the cap 25", d.Rounds)
+	}
+	if d.ErrorBound < 0.05 {
+		t.Error("stubborn approximable cannot reach δ; bound must reflect that")
+	}
+	if !d.Value {
+		t.Error("decision should follow the estimate")
+	}
+}
+
+func TestArityAndStrings(t *testing.T) {
+	a := Linear([]float64{1, 2}, 0.5)
+	or := OrOf(a, NotOf(a))
+	and := AndOf(a, a)
+	if or.Arity() != 2 || and.Arity() != 2 {
+		t.Error("arity propagation wrong")
+	}
+	for _, p := range []Pred{a, or, and, NotOf(a)} {
+		if p.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+	zero := Linear(nil, 0)
+	if zero.String() == "" {
+		t.Error("degenerate atom should still render")
+	}
+}
+
+// Fuzz-ish: Margin never panics and stays in [0, EpsMax] for random
+// predicates and points, including degenerate coefficients.
+func TestMarginTotalAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		k := 1 + rng.Intn(3)
+		coef := make([]float64, k)
+		for i := range coef {
+			switch rng.Intn(4) {
+			case 0:
+				coef[i] = 0
+			default:
+				coef[i] = rng.Float64()*8 - 4
+			}
+		}
+		phi := Linear(coef, rng.Float64()*2-1)
+		p := make([]float64, k)
+		for i := range p {
+			if rng.Intn(8) == 0 {
+				p[i] = 0
+			} else {
+				p[i] = rng.Float64()
+			}
+		}
+		m := phi.Margin(p)
+		if math.IsNaN(m) || m < 0 || m > EpsMax {
+			t.Fatalf("margin out of range: %v for %s at %v", m, phi, p)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package provenance implements the error-bound accounting of Section 6 of
+// the paper: the provenance relation ≺ links result tuples to the input
+// tuples whose membership can change them, and Lemma 6.4 bounds the
+// probability that a tuple's membership differs between the exact query Q
+// and its approximate version Q∼ by the sum of the error bounds of its
+// provenance plus k·δ'(max(ε_φ, ε₀), l) for each approximate selection on
+// the path.
+//
+// An ErrMap attaches an error bound µ(t) (an upper bound on
+// Pr[t ∈ Q ⇎ t ∈ Q∼]) to each data tuple of a relation, keyed by the
+// tuple's canonical key. Reliable relations have µ ≡ 0, represented by an
+// empty map; the propagation rules mirror the ≺ cases:
+//
+//	(t.Ā, π_Ā(R)) ≺ (t, R)   — projection sums contributors (Example 6.5)
+//	(t, σ_φ(R))   ≺ (t, R)   — selection preserves µ
+//	(t, R ∪ S)    ≺ both     — union sums both sides
+//	(⟨r,s⟩, R×S)  ≺ (r,R),(s,S) — product adds the factors' µ
+package provenance
+
+import (
+	"math"
+)
+
+// ErrMap maps a tuple key (rel.Tuple.Key) to its membership-error bound µ.
+// A missing key means µ = 0 (reliable). Bounds are not clamped during
+// propagation — they are probabilities' upper bounds and may exceed 1;
+// callers clamp for reporting.
+type ErrMap map[string]float64
+
+// Reliable returns the µ ≡ 0 map.
+func Reliable() ErrMap { return ErrMap{} }
+
+// Get returns µ(key).
+func (m ErrMap) Get(key string) float64 { return m[key] }
+
+// Add accumulates err onto key.
+func (m ErrMap) Add(key string, err float64) {
+	if err != 0 {
+		m[key] += err
+	}
+}
+
+// Set overwrites the bound for key.
+func (m ErrMap) Set(key string, err float64) {
+	if err != 0 {
+		m[key] = err
+	} else {
+		delete(m, key)
+	}
+}
+
+// Max returns the largest bound in the map (0 if empty).
+func (m ErrMap) Max() float64 {
+	worst := 0.0
+	for _, v := range m {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Clone copies the map.
+func (m ErrMap) Clone() ErrMap {
+	out := make(ErrMap, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// IsReliable reports whether all bounds are zero.
+func (m ErrMap) IsReliable() bool { return len(m) == 0 }
+
+// DeltaPrime is the paper's balanced per-value error bound
+// δ'(ε, l) = 2·e^{−l·ε²/3}, the Karp–Luby Chernoff bound after l rounds
+// of |F| trials each (end of Section 5).
+func DeltaPrime(eps float64, l int64) float64 {
+	if l <= 0 {
+		return 1
+	}
+	return math.Min(1, 2*math.Exp(-float64(l)*eps*eps/3))
+}
+
+// RoundsFor inverts DeltaPrime: the smallest l with δ'(ε, l) ≤ target,
+// i.e. l = ⌈3·ln(2/target)/ε²⌉.
+func RoundsFor(eps, target float64) int64 {
+	return int64(math.Ceil(3 * math.Log(2/target) / (eps * eps)))
+}
+
+// Proposition66Bound is the closed-form overall bound of Proposition 6.6:
+// k·d·n^{k·d}·δ'(ε₀, l) for a query of σ̂-nesting depth d, arity/argument
+// bound k, and active-domain size n, assuming no singularities in the
+// provenance. It overflows to +Inf for large parameters, which is fine:
+// the bound is only informative when small.
+func Proposition66Bound(k, d, n int, eps0 float64, l int64) float64 {
+	return float64(k) * float64(d) * math.Pow(float64(n), float64(k*d)) * DeltaPrime(eps0, l)
+}
+
+// RoundsForProposition66 returns the l that pushes the Proposition 6.6
+// bound below delta: l ≥ 3·ln(2·k·d·n^{k·d}/δ)/ε₀² (Theorem 6.7's l₀).
+func RoundsForProposition66(k, d, n int, eps0, delta float64) int64 {
+	inner := 2 * float64(k) * float64(d) * math.Pow(float64(n), float64(k*d)) / delta
+	return int64(math.Ceil(3 * math.Log(inner) / (eps0 * eps0)))
+}

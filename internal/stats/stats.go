@@ -1,0 +1,124 @@
+// Package stats provides the small statistics and table-rendering helpers
+// used by the experiment harness: means, standard deviations, quantiles,
+// and aligned text tables in the style of the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation (0 for fewer than two
+// values).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []float64) float64 {
+	worst := math.Inf(-1)
+	for _, x := range xs {
+		if x > worst {
+			worst = x
+		}
+	}
+	if math.IsInf(worst, -1) {
+		return 0
+	}
+	return worst
+}
+
+// Table renders aligned text tables.
+type Table struct {
+	w *tabwriter.Writer
+}
+
+// NewTable creates a table with a header row and a separator.
+func NewTable(out io.Writer, headers ...string) *Table {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	t := &Table{w: w}
+	cells := make([]interface{}, len(headers))
+	seps := make([]interface{}, len(headers))
+	for i, h := range headers {
+		cells[i] = h
+		seps[i] = dashes(len(h))
+	}
+	t.Row(cells...)
+	t.Row(seps...)
+	return t
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+// Row appends a row; cells are formatted with %v, floats with 4
+// significant digits.
+func (t *Table) Row(cells ...interface{}) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.w, "\t")
+		}
+		switch v := c.(type) {
+		case float64:
+			fmt.Fprintf(t.w, "%.4g", v)
+		default:
+			fmt.Fprintf(t.w, "%v", c)
+		}
+	}
+	fmt.Fprintln(t.w)
+}
+
+// Flush writes the buffered table.
+func (t *Table) Flush() { t.w.Flush() }

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Mean(nil) != 0 || Stddev(nil) != 0 || Stddev([]float64{1}) != 0 {
+		t.Error("empty-input conventions broken")
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(Stddev(xs)-want) > 1e-12 {
+		t.Errorf("Stddev = %v, want %v", Stddev(xs), want)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 4 {
+		t.Error("extreme quantiles wrong")
+	}
+	if got := Quantile(xs, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("median = %v", got)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile convention broken")
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max([]float64{-3, -1, -2}) != -1 {
+		t.Error("Max wrong")
+	}
+	if Max(nil) != 0 {
+		t.Error("Max of empty should be 0")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var b strings.Builder
+	tab := NewTable(&b, "name", "value")
+	tab.Row("pi", 3.14159)
+	tab.Row("n", 42)
+	tab.Flush()
+	out := b.String()
+	if !strings.Contains(out, "name") || !strings.Contains(out, "3.142") || !strings.Contains(out, "42") {
+		t.Errorf("table output:\n%s", out)
+	}
+	if !strings.Contains(out, "----") {
+		t.Error("missing separator row")
+	}
+}

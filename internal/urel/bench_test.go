@@ -1,0 +1,100 @@
+package urel
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/rel"
+	"repro/internal/vars"
+)
+
+// benchRelation builds an n-tuple U-relation over nv binary variables
+// with random single-binding D columns.
+func benchRelation(rng *rand.Rand, schema rel.Schema, n int, tab *vars.Table, nv int) *Relation {
+	base := tab.Len()
+	for i := 0; i < nv; i++ {
+		tab.Add("b"+strconv.Itoa(base+i), []float64{0.5, 0.5}, nil)
+	}
+	r := NewRelation(schema)
+	for i := 0; i < n; i++ {
+		d := vars.MustAssignment(vars.Binding{
+			Var: vars.Var(base + rng.Intn(nv)),
+			Alt: int32(rng.Intn(2)),
+		})
+		row := make(rel.Tuple, len(schema))
+		for j := range row {
+			row[j] = rel.Int(int64(rng.Intn(16)))
+		}
+		r.Add(d, row)
+	}
+	return r
+}
+
+func BenchmarkURelJoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tab := vars.NewTable()
+	l := benchRelation(rng, rel.NewSchema("A", "B"), 256, tab, 32)
+	r := benchRelation(rng, rel.NewSchema("B", "C"), 256, tab, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Join(l, r)
+	}
+}
+
+func BenchmarkURelProduct(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tab := vars.NewTable()
+	l := benchRelation(rng, rel.NewSchema("A"), 64, tab, 16)
+	r := benchRelation(rng, rel.NewSchema("B"), 64, tab, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Product(l, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkURelSelectProject(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tab := vars.NewTable()
+	r := benchRelation(rng, rel.NewSchema("A", "B"), 1024, tab, 64)
+	pred := expr.Ge(expr.A("A"), expr.CInt(8))
+	targets := []expr.Target{expr.As("S", expr.Add(expr.A("A"), expr.A("B")))}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Project(Select(r, pred), targets)
+	}
+}
+
+func BenchmarkRepairKey(b *testing.B) {
+	rows := make([]rel.Tuple, 0, 512)
+	for i := 0; i < 512; i++ {
+		rows = append(rows, rel.Tuple{
+			rel.Int(int64(i % 64)), // 64 key groups of 8 alternatives
+			rel.Int(int64(i)),
+			rel.Float(1 + float64(i%7)),
+		})
+	}
+	base := rel.FromRows(rel.NewSchema("K", "V", "W"), rows...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := vars.NewTable()
+		if _, err := RepairKey(FromComplete(base), []string{"K"}, "W", tab, "rk"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConfExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	tab := vars.NewTable()
+	r := benchRelation(rng, rel.NewSchema("A"), 128, tab, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ConfExact(r, tab, "P"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

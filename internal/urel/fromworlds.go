@@ -1,0 +1,109 @@
+package urel
+
+import (
+	"fmt"
+
+	"repro/internal/rel"
+	"repro/internal/vars"
+)
+
+// WorldSpec is one possible world handed to FromWorldSet: a probability
+// and the named relations of the world.
+type WorldSpec struct {
+	P    float64
+	Rels map[string]*rel.Relation
+}
+
+// FromWorldSet constructs a U-relational database representing exactly the
+// given weighted set of possible worlds — the constructive direction of
+// Theorem 3.1 (U-relational databases are a complete representation
+// system). A single world-selector variable w with one alternative per
+// world is introduced; a tuple appearing in worlds S gets one U-tuple
+// ⟨{w=i}, t⟩ per i ∈ S, except that tuples present in every world are
+// stored once with the empty assignment (so relations equal across all
+// worlds come out complete).
+//
+// Relations named in complete are additionally marked complete by
+// definition (c(R) = 1); they must in fact agree across worlds.
+func FromWorldSet(worlds []WorldSpec, complete map[string]bool) (*Database, error) {
+	if len(worlds) == 0 {
+		return nil, fmt.Errorf("urel: empty world set")
+	}
+	sum := 0.0
+	for i, w := range worlds {
+		if w.P <= 0 {
+			return nil, fmt.Errorf("urel: world %d has non-positive probability %v", i, w.P)
+		}
+		sum += w.P
+	}
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		return nil, fmt.Errorf("urel: world probabilities sum to %v, want 1", sum)
+	}
+
+	db := NewDatabase()
+	var selector vars.Var
+	haveSelector := false
+	if len(worlds) > 1 {
+		probs := make([]float64, len(worlds))
+		for i, w := range worlds {
+			probs[i] = w.P / sum
+		}
+		selector = db.Vars.Add("w", probs, nil)
+		haveSelector = true
+	}
+
+	ref := worlds[0].Rels
+	for name, r0 := range ref {
+		out := NewRelation(r0.Schema())
+		// Collect, per tuple, the set of worlds containing it.
+		type occurrence struct {
+			row     rel.Tuple
+			inWorld []bool
+			count   int
+		}
+		occ := map[string]*occurrence{}
+		var order []string
+		for i, w := range worlds {
+			r, ok := w.Rels[name]
+			if !ok {
+				return nil, fmt.Errorf("urel: world %d lacks relation %q", i, name)
+			}
+			if !r.Schema().Equal(r0.Schema()) {
+				return nil, fmt.Errorf("urel: relation %q schema differs across worlds", name)
+			}
+			for _, t := range r.Tuples() {
+				k := t.Key()
+				o, seen := occ[k]
+				if !seen {
+					o = &occurrence{row: t.Clone(), inWorld: make([]bool, len(worlds))}
+					occ[k] = o
+					order = append(order, k)
+				}
+				if !o.inWorld[i] {
+					o.inWorld[i] = true
+					o.count++
+				}
+			}
+		}
+		for _, k := range order {
+			o := occ[k]
+			if o.count == len(worlds) || !haveSelector {
+				out.Add(nil, o.row)
+				continue
+			}
+			for i, in := range o.inWorld {
+				if in {
+					out.Add(vars.MustAssignment(vars.Binding{Var: selector, Alt: int32(i)}), o.row)
+				}
+			}
+		}
+		isComplete := complete[name]
+		if isComplete {
+			if !out.IsComplete() {
+				return nil, fmt.Errorf("urel: relation %q marked complete but differs across worlds", name)
+			}
+		}
+		db.AddURelation(name, out, isComplete)
+	}
+	return db, nil
+}

@@ -1,0 +1,142 @@
+package urel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rel"
+)
+
+func worldRels(rows ...[]int64) *rel.Relation {
+	r := rel.NewRelation(rel.NewSchema("A"))
+	for _, row := range rows {
+		for _, v := range row {
+			r.Add(rel.Tuple{rel.Int(v)})
+		}
+	}
+	return r
+}
+
+func TestFromWorldSetBasic(t *testing.T) {
+	w1 := map[string]*rel.Relation{"R": worldRels([]int64{1, 2})}
+	w2 := map[string]*rel.Relation{"R": worldRels([]int64{2, 3})}
+	db, err := FromWorldSet([]WorldSpec{{P: 0.25, Rels: w1}, {P: 0.75, Rels: w2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := ConfExact(db.Rels["R"], db.Vars, "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]float64{1: 0.25, 2: 1.0, 3: 0.75}
+	if conf.Len() != 3 {
+		t.Fatalf("conf len = %d", conf.Len())
+	}
+	for _, tp := range conf.Tuples() {
+		a := conf.Value(tp, "A").AsInt()
+		p := conf.Value(tp, "P").AsFloat()
+		if math.Abs(p-want[a]) > 1e-12 {
+			t.Errorf("conf(%d) = %v, want %v", a, p, want[a])
+		}
+	}
+	// Tuple 2 is in every world: stored once with empty D.
+	found := false
+	for _, ut := range db.Rels["R"].Tuples() {
+		if rel.Equal(ut.Row[0], rel.Int(2)) {
+			if len(ut.D) != 0 {
+				t.Error("shared tuple should carry the empty assignment")
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("tuple 2 missing")
+	}
+}
+
+func TestFromWorldSetSingleWorld(t *testing.T) {
+	w := map[string]*rel.Relation{"R": worldRels([]int64{1})}
+	db, err := FromWorldSet([]WorldSpec{{P: 1, Rels: w}}, map[string]bool{"R": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Vars.Len() != 0 {
+		t.Error("single world needs no selector variable")
+	}
+	if !db.Complete["R"] {
+		t.Error("completeness flag lost")
+	}
+}
+
+func TestFromWorldSetValidation(t *testing.T) {
+	w := map[string]*rel.Relation{"R": worldRels([]int64{1})}
+	if _, err := FromWorldSet(nil, nil); err == nil {
+		t.Error("empty world set must fail")
+	}
+	if _, err := FromWorldSet([]WorldSpec{{P: 0.5, Rels: w}}, nil); err == nil {
+		t.Error("non-unit weight sum must fail")
+	}
+	if _, err := FromWorldSet([]WorldSpec{{P: -1, Rels: w}, {P: 2, Rels: w}}, nil); err == nil {
+		t.Error("negative weight must fail")
+	}
+	w2 := map[string]*rel.Relation{"R": worldRels([]int64{2})}
+	if _, err := FromWorldSet([]WorldSpec{{P: 0.5, Rels: w}, {P: 0.5, Rels: w2}},
+		map[string]bool{"R": true}); err == nil {
+		t.Error("complete-marked relation differing across worlds must fail")
+	}
+	// Missing relation in one world.
+	empty := map[string]*rel.Relation{}
+	if _, err := FromWorldSet([]WorldSpec{{P: 0.5, Rels: w}, {P: 0.5, Rels: empty}}, nil); err == nil {
+		t.Error("missing relation must fail")
+	}
+}
+
+// Theorem 3.1 round trip: random weighted world sets are represented
+// exactly — every tuple's confidence matches the world-weight sum.
+func TestFromWorldSetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		nw := 1 + rng.Intn(5)
+		weights := make([]float64, nw)
+		sum := 0.0
+		for i := range weights {
+			weights[i] = rng.Float64() + 0.05
+			sum += weights[i]
+		}
+		specs := make([]WorldSpec, nw)
+		type truth struct{ p float64 }
+		want := map[int64]float64{}
+		for i := range specs {
+			r := rel.NewRelation(rel.NewSchema("A"))
+			for v := int64(0); v < 4; v++ {
+				if rng.Intn(2) == 0 {
+					r.Add(rel.Tuple{rel.Int(v)})
+					want[v] += weights[i] / sum
+				}
+			}
+			specs[i] = WorldSpec{P: weights[i] / sum, Rels: map[string]*rel.Relation{"R": r}}
+		}
+		db, err := FromWorldSet(specs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conf, err := ConfExact(db.Rels["R"], db.Vars, "P")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range conf.Tuples() {
+			a := conf.Value(tp, "A").AsInt()
+			p := conf.Value(tp, "P").AsFloat()
+			if math.Abs(p-want[a]) > 1e-9 {
+				t.Fatalf("trial %d: conf(%d) = %v, want %v", trial, a, p, want[a])
+			}
+			delete(want, a)
+		}
+		for a, p := range want {
+			if p > 1e-12 {
+				t.Fatalf("trial %d: tuple %d with confidence %v missing from representation", trial, a, p)
+			}
+		}
+	}
+}

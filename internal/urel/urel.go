@@ -1,0 +1,511 @@
+// Package urel implements U-relational databases, the representation
+// system of Section 3 of the paper: each represented relation R(Ā) is
+// stored as a relation U_R(D, Ā) whose D column holds a partial function
+// f : Var → Dom over the independent random variables of a W table
+// (vars.Table). A tuple t̄ is in R in possible world f* iff some
+// ⟨f, t̄⟩ ∈ U_R has f consistent with f*.
+//
+// The package provides the parsimonious translation of the paper's
+// operations onto U-relations: positive relational algebra, repair-key
+// (which introduces fresh random variables), poss, cert, the complete
+// difference −c, and exact confidence via the dnf package. The translation
+// is validated against the possible-worlds semantics by the worlds package
+// and the algebra evaluators.
+package urel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dnf"
+	"repro/internal/expr"
+	"repro/internal/rel"
+	"repro/internal/vars"
+)
+
+// UTuple is one row of a U-relation: a partial assignment (the D column)
+// plus the data tuple.
+type UTuple struct {
+	D   vars.Assignment
+	Row rel.Tuple
+}
+
+func utKey(d vars.Assignment, row rel.Tuple) string { return d.Key() + "||" + row.Key() }
+
+// Relation is a U-relation: a schema and a set of (D, tuple) pairs with
+// set semantics on the pair.
+type Relation struct {
+	schema rel.Schema
+	tuples []UTuple
+	index  map[string]struct{}
+}
+
+// NewRelation creates an empty U-relation with the given data schema (the
+// D column is implicit).
+func NewRelation(schema rel.Schema) *Relation {
+	return &Relation{schema: schema.Clone(), index: make(map[string]struct{})}
+}
+
+// FromComplete lifts a classical complete relation into a U-relation where
+// every tuple carries the empty assignment (the zero-column D encoding of
+// Section 3).
+func FromComplete(r *rel.Relation) *Relation {
+	out := NewRelation(r.Schema())
+	for _, t := range r.Tuples() {
+		out.Add(nil, t)
+	}
+	return out
+}
+
+// Schema returns the data schema.
+func (r *Relation) Schema() rel.Schema { return r.schema }
+
+// Len returns the number of distinct (D, tuple) pairs.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the underlying rows; the slice must not be modified.
+func (r *Relation) Tuples() []UTuple { return r.tuples }
+
+// Add inserts a (D, tuple) pair under set semantics and reports whether it
+// was new.
+func (r *Relation) Add(d vars.Assignment, row rel.Tuple) bool {
+	if len(row) != len(r.schema) {
+		panic(fmt.Sprintf("urel: tuple arity %d does not match schema %v", len(row), r.schema))
+	}
+	k := utKey(d, row)
+	if _, ok := r.index[k]; ok {
+		return false
+	}
+	r.index[k] = struct{}{}
+	r.tuples = append(r.tuples, UTuple{D: d.Clone(), Row: row.Clone()})
+	return true
+}
+
+// IsComplete reports whether every tuple carries the empty assignment,
+// i.e. the relation is a classical complete relation.
+func (r *Relation) IsComplete() bool {
+	for _, t := range r.tuples {
+		if len(t.D) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.schema)
+	for _, t := range r.tuples {
+		out.Add(t.D, t.Row)
+	}
+	return out
+}
+
+// Select implements [[σ_φ R]] := σ_φ(U_R): the condition is evaluated on
+// the data columns only, D is untouched.
+func Select(r *Relation, pred expr.Pred) *Relation {
+	out := NewRelation(r.schema)
+	for _, t := range r.tuples {
+		if pred.Holds(expr.Env{Schema: r.schema, Tuple: t.Row}) {
+			out.Add(t.D, t.Row)
+		}
+	}
+	return out
+}
+
+// Project implements [[π_B̄ R]] := π_{D,B̄}(U_R), generalized to the
+// paper's arithmetic/renaming targets (ρ with expressions is a special
+// case of projection with targets).
+func Project(r *Relation, targets []expr.Target) *Relation {
+	schema := make(rel.Schema, len(targets))
+	for i, tg := range targets {
+		schema[i] = tg.As
+	}
+	out := NewRelation(rel.NewSchema(schema...))
+	for _, t := range r.tuples {
+		env := expr.Env{Schema: r.schema, Tuple: t.Row}
+		row := make(rel.Tuple, len(targets))
+		for i, tg := range targets {
+			row[i] = tg.Expr.Eval(env)
+		}
+		out.Add(t.D, row)
+	}
+	return out
+}
+
+// Product implements [[R × S]]: pairs of tuples with consistent D columns,
+// merging the assignments. Attribute names must be disjoint; callers
+// rename first otherwise.
+func Product(a, b *Relation) (*Relation, error) {
+	for _, attr := range b.schema {
+		if a.schema.Has(attr) {
+			return nil, fmt.Errorf("urel: product schemas share attribute %q; rename first", attr)
+		}
+	}
+	schema := append(a.schema.Clone(), b.schema...)
+	out := NewRelation(rel.NewSchema(schema...))
+	for _, ta := range a.tuples {
+		for _, tb := range b.tuples {
+			d, ok := ta.D.Union(tb.D)
+			if !ok {
+				continue // inconsistent worlds never co-occur
+			}
+			row := append(ta.Row.Clone(), tb.Row...)
+			out.Add(d, row)
+		}
+	}
+	return out, nil
+}
+
+// Join implements the natural join R ⋈ S: tuples agreeing on common
+// attributes with consistent D columns. The output schema is sch(R)
+// followed by the non-common attributes of S.
+func Join(a, b *Relation) *Relation {
+	common := a.schema.Common(b.schema)
+	var bExtra []string
+	for _, attr := range b.schema {
+		if !a.schema.Has(attr) {
+			bExtra = append(bExtra, attr)
+		}
+	}
+	schema := append(a.schema.Clone(), bExtra...)
+	out := NewRelation(rel.NewSchema(schema...))
+
+	aIdx := make([]int, len(common))
+	bIdx := make([]int, len(common))
+	for i, c := range common {
+		aIdx[i] = a.schema.Index(c)
+		bIdx[i] = b.schema.Index(c)
+	}
+	bExtraIdx := make([]int, len(bExtra))
+	for i, c := range bExtra {
+		bExtraIdx[i] = b.schema.Index(c)
+	}
+
+	// Hash join on the common attributes.
+	buckets := make(map[string][]UTuple)
+	for _, tb := range b.tuples {
+		key := joinKey(tb.Row, bIdx)
+		buckets[key] = append(buckets[key], tb)
+	}
+	for _, ta := range a.tuples {
+		key := joinKey(ta.Row, aIdx)
+		for _, tb := range buckets[key] {
+			d, ok := ta.D.Union(tb.D)
+			if !ok {
+				continue
+			}
+			row := ta.Row.Clone()
+			for _, j := range bExtraIdx {
+				row = append(row, tb.Row[j])
+			}
+			out.Add(d, row)
+		}
+	}
+	return out
+}
+
+func joinKey(row rel.Tuple, idx []int) string {
+	sub := make(rel.Tuple, len(idx))
+	for i, j := range idx {
+		sub[i] = row[j]
+	}
+	return sub.Key()
+}
+
+// Union implements [[R ∪ S]] := U_R ∪ U_S. Schemas must match.
+func Union(a, b *Relation) (*Relation, error) {
+	if !a.schema.Equal(b.schema) {
+		return nil, fmt.Errorf("urel: union schema mismatch %v vs %v", a.schema, b.schema)
+	}
+	out := a.Clone()
+	for _, t := range b.tuples {
+		out.Add(t.D, t.Row)
+	}
+	return out, nil
+}
+
+// DiffComplete implements −c, difference applied to relations that are
+// complete by c: both inputs must have empty D columns.
+func DiffComplete(a, b *Relation) (*Relation, error) {
+	if !a.IsComplete() || !b.IsComplete() {
+		return nil, fmt.Errorf("urel: -c requires complete relations")
+	}
+	if !a.schema.Equal(b.schema) {
+		return nil, fmt.Errorf("urel: difference schema mismatch %v vs %v", a.schema, b.schema)
+	}
+	drop := make(map[string]bool, len(b.tuples))
+	for _, t := range b.tuples {
+		drop[t.Row.Key()] = true
+	}
+	out := NewRelation(a.schema)
+	for _, t := range a.tuples {
+		if !drop[t.Row.Key()] {
+			out.Add(nil, t.Row)
+		}
+	}
+	return out, nil
+}
+
+// Poss implements poss(R) = π_{sch(R)}(U_R): the set of tuples appearing
+// in at least one world (every D has positive weight by construction).
+func Poss(r *Relation) *rel.Relation {
+	out := rel.NewRelation(r.schema)
+	for _, t := range r.tuples {
+		out.Add(t.Row)
+	}
+	return out
+}
+
+// TupleConf pairs a possible tuple with its clause set F = {f | ⟨f,t̄⟩ ∈
+// U_R}, from which confidence is computed exactly (dnf.Confidence) or
+// approximately (karpluby).
+type TupleConf struct {
+	Row rel.Tuple
+	F   dnf.F
+}
+
+// Lineage groups the relation by data tuple and returns each possible
+// tuple's clause set, in first-appearance order.
+func Lineage(r *Relation) []TupleConf {
+	order := make(map[string]int)
+	var out []TupleConf
+	for _, t := range r.tuples {
+		k := t.Row.Key()
+		if i, ok := order[k]; ok {
+			out[i].F = append(out[i].F, t.D)
+			continue
+		}
+		order[k] = len(out)
+		out = append(out, TupleConf{Row: t.Row.Clone(), F: dnf.F{t.D}})
+	}
+	return out
+}
+
+// ConfExact implements the conf operation with exact probabilities: the
+// result is a complete relation with schema sch(R) ∪ {pcol}.
+func ConfExact(r *Relation, table *vars.Table, pcol string) (*rel.Relation, error) {
+	if r.schema.Has(pcol) {
+		return nil, fmt.Errorf("urel: conf column %q already in schema %v", pcol, r.schema)
+	}
+	out := rel.NewRelation(rel.NewSchema(append(r.schema.Clone(), pcol)...))
+	for _, tc := range Lineage(r) {
+		p := dnf.Confidence(tc.F, table)
+		out.Add(append(tc.Row.Clone(), rel.Float(p)))
+	}
+	return out, nil
+}
+
+// CertExact implements cert(R) = π_{sch(R)}(σ_{P=1}(conf(R))) using exact
+// confidence with a small numeric tolerance.
+func CertExact(r *Relation, table *vars.Table) *rel.Relation {
+	out := rel.NewRelation(r.schema)
+	for _, tc := range Lineage(r) {
+		if dnf.Confidence(tc.F, table) >= 1-1e-12 {
+			out.Add(tc.Row)
+		}
+	}
+	return out
+}
+
+// RepairKey implements repair-key_Ā@B(R) by the parsimonious translation
+// of Section 3: one fresh random variable per Ā-group (keyed by the key
+// attribute values), one alternative per distinct residual tuple of the
+// group, with probability weight/groupTotal. Fresh variables are
+// registered in table with names derived from prefix. The output keeps
+// the full input schema; its D column is the input D extended with the
+// fresh variable binding.
+//
+// The weight column must hold strictly positive numbers. Two tuples of a
+// group that agree on all non-key non-weight attributes but carry
+// different weights are rejected: the translated W relation would contain
+// two probabilities for one (Var, Dom) pair.
+func RepairKey(r *Relation, key []string, weight string, table *vars.Table, prefix string) (*Relation, error) {
+	keyIdx := make([]int, len(key))
+	for i, a := range key {
+		j := r.schema.Index(a)
+		if j < 0 {
+			return nil, fmt.Errorf("urel: repair-key attribute %q not in schema %v", a, r.schema)
+		}
+		keyIdx[i] = j
+	}
+	wIdx := r.schema.Index(weight)
+	if wIdx < 0 {
+		return nil, fmt.Errorf("urel: repair-key weight %q not in schema %v", weight, r.schema)
+	}
+	// Residual attributes: (sch(R) − Ā) − B, the Dom of the fresh variable.
+	var resIdx []int
+	for j := range r.schema {
+		if j == wIdx {
+			continue
+		}
+		isKey := false
+		for _, k := range keyIdx {
+			if j == k {
+				isKey = true
+				break
+			}
+		}
+		if !isKey {
+			resIdx = append(resIdx, j)
+		}
+	}
+
+	type alt struct {
+		weight float64
+		name   string
+	}
+	type group struct {
+		key     string
+		display string
+		alts    []alt
+		altIdx  map[string]int
+		total   float64
+	}
+	groups := make(map[string]*group)
+	var orderedGroups []*group
+	// tupleAlt[i] is the alternative index of input tuple i in its group.
+	tupleAlt := make([]int, len(r.tuples))
+	tupleGroup := make([]*group, len(r.tuples))
+
+	for i, t := range r.tuples {
+		gk := joinKey(t.Row, keyIdx)
+		g, ok := groups[gk]
+		if !ok {
+			g = &group{key: gk, display: displayKey(t.Row, keyIdx), altIdx: make(map[string]int)}
+			groups[gk] = g
+			orderedGroups = append(orderedGroups, g)
+		}
+		w := t.Row[wIdx]
+		if !w.IsNumeric() || w.AsFloat() <= 0 {
+			return nil, fmt.Errorf("urel: repair-key weight %v is not a positive number", w)
+		}
+		rk := joinKey(t.Row, resIdx)
+		if ai, ok := g.altIdx[rk]; ok {
+			if g.alts[ai].weight != w.AsFloat() {
+				return nil, fmt.Errorf("urel: repair-key group %s has conflicting weights for one alternative", g.display)
+			}
+			tupleAlt[i] = ai
+		} else {
+			ai := len(g.alts)
+			g.altIdx[rk] = ai
+			g.alts = append(g.alts, alt{weight: w.AsFloat(), name: displayKey(t.Row, resIdx)})
+			tupleAlt[i] = ai
+		}
+		tupleGroup[i] = g
+	}
+	for _, g := range orderedGroups {
+		g.total = 0
+		for _, a := range g.alts {
+			g.total += a.weight
+		}
+	}
+
+	// Register one fresh variable per group.
+	groupVar := make(map[string]vars.Var, len(orderedGroups))
+	for _, g := range orderedGroups {
+		probs := make([]float64, len(g.alts))
+		names := make([]string, len(g.alts))
+		for i, a := range g.alts {
+			probs[i] = a.weight / g.total
+			names[i] = a.name
+		}
+		name := prefix
+		if g.display != "" {
+			name = prefix + "[" + g.display + "]"
+		}
+		groupVar[g.key] = table.Add(name, probs, names)
+	}
+
+	out := NewRelation(r.schema)
+	for i, t := range r.tuples {
+		g := tupleGroup[i]
+		v := groupVar[g.key]
+		d := t.D.With(v, int32(tupleAlt[i]))
+		out.Add(d, t.Row)
+	}
+	return out, nil
+}
+
+func displayKey(row rel.Tuple, idx []int) string {
+	parts := make([]string, len(idx))
+	for i, j := range idx {
+		parts[i] = row[j].String()
+	}
+	return joinStrings(parts, ",")
+}
+
+func joinStrings(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}
+
+// Database is a U-relational database: named U-relations over one shared
+// variable table, plus the set of relations that are complete by
+// definition (the function c of Section 2).
+type Database struct {
+	Vars     *vars.Table
+	Rels     map[string]*Relation
+	Complete map[string]bool
+}
+
+// NewDatabase returns an empty database with a fresh variable table.
+func NewDatabase() *Database {
+	return &Database{Vars: vars.NewTable(), Rels: make(map[string]*Relation), Complete: make(map[string]bool)}
+}
+
+// AddComplete registers a classical complete relation (c(R)=1).
+func (db *Database) AddComplete(name string, r *rel.Relation) {
+	db.Rels[name] = FromComplete(r)
+	db.Complete[name] = true
+}
+
+// AddURelation registers a U-relation (c(R)=0 unless marked).
+func (db *Database) AddURelation(name string, r *Relation, complete bool) {
+	db.Rels[name] = r
+	db.Complete[name] = complete
+}
+
+// Clone returns a deep copy, including the variable table, so query
+// evaluation never mutates the input database.
+func (db *Database) Clone() *Database {
+	out := &Database{Vars: db.Vars.Clone(), Rels: make(map[string]*Relation, len(db.Rels)), Complete: make(map[string]bool, len(db.Complete))}
+	for n, r := range db.Rels {
+		out.Rels[n] = r.Clone()
+	}
+	for n, c := range db.Complete {
+		out.Complete[n] = c
+	}
+	return out
+}
+
+// String renders the database: each U-relation with its D column
+// formatted against the variable table, then the W table.
+func (db *Database) String() string {
+	names := make([]string, 0, len(db.Rels))
+	for n := range db.Rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, n := range names {
+		r := db.Rels[n]
+		out += "U_" + n + "(D; " + joinStrings(r.schema, ", ") + ")\n"
+		rows := make([]string, 0, len(r.tuples))
+		for _, t := range r.tuples {
+			rows = append(rows, "  "+t.D.Format(db.Vars)+"  "+t.Row.String())
+		}
+		sort.Strings(rows)
+		for _, row := range rows {
+			out += row + "\n"
+		}
+	}
+	out += "W:\n" + db.Vars.String()
+	return out
+}

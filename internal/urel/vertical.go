@@ -1,0 +1,158 @@
+package urel
+
+import (
+	"fmt"
+
+	"repro/internal/rel"
+	"repro/internal/vars"
+)
+
+// This file implements attribute-level uncertainty by vertical
+// decomposition, which Section 3 of the paper notes "can be realized
+// succinctly ... without additional cost" [1]: a relation whose attributes
+// are independently uncertain is stored as one U-relation per attribute,
+// each carrying a tuple identifier, so the representation size is the SUM
+// of the per-attribute alternative counts while the represented relation
+// ranges over their PRODUCT. The full tuples are recovered by a natural
+// join on the tuple identifier.
+
+// AttrAlternatives lists the possible values of one attribute of one row
+// with their probabilities (must sum to 1; a single certain value is
+// {Values: [v], Probs: [1]}).
+type AttrAlternatives struct {
+	Values []rel.Value
+	Probs  []float64
+}
+
+// Certain wraps a single certain value.
+func Certain(v rel.Value) AttrAlternatives {
+	return AttrAlternatives{Values: []rel.Value{v}, Probs: []float64{1}}
+}
+
+// VerticalDecomposition is the decomposed representation: one U-relation
+// per original attribute, each with schema (TID, attr).
+type VerticalDecomposition struct {
+	Schema rel.Schema // the original attributes, in order
+	TID    string     // the tuple-identifier attribute name
+	Parts  []*Relation
+}
+
+// BuildAttributeUncertainty constructs the vertical decomposition of a
+// relation with independently uncertain attributes. rows[i][j] lists the
+// alternatives of attribute schema[j] in row i. One fresh random variable
+// per (row, uncertain attribute) is registered in tab; attributes with a
+// single alternative stay deterministic (empty D).
+func BuildAttributeUncertainty(tab *vars.Table, schema rel.Schema, rows [][]AttrAlternatives, tid, prefix string) (*VerticalDecomposition, error) {
+	if schema.Has(tid) {
+		return nil, fmt.Errorf("urel: TID attribute %q collides with schema %v", tid, schema)
+	}
+	parts := make([]*Relation, len(schema))
+	for j, attr := range schema {
+		parts[j] = NewRelation(rel.NewSchema(tid, attr))
+	}
+	for i, row := range rows {
+		if len(row) != len(schema) {
+			return nil, fmt.Errorf("urel: row %d has %d attribute specs for schema %v", i, len(row), schema)
+		}
+		id := rel.Int(int64(i))
+		for j, alts := range row {
+			if len(alts.Values) == 0 || len(alts.Values) != len(alts.Probs) {
+				return nil, fmt.Errorf("urel: row %d attribute %s has malformed alternatives", i, schema[j])
+			}
+			if len(alts.Values) == 1 {
+				parts[j].Add(nil, rel.Tuple{id, alts.Values[0]})
+				continue
+			}
+			names := make([]string, len(alts.Values))
+			for a, v := range alts.Values {
+				names[a] = v.String()
+			}
+			v := tab.Add(fmt.Sprintf("%s[%d.%s]", prefix, i, schema[j]), alts.Probs, names)
+			for a, val := range alts.Values {
+				parts[j].Add(vars.MustAssignment(vars.Binding{Var: v, Alt: int32(a)}), rel.Tuple{id, val})
+			}
+		}
+	}
+	return &VerticalDecomposition{Schema: schema.Clone(), TID: tid, Parts: parts}, nil
+}
+
+// Size returns the total number of U-tuples across the parts — the
+// representation cost of the decomposition.
+func (v *VerticalDecomposition) Size() int {
+	n := 0
+	for _, p := range v.Parts {
+		n += p.Len()
+	}
+	return n
+}
+
+// Joined materializes the represented relation as a single U-relation over
+// the original schema (TID projected away): the natural join of the parts.
+// Its size can be exponentially larger than Size(); it exists for
+// cross-checks and for feeding operators that need the flat form.
+func (v *VerticalDecomposition) Joined() *Relation {
+	cur := v.Parts[0]
+	for _, p := range v.Parts[1:] {
+		cur = Join(cur, p)
+	}
+	// Project away the TID.
+	out := NewRelation(v.Schema)
+	idx := make([]int, len(v.Schema))
+	for j, attr := range v.Schema {
+		idx[j] = cur.Schema().Index(attr)
+	}
+	for _, ut := range cur.Tuples() {
+		row := make(rel.Tuple, len(idx))
+		for j, k := range idx {
+			row[j] = ut.Row[k]
+		}
+		out.Add(ut.D, row)
+	}
+	return out
+}
+
+// FlatEncoding builds the non-decomposed representation of the same
+// attribute-uncertain relation: one fresh variable per row ranging over
+// the full cartesian product of attribute alternatives. It is the
+// baseline the decomposition's succinctness is measured against.
+func FlatEncoding(tab *vars.Table, schema rel.Schema, rows [][]AttrAlternatives, prefix string) (*Relation, error) {
+	out := NewRelation(schema)
+	for i, row := range rows {
+		if len(row) != len(schema) {
+			return nil, fmt.Errorf("urel: row %d has %d attribute specs for schema %v", i, len(row), schema)
+		}
+		// Enumerate the product of alternatives.
+		type combo struct {
+			vals rel.Tuple
+			p    float64
+		}
+		combos := []combo{{vals: rel.Tuple{}, p: 1}}
+		for _, alts := range row {
+			next := make([]combo, 0, len(combos)*len(alts.Values))
+			for _, c := range combos {
+				for a, v := range alts.Values {
+					next = append(next, combo{
+						vals: append(c.vals.Clone(), v),
+						p:    c.p * alts.Probs[a],
+					})
+				}
+			}
+			combos = next
+		}
+		if len(combos) == 1 {
+			out.Add(nil, combos[0].vals)
+			continue
+		}
+		probs := make([]float64, len(combos))
+		names := make([]string, len(combos))
+		for a, c := range combos {
+			probs[a] = c.p
+			names[a] = c.vals.String()
+		}
+		v := tab.Add(fmt.Sprintf("%s[%d]", prefix, i), probs, names)
+		for a, c := range combos {
+			out.Add(vars.MustAssignment(vars.Binding{Var: v, Alt: int32(a)}), c.vals)
+		}
+	}
+	return out, nil
+}

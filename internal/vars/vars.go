@@ -1,0 +1,369 @@
+// Package vars implements the probability substrate of U-relational
+// databases (Section 3 of the paper): a finite set of independent discrete
+// random variables with finite domains, represented by the table
+// W(Var, Dom, P), and partial functions f : Var → Dom ("assignments") that
+// annotate U-relation tuples.
+//
+// The weight of a partial function f is p_f = Π_X Pr[X = f(X)] (Eq. 2 of
+// the paper), and two partial functions are consistent when they agree on
+// the variables both define.
+package vars
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Var identifies a random variable in a Table.
+type Var int32
+
+// Info describes one random variable: a display name and the probability
+// of each domain alternative. Alternatives are indexed 0..len(Probs)-1;
+// alternative display names are optional.
+type Info struct {
+	Name     string
+	Probs    []float64
+	AltNames []string
+}
+
+// Table is the W relation: the registry of independent random variables.
+// The zero value is an empty table ready for use.
+type Table struct {
+	infos  []Info
+	byName map[string]Var
+}
+
+// NewTable returns an empty variable table.
+func NewTable() *Table { return &Table{byName: make(map[string]Var)} }
+
+// Add registers a new variable with the given alternative probabilities.
+// Probabilities must be positive and sum to 1 (within a small tolerance,
+// after which they are renormalized exactly). Add panics on invalid input
+// or duplicate names: variable creation is driven by repair-key, which
+// validates weights first, so failures here are programming errors.
+func (t *Table) Add(name string, probs []float64, altNames []string) Var {
+	if t.byName == nil {
+		t.byName = make(map[string]Var)
+	}
+	if _, dup := t.byName[name]; dup {
+		panic(fmt.Sprintf("vars: duplicate variable %q", name))
+	}
+	if len(probs) == 0 {
+		panic(fmt.Sprintf("vars: variable %q has empty domain", name))
+	}
+	sum := 0.0
+	for _, p := range probs {
+		if p <= 0 {
+			panic(fmt.Sprintf("vars: variable %q has non-positive alternative probability %v", name, p))
+		}
+		sum += p
+	}
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		panic(fmt.Sprintf("vars: variable %q probabilities sum to %v, want 1", name, sum))
+	}
+	norm := make([]float64, len(probs))
+	for i, p := range probs {
+		norm[i] = p / sum
+	}
+	if altNames != nil && len(altNames) != len(probs) {
+		panic(fmt.Sprintf("vars: variable %q has %d alt names for %d alternatives", name, len(altNames), len(probs)))
+	}
+	v := Var(len(t.infos))
+	t.infos = append(t.infos, Info{Name: name, Probs: norm, AltNames: altNames})
+	t.byName[name] = v
+	return v
+}
+
+// Len returns the number of registered variables.
+func (t *Table) Len() int { return len(t.infos) }
+
+// Info returns the descriptor of variable v.
+func (t *Table) Info(v Var) Info { return t.infos[v] }
+
+// Prob returns Pr[v = alt].
+func (t *Table) Prob(v Var, alt int) float64 { return t.infos[v].Probs[alt] }
+
+// DomSize returns |Dom_v|.
+func (t *Table) DomSize(v Var) int { return len(t.infos[v].Probs) }
+
+// Lookup finds a variable by name.
+func (t *Table) Lookup(name string) (Var, bool) {
+	v, ok := t.byName[name]
+	return v, ok
+}
+
+// AltName returns the display name of alternative alt of v.
+func (t *Table) AltName(v Var, alt int) string {
+	in := t.infos[v]
+	if in.AltNames != nil {
+		return in.AltNames[alt]
+	}
+	return strconv.Itoa(alt)
+}
+
+// Clone returns a deep copy of the table. U-relational query evaluation
+// clones the table before repair-key introduces new variables, so the
+// input database is never mutated.
+func (t *Table) Clone() *Table {
+	out := NewTable()
+	for _, in := range t.infos {
+		probs := append([]float64(nil), in.Probs...)
+		var alts []string
+		if in.AltNames != nil {
+			alts = append([]string(nil), in.AltNames...)
+		}
+		out.infos = append(out.infos, Info{Name: in.Name, Probs: probs, AltNames: alts})
+	}
+	for name, v := range t.byName {
+		out.byName[name] = v
+	}
+	return out
+}
+
+// WorldCount returns the number of total assignments Π|Dom_X|, or -1 on
+// overflow. Used by the possible-worlds expansion to guard against
+// accidentally exponential tests.
+func (t *Table) WorldCount() int64 {
+	n := int64(1)
+	for _, in := range t.infos {
+		n *= int64(len(in.Probs))
+		if n < 0 || n > 1<<40 {
+			return -1
+		}
+	}
+	return n
+}
+
+// String renders the table in the paper's W(Var, Dom, P) form.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString("Var\tDom\tP\n")
+	for i, in := range t.infos {
+		for a, p := range in.Probs {
+			fmt.Fprintf(&b, "%s\t%s\t%g\n", in.Name, t.AltName(Var(i), a), p)
+		}
+	}
+	return b.String()
+}
+
+// Binding is one (variable, alternative) pair of an assignment.
+type Binding struct {
+	Var Var
+	Alt int32
+}
+
+// Assignment is a partial function Var → Dom, stored as bindings sorted by
+// variable. The empty assignment represents "all worlds" (weight 1); a
+// classical complete relation is the special case where every tuple
+// carries the empty assignment.
+type Assignment []Binding
+
+// NewAssignment builds an assignment from bindings, sorting them and
+// rejecting conflicting duplicates (same variable, different alternative).
+func NewAssignment(bs ...Binding) (Assignment, error) {
+	a := append(Assignment(nil), bs...)
+	sort.Slice(a, func(i, j int) bool { return a[i].Var < a[j].Var })
+	out := a[:0]
+	for i, b := range a {
+		if i > 0 && a[i-1].Var == b.Var {
+			if a[i-1].Alt != b.Alt {
+				return nil, fmt.Errorf("vars: conflicting bindings for variable %d", b.Var)
+			}
+			continue
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// MustAssignment is NewAssignment for inputs known to be conflict-free.
+func MustAssignment(bs ...Binding) Assignment {
+	a, err := NewAssignment(bs...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Len returns the number of bound variables.
+func (a Assignment) Len() int { return len(a) }
+
+// Get returns the alternative bound for v and whether v is bound.
+func (a Assignment) Get(v Var) (int32, bool) {
+	i := sort.Search(len(a), func(i int) bool { return a[i].Var >= v })
+	if i < len(a) && a[i].Var == v {
+		return a[i].Alt, true
+	}
+	return 0, false
+}
+
+// Weight returns p_f = Π Pr[X = f(X)] (paper Eq. 2).
+func (a Assignment) Weight(t *Table) float64 {
+	w := 1.0
+	for _, b := range a {
+		w *= t.Prob(b.Var, int(b.Alt))
+	}
+	return w
+}
+
+// ConsistentWith reports whether two partial functions agree on the
+// variables both define (the paper's consistency relation).
+func (a Assignment) ConsistentWith(b Assignment) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Var < b[j].Var:
+			i++
+		case a[i].Var > b[j].Var:
+			j++
+		default:
+			if a[i].Alt != b[j].Alt {
+				return false
+			}
+			i++
+			j++
+		}
+	}
+	return true
+}
+
+// Union merges two consistent assignments; ok is false when they
+// conflict. Union implements the D-column concatenation of the product
+// translation [[R × S]].
+func (a Assignment) Union(b Assignment) (Assignment, bool) {
+	out := make(Assignment, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Var < b[j].Var:
+			out = append(out, a[i])
+			i++
+		case a[i].Var > b[j].Var:
+			out = append(out, b[j])
+			j++
+		default:
+			if a[i].Alt != b[j].Alt {
+				return nil, false
+			}
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out, true
+}
+
+// Without returns the assignment with variable v removed.
+func (a Assignment) Without(v Var) Assignment {
+	out := make(Assignment, 0, len(a))
+	for _, b := range a {
+		if b.Var != v {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// With returns the assignment extended/overwritten with v = alt.
+func (a Assignment) With(v Var, alt int32) Assignment {
+	out := a.Without(v)
+	out = append(out, Binding{Var: v, Alt: alt})
+	sort.Slice(out, func(i, j int) bool { return out[i].Var < out[j].Var })
+	return out
+}
+
+// Vars appends the variables bound by a to dst.
+func (a Assignment) Vars(dst []Var) []Var {
+	for _, b := range a {
+		dst = append(dst, b.Var)
+	}
+	return dst
+}
+
+// Key returns a canonical encoding for use as a map key.
+func (a Assignment) Key() string {
+	var b strings.Builder
+	for i, bind := range a {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(bind.Var)))
+		b.WriteByte('=')
+		b.WriteString(strconv.Itoa(int(bind.Alt)))
+	}
+	return b.String()
+}
+
+// Clone returns a copy of the assignment.
+func (a Assignment) Clone() Assignment { return append(Assignment(nil), a...) }
+
+// String renders the assignment like {x=1, y=0} using variable names from
+// t (or raw ids when t is nil).
+func (a Assignment) Format(t *Table) string {
+	if len(a) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(a))
+	for i, b := range a {
+		if t != nil {
+			parts[i] = fmt.Sprintf("%s=%s", t.Info(b.Var).Name, t.AltName(b.Var, int(b.Alt)))
+		} else {
+			parts[i] = fmt.Sprintf("v%d=%d", b.Var, b.Alt)
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// World is a total assignment f* : Var → Dom, represented densely: entry i
+// is the alternative chosen for variable i.
+type World []int32
+
+// Weight returns p_{f*}, the product of alternative probabilities over all
+// variables in the table.
+func (w World) Weight(t *Table) float64 {
+	p := 1.0
+	for v, alt := range w {
+		p *= t.Prob(Var(v), int(alt))
+	}
+	return p
+}
+
+// Satisfies reports whether the world extends (is consistent with) the
+// partial assignment: f* ∈ ω(f).
+func (w World) Satisfies(a Assignment) bool {
+	for _, b := range a {
+		if int(b.Var) >= len(w) || w[b.Var] != b.Alt {
+			return false
+		}
+	}
+	return true
+}
+
+// EnumWorlds calls fn for every total assignment over the variables of t,
+// with its weight. It panics when the world count exceeds limit (guarding
+// tests against accidental exponential blowups); limit <= 0 means no
+// check.
+func EnumWorlds(t *Table, limit int64, fn func(w World, weight float64)) {
+	if limit > 0 {
+		if n := t.WorldCount(); n < 0 || n > limit {
+			panic(fmt.Sprintf("vars: world count %d exceeds limit %d", n, limit))
+		}
+	}
+	w := make(World, t.Len())
+	var rec func(i int, weight float64)
+	rec = func(i int, weight float64) {
+		if i == t.Len() {
+			fn(w, weight)
+			return
+		}
+		for alt, p := range t.infos[i].Probs {
+			w[i] = int32(alt)
+			rec(i+1, weight*p)
+		}
+	}
+	rec(0, 1.0)
+}

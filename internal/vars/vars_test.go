@@ -1,0 +1,249 @@
+package vars
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustAdd(t *testing.T, tab *Table, name string, probs ...float64) Var {
+	t.Helper()
+	return tab.Add(name, probs, nil)
+}
+
+func TestTableAddAndLookup(t *testing.T) {
+	tab := NewTable()
+	x := mustAdd(t, tab, "x", 0.5, 0.5)
+	y := mustAdd(t, tab, "y", 0.2, 0.3, 0.5)
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if got, ok := tab.Lookup("x"); !ok || got != x {
+		t.Error("Lookup x failed")
+	}
+	if tab.DomSize(y) != 3 {
+		t.Error("DomSize wrong")
+	}
+	if tab.Prob(y, 2) != 0.5 {
+		t.Error("Prob wrong")
+	}
+	if tab.WorldCount() != 6 {
+		t.Errorf("WorldCount = %d", tab.WorldCount())
+	}
+}
+
+func TestTableAddValidation(t *testing.T) {
+	for name, fn := range map[string]func(*Table){
+		"duplicate": func(tab *Table) {
+			tab.Add("x", []float64{1}, nil)
+			tab.Add("x", []float64{1}, nil)
+		},
+		"empty":       func(tab *Table) { tab.Add("x", nil, nil) },
+		"zero prob":   func(tab *Table) { tab.Add("x", []float64{0, 1}, nil) },
+		"neg prob":    func(tab *Table) { tab.Add("x", []float64{-0.5, 1.5}, nil) },
+		"bad sum":     func(tab *Table) { tab.Add("x", []float64{0.5, 0.4}, nil) },
+		"altname len": func(tab *Table) { tab.Add("x", []float64{0.5, 0.5}, []string{"a"}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn(NewTable())
+		}()
+	}
+}
+
+func TestAssignmentBasics(t *testing.T) {
+	a := MustAssignment(Binding{Var: 2, Alt: 1}, Binding{Var: 0, Alt: 0})
+	if a.Len() != 2 {
+		t.Fatal("Len wrong")
+	}
+	if alt, ok := a.Get(2); !ok || alt != 1 {
+		t.Error("Get(2) wrong")
+	}
+	if _, ok := a.Get(1); ok {
+		t.Error("Get(1) should be unbound")
+	}
+	// Sorted order.
+	if a[0].Var != 0 || a[1].Var != 2 {
+		t.Error("not sorted")
+	}
+	if _, err := NewAssignment(Binding{Var: 1, Alt: 0}, Binding{Var: 1, Alt: 1}); err == nil {
+		t.Error("conflicting duplicate accepted")
+	}
+	if dup, err := NewAssignment(Binding{Var: 1, Alt: 0}, Binding{Var: 1, Alt: 0}); err != nil || dup.Len() != 1 {
+		t.Error("agreeing duplicate should collapse")
+	}
+}
+
+func TestConsistencyAndUnion(t *testing.T) {
+	a := MustAssignment(Binding{0, 0}, Binding{1, 1})
+	b := MustAssignment(Binding{1, 1}, Binding{2, 0})
+	c := MustAssignment(Binding{1, 0})
+	if !a.ConsistentWith(b) || !b.ConsistentWith(a) {
+		t.Error("a,b should be consistent")
+	}
+	if a.ConsistentWith(c) {
+		t.Error("a,c conflict on var 1")
+	}
+	u, ok := a.Union(b)
+	if !ok || u.Len() != 3 {
+		t.Fatalf("Union = %v ok=%v", u, ok)
+	}
+	if _, ok := a.Union(c); ok {
+		t.Error("conflicting union should fail")
+	}
+	// Empty assignment is consistent with everything.
+	var empty Assignment
+	if !empty.ConsistentWith(a) || !a.ConsistentWith(empty) {
+		t.Error("empty must be universally consistent")
+	}
+}
+
+func TestAssignmentWeight(t *testing.T) {
+	tab := NewTable()
+	mustAdd(t, tab, "x", 0.5, 0.5)
+	mustAdd(t, tab, "y", 0.2, 0.8)
+	a := MustAssignment(Binding{0, 0}, Binding{1, 1})
+	if w := a.Weight(tab); math.Abs(w-0.4) > 1e-12 {
+		t.Errorf("Weight = %v, want 0.4", w)
+	}
+	var empty Assignment
+	if empty.Weight(tab) != 1 {
+		t.Error("empty assignment weight must be 1")
+	}
+}
+
+func TestWithWithout(t *testing.T) {
+	a := MustAssignment(Binding{0, 0}, Binding{2, 1})
+	b := a.Without(0)
+	if b.Len() != 1 || b[0].Var != 2 {
+		t.Errorf("Without = %v", b)
+	}
+	c := a.With(1, 3)
+	if c.Len() != 3 {
+		t.Errorf("With = %v", c)
+	}
+	if alt, ok := c.Get(1); !ok || alt != 3 {
+		t.Error("With binding missing")
+	}
+	d := a.With(0, 5) // overwrite
+	if alt, _ := d.Get(0); alt != 5 {
+		t.Error("With should overwrite")
+	}
+	// Original untouched.
+	if alt, _ := a.Get(0); alt != 0 {
+		t.Error("With mutated receiver")
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	a := MustAssignment(Binding{3, 1}, Binding{1, 0})
+	b := MustAssignment(Binding{1, 0}, Binding{3, 1})
+	if a.Key() != b.Key() {
+		t.Error("keys of equal assignments differ")
+	}
+	c := MustAssignment(Binding{1, 1}, Binding{3, 1})
+	if a.Key() == c.Key() {
+		t.Error("keys of different assignments collide")
+	}
+}
+
+func TestEnumWorldsWeightsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		tab := NewTable()
+		nv := 1 + rng.Intn(4)
+		for i := 0; i < nv; i++ {
+			k := 2 + rng.Intn(3)
+			probs := make([]float64, k)
+			sum := 0.0
+			for j := range probs {
+				probs[j] = rng.Float64() + 0.01
+				sum += probs[j]
+			}
+			for j := range probs {
+				probs[j] /= sum
+			}
+			tab.Add(varName(i), probs, nil)
+		}
+		total := 0.0
+		count := int64(0)
+		EnumWorlds(tab, 1<<20, func(w World, weight float64) {
+			total += weight
+			count++
+			if math.Abs(weight-w.Weight(tab)) > 1e-12 {
+				t.Fatal("EnumWorlds weight disagrees with World.Weight")
+			}
+		})
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("world weights sum to %v", total)
+		}
+		if count != tab.WorldCount() {
+			t.Fatalf("count %d != WorldCount %d", count, tab.WorldCount())
+		}
+	}
+}
+
+func varName(i int) string { return string(rune('a' + i)) }
+
+func TestWorldSatisfies(t *testing.T) {
+	w := World{0, 1, 2}
+	if !w.Satisfies(MustAssignment(Binding{1, 1})) {
+		t.Error("should satisfy")
+	}
+	if w.Satisfies(MustAssignment(Binding{1, 0})) {
+		t.Error("should not satisfy")
+	}
+	if w.Satisfies(MustAssignment(Binding{9, 0})) {
+		t.Error("out-of-range var should not satisfy")
+	}
+	var empty Assignment
+	if !w.Satisfies(empty) {
+		t.Error("every world satisfies the empty assignment")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tab := NewTable()
+	mustAdd(t, tab, "x", 0.5, 0.5)
+	cl := tab.Clone()
+	cl.Add("y", []float64{1}, nil)
+	if tab.Len() != 1 || cl.Len() != 2 {
+		t.Error("clone not independent")
+	}
+	if _, ok := tab.Lookup("y"); ok {
+		t.Error("clone name map leaked into original")
+	}
+}
+
+// Property: for random assignments a, b over disjoint variables, Union
+// weight equals product of weights.
+func TestUnionWeightProduct(t *testing.T) {
+	tab := NewTable()
+	for i := 0; i < 6; i++ {
+		tab.Add(varName(i), []float64{0.3, 0.7}, nil)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		var abs, bbs []Binding
+		for v := 0; v < 6; v++ {
+			switch rng.Intn(3) {
+			case 0:
+				abs = append(abs, Binding{Var(v), int32(rng.Intn(2))})
+			case 1:
+				bbs = append(bbs, Binding{Var(v), int32(rng.Intn(2))})
+			}
+		}
+		a, b := MustAssignment(abs...), MustAssignment(bbs...)
+		u, ok := a.Union(b)
+		if !ok {
+			t.Fatal("disjoint union must succeed")
+		}
+		if math.Abs(u.Weight(tab)-a.Weight(tab)*b.Weight(tab)) > 1e-12 {
+			t.Fatal("union weight != product for disjoint assignments")
+		}
+	}
+}

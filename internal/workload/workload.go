@@ -1,0 +1,186 @@
+// Package workload generates the synthetic databases and clause sets the
+// experiments run on: tuple-independent relations, multi-clause lineages,
+// generalized coin bags (Example 2.2 at scale), dirty-duplicate data for
+// the data-cleaning use case, and sensor-reading streams. All generators
+// are deterministic given their *rand.Rand.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dnf"
+	"repro/internal/rel"
+	"repro/internal/urel"
+	"repro/internal/vars"
+)
+
+// TupleIndependent builds a database with relation name(ID) of n tuples,
+// tuple i present independently with probability probs[i].
+func TupleIndependent(name string, probs []float64) *urel.Database {
+	db := urel.NewDatabase()
+	r := urel.NewRelation(rel.NewSchema("ID"))
+	for i, p := range probs {
+		v := db.Vars.Add(fmt.Sprintf("%s_t%d", name, i), []float64{p, 1 - p}, []string{"in", "out"})
+		r.Add(vars.MustAssignment(vars.Binding{Var: v, Alt: 0}), rel.Tuple{rel.Int(int64(i))})
+	}
+	db.AddURelation(name, r, false)
+	return db
+}
+
+// UniformProbs returns n probabilities drawn uniformly from [lo, hi].
+func UniformProbs(rng *rand.Rand, n int, lo, hi float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return out
+}
+
+// RandomDNF registers nVars fresh binary variables in tab (probabilities
+// uniform in [0.2, 0.8]) and returns a clause set of nClauses random
+// conjunctions of up to maxLits literals over them. Conflicting random
+// clauses are re-drawn, so the result has exactly nClauses clauses.
+func RandomDNF(rng *rand.Rand, tab *vars.Table, nVars, nClauses, maxLits int) dnf.F {
+	base := tab.Len()
+	for i := 0; i < nVars; i++ {
+		p := 0.2 + 0.6*rng.Float64()
+		tab.Add(fmt.Sprintf("d%d_%d", base, i), []float64{p, 1 - p}, nil)
+	}
+	f := make(dnf.F, 0, nClauses)
+	seen := map[string]bool{}
+	for len(f) < nClauses {
+		nl := 1 + rng.Intn(maxLits)
+		var bs []vars.Binding
+		for l := 0; l < nl; l++ {
+			bs = append(bs, vars.Binding{
+				Var: vars.Var(base + rng.Intn(nVars)),
+				Alt: int32(rng.Intn(2)),
+			})
+		}
+		a, err := vars.NewAssignment(bs...)
+		if err != nil {
+			continue
+		}
+		if k := a.Key(); !seen[k] {
+			seen[k] = true
+			f = append(f, a)
+		}
+	}
+	return f
+}
+
+// MultiClause builds a database with relation name(ID) of n tuples, where
+// tuple i's lineage is a random DNF of clauses clauses over nVars fresh
+// variables — confidences require genuine Karp–Luby estimation (unlike the
+// singleton lineages of TupleIndependent).
+func MultiClause(rng *rand.Rand, name string, n, nVars, clauses, maxLits int) *urel.Database {
+	db := urel.NewDatabase()
+	r := urel.NewRelation(rel.NewSchema("ID"))
+	for i := 0; i < n; i++ {
+		f := RandomDNF(rng, db.Vars, nVars, clauses, maxLits)
+		for _, a := range f {
+			r.Add(a, rel.Tuple{rel.Int(int64(i))})
+		}
+	}
+	db.AddURelation(name, r, false)
+	return db
+}
+
+// CoinBag is the generalized Example 2.2 instance: a bag with fairCount
+// fair coins and biasedCount coins of the given head bias, and a number of
+// observed tosses.
+type CoinBag struct {
+	FairCount, BiasedCount int
+	Bias                   float64 // P(H) of the biased coin type
+	Tosses                 int
+}
+
+// Database builds the complete relations Coins(CoinType, Count),
+// Faces(CoinType, Face, FProb) and Tosses(Toss) for the bag.
+func (c CoinBag) Database() *urel.Database {
+	db := urel.NewDatabase()
+	db.AddComplete("Coins", rel.FromRows(rel.NewSchema("CoinType", "Count"),
+		rel.Tuple{rel.String("fair"), rel.Int(int64(c.FairCount))},
+		rel.Tuple{rel.String("biased"), rel.Int(int64(c.BiasedCount))},
+	))
+	faces := rel.NewRelation(rel.NewSchema("CoinType", "Face", "FProb"))
+	faces.Add(rel.Tuple{rel.String("fair"), rel.String("H"), rel.Float(0.5)})
+	faces.Add(rel.Tuple{rel.String("fair"), rel.String("T"), rel.Float(0.5)})
+	if c.Bias >= 1 {
+		faces.Add(rel.Tuple{rel.String("biased"), rel.String("H"), rel.Float(1)})
+	} else {
+		faces.Add(rel.Tuple{rel.String("biased"), rel.String("H"), rel.Float(c.Bias)})
+		faces.Add(rel.Tuple{rel.String("biased"), rel.String("T"), rel.Float(1 - c.Bias)})
+	}
+	db.AddComplete("Faces", faces)
+	tosses := rel.NewRelation(rel.NewSchema("Toss"))
+	for i := 1; i <= c.Tosses; i++ {
+		tosses.Add(rel.Tuple{rel.Int(int64(i))})
+	}
+	db.AddComplete("Tosses", tosses)
+	return db
+}
+
+// PosteriorFairAllHeads returns the analytic posterior probability that
+// the drawn coin is fair given that all tosses came up heads — the ground
+// truth for the generalized coin experiment.
+func (c CoinBag) PosteriorFairAllHeads() float64 {
+	total := float64(c.FairCount + c.BiasedCount)
+	pFair := float64(c.FairCount) / total
+	pBiased := float64(c.BiasedCount) / total
+	likeFair := 1.0
+	likeBiased := 1.0
+	for i := 0; i < c.Tosses; i++ {
+		likeFair *= 0.5
+		likeBiased *= c.Bias
+	}
+	return pFair * likeFair / (pFair*likeFair + pBiased*likeBiased)
+}
+
+// DirtyCustomers builds the data-cleaning scenario the paper's
+// introduction motivates: Candidates(Cluster, Name, Weight) holds
+// alternative canonical records per duplicate cluster with match weights.
+// repair-key_{Cluster}@Weight picks one record per cluster; confidence
+// predicates then select clusters resolved with high certainty.
+func DirtyCustomers(rng *rand.Rand, clusters, altsPerCluster int) *urel.Database {
+	db := urel.NewDatabase()
+	cand := rel.NewRelation(rel.NewSchema("Cluster", "Name", "Weight"))
+	for c := 0; c < clusters; c++ {
+		for a := 0; a < altsPerCluster; a++ {
+			w := 0.1 + rng.Float64()
+			if a == 0 && rng.Intn(2) == 0 {
+				w += 2 // a dominant candidate: cleanly resolvable cluster
+			}
+			cand.Add(rel.Tuple{
+				rel.Int(int64(c)),
+				rel.String(fmt.Sprintf("name%d_%d", c, a)),
+				rel.Float(w),
+			})
+		}
+	}
+	db.AddComplete("Candidates", cand)
+	return db
+}
+
+// SensorReadings builds the sensor scenario: Readings(Sensor, Epoch,
+// Value) where each reading is present with a per-reading confidence
+// (sensor noise), as a tuple-independent U-relation.
+func SensorReadings(rng *rand.Rand, sensors, epochs int) *urel.Database {
+	db := urel.NewDatabase()
+	r := urel.NewRelation(rel.NewSchema("Sensor", "Epoch", "Value"))
+	for s := 0; s < sensors; s++ {
+		reliability := 0.3 + 0.65*rng.Float64()
+		for e := 0; e < epochs; e++ {
+			p := reliability * (0.8 + 0.2*rng.Float64())
+			v := db.Vars.Add(fmt.Sprintf("s%d_e%d", s, e), []float64{p, 1 - p}, []string{"ok", "drop"})
+			r.Add(vars.MustAssignment(vars.Binding{Var: v, Alt: 0}), rel.Tuple{
+				rel.Int(int64(s)),
+				rel.Int(int64(e)),
+				rel.Float(20 + 5*rng.NormFloat64()),
+			})
+		}
+	}
+	db.AddURelation("Readings", r, false)
+	return db
+}

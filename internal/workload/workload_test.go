@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dnf"
+	"repro/internal/rel"
+	"repro/internal/urel"
+)
+
+func TestTupleIndependent(t *testing.T) {
+	db := TupleIndependent("R", []float64{0.3, 0.9})
+	r := db.Rels["R"]
+	if r.Len() != 2 || db.Vars.Len() != 2 {
+		t.Fatalf("len=%d vars=%d", r.Len(), db.Vars.Len())
+	}
+	conf, err := urel.ConfExact(r, db.Vars, "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range conf.Tuples() {
+		id := conf.Value(tp, "ID").AsInt()
+		p := conf.Value(tp, "P").AsFloat()
+		want := 0.3
+		if id == 1 {
+			want = 0.9
+		}
+		if math.Abs(p-want) > 1e-12 {
+			t.Errorf("conf(%d) = %v, want %v", id, p, want)
+		}
+	}
+}
+
+func TestRandomDNFShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := urel.NewDatabase()
+	f := RandomDNF(rng, db.Vars, 5, 8, 3)
+	if len(f) != 8 {
+		t.Fatalf("clauses = %d, want 8", len(f))
+	}
+	if db.Vars.Len() != 5 {
+		t.Fatalf("vars = %d, want 5", db.Vars.Len())
+	}
+	// Clauses are distinct and conflict-free by construction.
+	if len(f.Dedup()) != 8 {
+		t.Error("RandomDNF produced duplicates")
+	}
+	p := dnf.Confidence(f, db.Vars)
+	if p <= 0 || p > 1 {
+		t.Errorf("confidence out of range: %v", p)
+	}
+}
+
+func TestMultiClause(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db := MultiClause(rng, "R", 4, 3, 5, 2)
+	lin := urel.Lineage(db.Rels["R"])
+	if len(lin) != 4 {
+		t.Fatalf("tuples = %d", len(lin))
+	}
+	for _, tc := range lin {
+		if len(tc.F) < 2 {
+			t.Errorf("tuple %v has %d clauses; want multi-clause", tc.Row, len(tc.F))
+		}
+	}
+}
+
+func TestCoinBagPosterior(t *testing.T) {
+	// The paper's exact instance: 2 fair + 1 double-headed, 2 tosses →
+	// posterior 1/3.
+	bag := CoinBag{FairCount: 2, BiasedCount: 1, Bias: 1, Tosses: 2}
+	if got := bag.PosteriorFairAllHeads(); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("posterior = %v, want 1/3", got)
+	}
+	db := bag.Database()
+	if db.Rels["Faces"].Len() != 3 {
+		t.Errorf("Faces should have 3 rows for a double-headed coin, got %d", db.Rels["Faces"].Len())
+	}
+	// A biased-but-not-deterministic coin has 4 face rows.
+	bag2 := CoinBag{FairCount: 1, BiasedCount: 1, Bias: 0.9, Tosses: 3}
+	if bag2.Database().Rels["Faces"].Len() != 4 {
+		t.Error("Faces should have 4 rows for bias < 1")
+	}
+	// Posterior sanity: more all-heads evidence lowers P(fair).
+	p2 := CoinBag{FairCount: 1, BiasedCount: 1, Bias: 0.9, Tosses: 2}.PosteriorFairAllHeads()
+	p5 := CoinBag{FairCount: 1, BiasedCount: 1, Bias: 0.9, Tosses: 5}.PosteriorFairAllHeads()
+	if p5 >= p2 {
+		t.Errorf("posterior should decrease with more heads: %v vs %v", p2, p5)
+	}
+}
+
+func TestDirtyCustomers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := DirtyCustomers(rng, 5, 3)
+	cand := db.Rels["Candidates"]
+	if cand.Len() != 15 {
+		t.Fatalf("candidates = %d", cand.Len())
+	}
+	if !db.Complete["Candidates"] {
+		t.Error("Candidates must be complete")
+	}
+	for _, ut := range cand.Tuples() {
+		w := ut.Row[2].AsFloat()
+		if w <= 0 {
+			t.Errorf("non-positive weight %v", w)
+		}
+	}
+}
+
+func TestSensorReadings(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db := SensorReadings(rng, 3, 4)
+	r := db.Rels["Readings"]
+	if r.Len() != 12 || db.Vars.Len() != 12 {
+		t.Fatalf("readings=%d vars=%d", r.Len(), db.Vars.Len())
+	}
+	// All lineages are singleton (tuple-independent).
+	for _, tc := range urel.Lineage(r) {
+		if len(tc.F) != 1 {
+			t.Error("sensor readings should be tuple-independent")
+		}
+	}
+	_ = rel.NewSchema
+}
+
+func TestUniformProbs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ps := UniformProbs(rng, 100, 0.2, 0.4)
+	for _, p := range ps {
+		if p < 0.2 || p > 0.4 {
+			t.Fatalf("probability %v out of range", p)
+		}
+	}
+}

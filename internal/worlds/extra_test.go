@@ -1,0 +1,149 @@
+package worlds
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/rel"
+	"repro/internal/urel"
+	"repro/internal/vars"
+)
+
+// Proposition 3.5: on the nonsuccinct representation, conf is a single
+// aggregation pass — verify it against per-world membership for random
+// databases.
+func TestConfIsAggregation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		nw := 1 + rng.Intn(6)
+		weights := make([]float64, nw)
+		sum := 0.0
+		for i := range weights {
+			weights[i] = rng.Float64() + 0.1
+			sum += weights[i]
+		}
+		db := &Database{}
+		want := map[string]float64{}
+		for i := 0; i < nw; i++ {
+			r := rel.NewRelation(rel.NewSchema("A"))
+			for v := 0; v < 3; v++ {
+				if rng.Intn(2) == 0 {
+					tp := rel.Tuple{rel.Int(int64(v))}
+					r.Add(tp)
+					want[tp.Key()] += weights[i] / sum
+				}
+			}
+			db.Worlds = append(db.Worlds, World{P: weights[i] / sum, Rels: map[string]*rel.Relation{"R": r}})
+		}
+		conf := db.Conf("R", "P")
+		for _, tp := range conf.Tuples() {
+			key := tp[:1].Key()
+			if math.Abs(tp[1].AsFloat()-want[key]) > 1e-9 {
+				t.Fatalf("trial %d: conf(%v) = %v, want %v", trial, tp[0], tp[1], want[key])
+			}
+		}
+	}
+}
+
+// Expand followed by FromWorldSet followed by Expand preserves tuple
+// confidences — the two directions of Theorem 3.1 compose.
+func TestTheorem31BothDirections(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		// Random U-relational database.
+		udb := urel.NewDatabase()
+		nv := 1 + rng.Intn(3)
+		for i := 0; i < nv; i++ {
+			p := 0.2 + 0.6*rng.Float64()
+			udb.Vars.Add("v"+strconv.Itoa(i), []float64{p, 1 - p}, nil)
+		}
+		r := urel.NewRelation(rel.NewSchema("A"))
+		for i := 0; i < 2+rng.Intn(4); i++ {
+			var bs []vars.Binding
+			for v := 0; v < nv; v++ {
+				if rng.Intn(2) == 0 {
+					bs = append(bs, vars.Binding{Var: vars.Var(v), Alt: int32(rng.Intn(2))})
+				}
+			}
+			a, _ := vars.NewAssignment(bs...)
+			r.Add(a, rel.Tuple{rel.Int(int64(rng.Intn(3)))})
+		}
+		udb.AddURelation("R", r, false)
+
+		// worlds → spec → urel → worlds.
+		w1, err := Expand(udb, 1<<12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm := w1.Normalize()
+		specs := make([]urel.WorldSpec, len(norm.Worlds))
+		for i, w := range norm.Worlds {
+			specs[i] = urel.WorldSpec{P: w.P, Rels: w.Rels}
+		}
+		udb2, err := urel.FromWorldSet(specs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := Expand(udb2, 1<<12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare tuple confidences.
+		for _, tp := range w1.Poss("R").Tuples() {
+			p1 := w1.TupleConfidence("R", tp)
+			p2 := w2.TupleConfidence("R", tp)
+			if math.Abs(p1-p2) > 1e-9 {
+				t.Fatalf("trial %d: round trip changed conf(%v): %v vs %v", trial, tp, p1, p2)
+			}
+		}
+	}
+}
+
+func TestRepairKeyErrors(t *testing.T) {
+	r := rel.FromRows(rel.NewSchema("A", "W"), rel.Tuple{rel.Int(1), rel.Int(0)})
+	db := &Database{Worlds: []World{{P: 1, Rels: map[string]*rel.Relation{"R": r}}}}
+	if _, err := db.RepairKey("S", "R", nil, "W"); err == nil {
+		t.Error("zero weight must fail")
+	}
+	if _, err := db.RepairKey("S", "R", []string{"missing"}, "W"); err == nil {
+		t.Error("missing key attr must fail")
+	}
+	if _, err := db.RepairKey("S", "R", nil, "missing"); err == nil {
+		t.Error("missing weight attr must fail")
+	}
+}
+
+func BenchmarkExpand(b *testing.B) {
+	udb := urel.NewDatabase()
+	r := urel.NewRelation(rel.NewSchema("A"))
+	for i := 0; i < 12; i++ {
+		v := udb.Vars.Add("v"+strconv.Itoa(i), []float64{0.5, 0.5}, nil)
+		r.Add(vars.MustAssignment(vars.Binding{Var: v, Alt: 0}), rel.Tuple{rel.Int(int64(i))})
+	}
+	udb.AddURelation("R", r, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Expand(udb, 1<<14); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	r1 := rel.FromRows(rel.NewSchema("A"), rel.Tuple{rel.Int(1)})
+	r2 := rel.FromRows(rel.NewSchema("A"), rel.Tuple{rel.Int(2)})
+	db := &Database{}
+	for i := 0; i < 256; i++ {
+		r := r1
+		if i%2 == 0 {
+			r = r2
+		}
+		db.Worlds = append(db.Worlds, World{P: 1.0 / 256, Rels: map[string]*rel.Relation{"R": r.Clone()}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Normalize()
+	}
+}

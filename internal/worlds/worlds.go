@@ -1,0 +1,406 @@
+// Package worlds implements the nonsuccinct probabilistic-database model
+// from the beginning of Section 2 of the paper: a finite weighted set of
+// possible worlds, each a structure of named relations, with weights
+// summing to 1. All UA operations are applied world-wise; conf is an
+// aggregation across the world set (Proposition 3.5: LOGSPACE data
+// complexity on this representation).
+//
+// This engine is the reference semantics: the U-relational evaluator is
+// cross-checked against it on every operation, which is the executable
+// form of the parsimonious-translation correctness results cited from [1].
+package worlds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/rel"
+	"repro/internal/urel"
+	"repro/internal/vars"
+)
+
+// World is one possible world: a probability and a set of named relations.
+type World struct {
+	P    float64
+	Rels map[string]*rel.Relation
+}
+
+// Clone deep-copies the world.
+func (w World) Clone() World {
+	rels := make(map[string]*rel.Relation, len(w.Rels))
+	for n, r := range w.Rels {
+		rels[n] = r.Clone()
+	}
+	return World{P: w.P, Rels: rels}
+}
+
+// Database is a weighted set of possible worlds over a fixed set of
+// relation names, with the paper's completeness function c.
+type Database struct {
+	Worlds   []World
+	Complete map[string]bool
+}
+
+// Validate checks the probabilistic-database invariants: weights positive
+// and summing to 1, every world defining the same relation names with the
+// same schemas, and relations marked complete agreeing across worlds.
+func (db *Database) Validate() error {
+	if len(db.Worlds) == 0 {
+		return fmt.Errorf("worlds: no possible worlds")
+	}
+	sum := 0.0
+	ref := db.Worlds[0].Rels
+	for i, w := range db.Worlds {
+		if w.P <= 0 {
+			return fmt.Errorf("worlds: world %d has non-positive probability %v", i, w.P)
+		}
+		sum += w.P
+		if len(w.Rels) != len(ref) {
+			return fmt.Errorf("worlds: world %d has %d relations, world 0 has %d", i, len(w.Rels), len(ref))
+		}
+		for n, r := range w.Rels {
+			r0, ok := ref[n]
+			if !ok {
+				return fmt.Errorf("worlds: world %d has unknown relation %q", i, n)
+			}
+			if !r.Schema().Equal(r0.Schema()) {
+				return fmt.Errorf("worlds: relation %q schema differs across worlds", n)
+			}
+			if db.Complete[n] && !r.Equal(r0) {
+				return fmt.Errorf("worlds: complete relation %q differs across worlds", n)
+			}
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("worlds: probabilities sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// Map applies fn to relation name in every world, producing relation out;
+// it implements the paper's world-wise semantics of relational algebra
+// operations.
+func (db *Database) Map(out string, fn func(w World) *rel.Relation) *Database {
+	res := &Database{Complete: cloneFlags(db.Complete)}
+	for _, w := range db.Worlds {
+		nw := w.Clone()
+		nw.Rels[out] = fn(w)
+		res.Worlds = append(res.Worlds, nw)
+	}
+	return res
+}
+
+func cloneFlags(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Poss returns the union of the relation across worlds.
+func (db *Database) Poss(name string) *rel.Relation {
+	var out *rel.Relation
+	for _, w := range db.Worlds {
+		r := w.Rels[name]
+		if out == nil {
+			out = rel.NewRelation(r.Schema())
+		}
+		for _, t := range r.Tuples() {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Conf computes the confidence relation: for each possible tuple, the sum
+// of the weights of the worlds containing it. The result is a complete
+// relation with schema sch(R) ∪ {pcol}.
+func (db *Database) Conf(name, pcol string) *rel.Relation {
+	poss := db.Poss(name)
+	out := rel.NewRelation(rel.NewSchema(append(poss.Schema().Clone(), pcol)...))
+	for _, t := range poss.Tuples() {
+		p := 0.0
+		for _, w := range db.Worlds {
+			if w.Rels[name].Contains(t) {
+				p += w.P
+			}
+		}
+		out.Add(append(t.Clone(), rel.Float(p)))
+	}
+	return out
+}
+
+// TupleConfidence returns the probability of one tuple being in the named
+// relation.
+func (db *Database) TupleConfidence(name string, t rel.Tuple) float64 {
+	p := 0.0
+	for _, w := range db.Worlds {
+		if w.Rels[name].Contains(t) {
+			p += w.P
+		}
+	}
+	return p
+}
+
+// RepairKey splits every world by the repairs of the named relation: each
+// maximal key-respecting subset obtained by keeping exactly one tuple per
+// key group, weighted by the relative weights of the kept tuples. For a
+// relation that is complete across worlds this is exactly the paper's
+// W ⊗ repair-key(R) construction.
+func (db *Database) RepairKey(out, name string, key []string, weight string) (*Database, error) {
+	res := &Database{Complete: cloneFlags(db.Complete)}
+	res.Complete[out] = false
+	for _, w := range db.Worlds {
+		repairs, err := enumerateRepairs(w.Rels[name], key, weight)
+		if err != nil {
+			return nil, err
+		}
+		for _, rp := range repairs {
+			nw := w.Clone()
+			nw.P = w.P * rp.p
+			nw.Rels[out] = rp.rel
+			res.Worlds = append(res.Worlds, nw)
+		}
+	}
+	return res, nil
+}
+
+type repair struct {
+	rel *rel.Relation
+	p   float64
+}
+
+// enumerateRepairs lists all key repairs of r with their probabilities.
+func enumerateRepairs(r *rel.Relation, key []string, weight string) ([]repair, error) {
+	schema := r.Schema()
+	keyIdx := make([]int, len(key))
+	for i, a := range key {
+		j := schema.Index(a)
+		if j < 0 {
+			return nil, fmt.Errorf("worlds: repair-key attribute %q not in schema %v", a, schema)
+		}
+		keyIdx[i] = j
+	}
+	wIdx := schema.Index(weight)
+	if wIdx < 0 {
+		return nil, fmt.Errorf("worlds: repair-key weight %q not in schema %v", weight, schema)
+	}
+	// Group tuples by key values.
+	type group struct {
+		tuples []rel.Tuple
+		total  float64
+	}
+	var order []string
+	groups := make(map[string]*group)
+	for _, t := range r.Tuples() {
+		sub := make(rel.Tuple, len(keyIdx))
+		for i, j := range keyIdx {
+			sub[i] = t[j]
+		}
+		k := sub.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{}
+			groups[k] = g
+			order = append(order, k)
+		}
+		wv := t[wIdx]
+		if !wv.IsNumeric() || wv.AsFloat() <= 0 {
+			return nil, fmt.Errorf("worlds: repair-key weight %v is not a positive number", wv)
+		}
+		g.tuples = append(g.tuples, t)
+		g.total += wv.AsFloat()
+	}
+	// Cartesian product over groups: one tuple per group.
+	repairs := []repair{{rel: rel.NewRelation(schema), p: 1}}
+	for _, k := range order {
+		g := groups[k]
+		next := make([]repair, 0, len(repairs)*len(g.tuples))
+		for _, rp := range repairs {
+			for _, t := range g.tuples {
+				nr := rp.rel.Clone()
+				nr.Add(t)
+				next = append(next, repair{rel: nr, p: rp.p * t[wIdx].AsFloat() / g.total})
+			}
+		}
+		repairs = next
+	}
+	return repairs, nil
+}
+
+// Normalize merges worlds whose relations are all equal, summing weights.
+// Comparing query results across evaluators uses normalized databases.
+func (db *Database) Normalize() *Database {
+	type bucket struct {
+		w World
+	}
+	var order []string
+	merged := make(map[string]*bucket)
+	for _, w := range db.Worlds {
+		k := worldKey(w)
+		if b, ok := merged[k]; ok {
+			b.w.P += w.P
+			continue
+		}
+		merged[k] = &bucket{w: w.Clone()}
+		order = append(order, k)
+	}
+	out := &Database{Complete: cloneFlags(db.Complete)}
+	for _, k := range order {
+		out.Worlds = append(out.Worlds, merged[k].w)
+	}
+	return out
+}
+
+func worldKey(w World) string {
+	names := make([]string, 0, len(w.Rels))
+	for n := range w.Rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	key := ""
+	for _, n := range names {
+		key += n + "{"
+		for _, t := range w.Rels[n].Sorted() {
+			key += t.Key() + ";"
+		}
+		key += "}"
+	}
+	return key
+}
+
+// SelectWorldwise, ProjectWorldwise etc. are thin helpers exposing the
+// world-wise relational algebra used by the reference evaluator.
+
+// SelectWorldwise applies σ in every world.
+func SelectWorldwise(r *rel.Relation, pred expr.Pred) *rel.Relation {
+	out := rel.NewRelation(r.Schema())
+	for _, t := range r.Tuples() {
+		if pred.Holds(expr.Env{Schema: r.Schema(), Tuple: t}) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// ProjectWorldwise applies the generalized projection in one world.
+func ProjectWorldwise(r *rel.Relation, targets []expr.Target) *rel.Relation {
+	schema := make(rel.Schema, len(targets))
+	for i, tg := range targets {
+		schema[i] = tg.As
+	}
+	out := rel.NewRelation(rel.NewSchema(schema...))
+	for _, t := range r.Tuples() {
+		env := expr.Env{Schema: r.Schema(), Tuple: t}
+		row := make(rel.Tuple, len(targets))
+		for i, tg := range targets {
+			row[i] = tg.Expr.Eval(env)
+		}
+		out.Add(row)
+	}
+	return out
+}
+
+// ProductWorldwise applies × in one world; attribute names must be
+// disjoint.
+func ProductWorldwise(a, b *rel.Relation) (*rel.Relation, error) {
+	for _, attr := range b.Schema() {
+		if a.Schema().Has(attr) {
+			return nil, fmt.Errorf("worlds: product schemas share attribute %q", attr)
+		}
+	}
+	out := rel.NewRelation(rel.NewSchema(append(a.Schema().Clone(), b.Schema()...)...))
+	for _, ta := range a.Tuples() {
+		for _, tb := range b.Tuples() {
+			out.Add(append(ta.Clone(), tb...))
+		}
+	}
+	return out, nil
+}
+
+// JoinWorldwise applies the natural join in one world.
+func JoinWorldwise(a, b *rel.Relation) *rel.Relation {
+	common := a.Schema().Common(b.Schema())
+	var bExtra []string
+	for _, attr := range b.Schema() {
+		if !a.Schema().Has(attr) {
+			bExtra = append(bExtra, attr)
+		}
+	}
+	out := rel.NewRelation(rel.NewSchema(append(a.Schema().Clone(), bExtra...)...))
+	for _, ta := range a.Tuples() {
+		for _, tb := range b.Tuples() {
+			match := true
+			for _, c := range common {
+				if !rel.Equal(a.Value(ta, c), b.Value(tb, c)) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			row := ta.Clone()
+			for _, c := range bExtra {
+				row = append(row, b.Value(tb, c))
+			}
+			out.Add(row)
+		}
+	}
+	return out
+}
+
+// UnionWorldwise applies ∪ in one world.
+func UnionWorldwise(a, b *rel.Relation) (*rel.Relation, error) {
+	if !a.Schema().Equal(b.Schema()) {
+		return nil, fmt.Errorf("worlds: union schema mismatch")
+	}
+	out := a.Clone()
+	for _, t := range b.Tuples() {
+		out.Add(t)
+	}
+	return out, nil
+}
+
+// DiffWorldwise applies − in one world.
+func DiffWorldwise(a, b *rel.Relation) (*rel.Relation, error) {
+	if !a.Schema().Equal(b.Schema()) {
+		return nil, fmt.Errorf("worlds: difference schema mismatch")
+	}
+	out := rel.NewRelation(a.Schema())
+	for _, t := range a.Tuples() {
+		if !b.Contains(t) {
+			out.Add(t)
+		}
+	}
+	return out, nil
+}
+
+// Expand converts a U-relational database into its explicit set of
+// possible worlds by enumerating all total assignments of the variable
+// table (Theorem 3.1 direction "representation → worlds"). The limit
+// guards against exponential blowups in tests.
+func Expand(db *urel.Database, limit int64) (*Database, error) {
+	n := db.Vars.WorldCount()
+	if n < 0 || (limit > 0 && n > limit) {
+		return nil, fmt.Errorf("worlds: world count %d exceeds limit %d", n, limit)
+	}
+	out := &Database{Complete: cloneFlags(db.Complete)}
+	vars.EnumWorlds(db.Vars, limit, func(w vars.World, weight float64) {
+		rels := make(map[string]*rel.Relation, len(db.Rels))
+		for name, ur := range db.Rels {
+			r := rel.NewRelation(ur.Schema())
+			for _, ut := range ur.Tuples() {
+				if w.Satisfies(ut.D) {
+					r.Add(ut.Row)
+				}
+			}
+			rels[name] = r
+		}
+		out.Worlds = append(out.Worlds, World{P: weight, Rels: rels})
+	})
+	return out, nil
+}

@@ -1,0 +1,285 @@
+package worlds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/rel"
+	"repro/internal/urel"
+	"repro/internal/vars"
+)
+
+func oneWorldDB(rels map[string]*rel.Relation, complete map[string]bool) *Database {
+	return &Database{Worlds: []World{{P: 1, Rels: rels}}, Complete: complete}
+}
+
+func TestValidate(t *testing.T) {
+	r := rel.FromRows(rel.NewSchema("A"), rel.Tuple{rel.Int(1)})
+	db := oneWorldDB(map[string]*rel.Relation{"R": r}, map[string]bool{"R": true})
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Weights not summing to 1.
+	bad := &Database{Worlds: []World{{P: 0.5, Rels: map[string]*rel.Relation{"R": r}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("weight sum violation not detected")
+	}
+	// Complete relation differing across worlds.
+	r2 := rel.FromRows(rel.NewSchema("A"), rel.Tuple{rel.Int(2)})
+	bad2 := &Database{
+		Worlds: []World{
+			{P: 0.5, Rels: map[string]*rel.Relation{"R": r}},
+			{P: 0.5, Rels: map[string]*rel.Relation{"R": r2}},
+		},
+		Complete: map[string]bool{"R": true},
+	}
+	if err := bad2.Validate(); err == nil {
+		t.Error("complete-relation violation not detected")
+	}
+	bad2.Complete = map[string]bool{}
+	if err := bad2.Validate(); err != nil {
+		t.Errorf("non-complete differing relations should be fine: %v", err)
+	}
+}
+
+// Example 2.2 end to end on the worlds engine: the eight possible worlds
+// and the conditional probability 1/3 vs 2/3.
+func TestCoinExampleWorldwise(t *testing.T) {
+	coins := rel.FromRows(rel.NewSchema("CoinType", "Count"),
+		rel.Tuple{rel.String("fair"), rel.Int(2)},
+		rel.Tuple{rel.String("2headed"), rel.Int(1)},
+	)
+	db := oneWorldDB(map[string]*rel.Relation{"Coins": coins}, map[string]bool{"Coins": true})
+
+	// R := π_CoinType(repair-key_∅@Count(Coins))
+	db, err := db.RepairKey("RK", "Coins", nil, "Count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db = db.Map("R", func(w World) *rel.Relation {
+		return ProjectWorldwise(w.Rels["RK"], []expr.Target{expr.Keep("CoinType")})
+	})
+	if len(db.Worlds) != 2 {
+		t.Fatalf("worlds after coin choice = %d, want 2", len(db.Worlds))
+	}
+	pr := db.TupleConfidence("R", rel.Tuple{rel.String("fair")})
+	if math.Abs(pr-2.0/3) > 1e-12 {
+		t.Errorf("P(fair) = %v, want 2/3", pr)
+	}
+}
+
+func TestConfAndPoss(t *testing.T) {
+	rA := rel.FromRows(rel.NewSchema("A"), rel.Tuple{rel.Int(1)})
+	rB := rel.FromRows(rel.NewSchema("A"), rel.Tuple{rel.Int(1)}, rel.Tuple{rel.Int(2)})
+	db := &Database{Worlds: []World{
+		{P: 0.25, Rels: map[string]*rel.Relation{"R": rA}},
+		{P: 0.75, Rels: map[string]*rel.Relation{"R": rB}},
+	}}
+	conf := db.Conf("R", "P")
+	if conf.Len() != 2 {
+		t.Fatalf("conf len = %d", conf.Len())
+	}
+	for _, tp := range conf.Tuples() {
+		a := conf.Value(tp, "A").AsInt()
+		p := conf.Value(tp, "P").AsFloat()
+		want := 1.0
+		if a == 2 {
+			want = 0.75
+		}
+		if math.Abs(p-want) > 1e-12 {
+			t.Errorf("conf(%d) = %v, want %v", a, p, want)
+		}
+	}
+	if db.Poss("R").Len() != 2 {
+		t.Error("poss wrong")
+	}
+}
+
+func TestNormalizeMergesEqualWorlds(t *testing.T) {
+	r := rel.FromRows(rel.NewSchema("A"), rel.Tuple{rel.Int(1)})
+	db := &Database{Worlds: []World{
+		{P: 0.25, Rels: map[string]*rel.Relation{"R": r}},
+		{P: 0.75, Rels: map[string]*rel.Relation{"R": r.Clone()}},
+	}}
+	n := db.Normalize()
+	if len(n.Worlds) != 1 {
+		t.Fatalf("normalize left %d worlds", len(n.Worlds))
+	}
+	if math.Abs(n.Worlds[0].P-1) > 1e-12 {
+		t.Errorf("merged weight = %v", n.Worlds[0].P)
+	}
+}
+
+func TestExpandRoundTrip(t *testing.T) {
+	// Build a U-relational DB, expand to worlds, check tuple confidences
+	// agree with exact dnf computation through urel.ConfExact.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		udb := urel.NewDatabase()
+		nv := 1 + rng.Intn(4)
+		for i := 0; i < nv; i++ {
+			p := 0.1 + 0.8*rng.Float64()
+			udb.Vars.Add(varName(i), []float64{p, 1 - p}, nil)
+		}
+		r := urel.NewRelation(rel.NewSchema("A"))
+		nt := 1 + rng.Intn(5)
+		for i := 0; i < nt; i++ {
+			var bs []vars.Binding
+			for v := 0; v < nv; v++ {
+				if rng.Intn(2) == 0 {
+					bs = append(bs, vars.Binding{Var: vars.Var(v), Alt: int32(rng.Intn(2))})
+				}
+			}
+			a, _ := vars.NewAssignment(bs...)
+			r.Add(a, rel.Tuple{rel.Int(int64(rng.Intn(3)))})
+		}
+		udb.AddURelation("R", r, false)
+
+		wdb, err := Expand(udb, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wdb.Validate(); err != nil {
+			t.Fatalf("expanded database invalid: %v", err)
+		}
+		confU, err := urel.ConfExact(r, udb.Vars, "P")
+		if err != nil {
+			t.Fatal(err)
+		}
+		confW := wdb.Conf("R", "P")
+		for _, tp := range confU.Tuples() {
+			a := confU.Value(tp, "A")
+			pu := confU.Value(tp, "P").AsFloat()
+			pw := wdb.TupleConfidence("R", rel.Tuple{a})
+			if math.Abs(pu-pw) > 1e-9 {
+				t.Fatalf("trial %d: conf mismatch for %v: urel %v vs worlds %v", trial, a, pu, pw)
+			}
+		}
+		// Same number of possible tuples both ways (modulo zero-confidence
+		// tuples, which cannot occur since assignments have positive
+		// weight).
+		if confU.Len() != confW.Len() {
+			t.Fatalf("poss size mismatch: %d vs %d", confU.Len(), confW.Len())
+		}
+	}
+}
+
+func varName(i int) string { return "w" + string(rune('a'+i)) }
+
+func TestWorldwiseOpsMatchURel(t *testing.T) {
+	// σ, π, ⋈, ∪ on a U-relational DB must commute with expansion.
+	tab := vars.NewTable()
+	x := tab.Add("x", []float64{0.4, 0.6}, nil)
+	y := tab.Add("y", []float64{0.5, 0.5}, nil)
+
+	r := urel.NewRelation(rel.NewSchema("A", "B"))
+	r.Add(vars.MustAssignment(vars.Binding{Var: x, Alt: 0}), rel.Tuple{rel.Int(1), rel.Int(10)})
+	r.Add(vars.MustAssignment(vars.Binding{Var: x, Alt: 1}), rel.Tuple{rel.Int(2), rel.Int(20)})
+	r.Add(nil, rel.Tuple{rel.Int(3), rel.Int(30)})
+
+	s := urel.NewRelation(rel.NewSchema("B", "C"))
+	s.Add(vars.MustAssignment(vars.Binding{Var: y, Alt: 0}), rel.Tuple{rel.Int(10), rel.String("u")})
+	s.Add(vars.MustAssignment(vars.Binding{Var: x, Alt: 0}), rel.Tuple{rel.Int(30), rel.String("v")})
+
+	udb := urel.NewDatabase()
+	udb.Vars = tab
+	udb.AddURelation("R", r, false)
+	udb.AddURelation("S", s, false)
+
+	// U-relational: J := R ⋈ S, then conf.
+	j := urel.Join(r, s)
+	confU, err := urel.ConfExact(j, tab, "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Worlds: expand, join world-wise, conf.
+	wdb, err := Expand(udb, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj := wdb.Map("J", func(w World) *rel.Relation {
+		return JoinWorldwise(w.Rels["R"], w.Rels["S"])
+	})
+	confW := wj.Conf("J", "P")
+
+	if confU.Len() != confW.Len() {
+		t.Fatalf("join conf sizes differ: %d vs %d\nU:\n%s\nW:\n%s", confU.Len(), confW.Len(), confU, confW)
+	}
+	for _, tp := range confU.Tuples() {
+		row := tp[:len(tp)-1]
+		pu := confU.Value(tp, "P").AsFloat()
+		pw := wj.TupleConfidence("J", row)
+		if math.Abs(pu-pw) > 1e-9 {
+			t.Errorf("join conf mismatch for %v: %v vs %v", row, pu, pw)
+		}
+	}
+}
+
+func TestWorldwiseHelpers(t *testing.T) {
+	a := rel.FromRows(rel.NewSchema("A"), rel.Tuple{rel.Int(1)}, rel.Tuple{rel.Int(2)})
+	b := rel.FromRows(rel.NewSchema("B"), rel.Tuple{rel.Int(3)})
+	p, err := ProductWorldwise(a, b)
+	if err != nil || p.Len() != 2 {
+		t.Fatalf("product: %v len=%d", err, p.Len())
+	}
+	if _, err := ProductWorldwise(a, a); err == nil {
+		t.Error("shared attrs must fail")
+	}
+	s := SelectWorldwise(a, expr.Gt(expr.A("A"), expr.CInt(1)))
+	if s.Len() != 1 {
+		t.Error("select wrong")
+	}
+	c := rel.FromRows(rel.NewSchema("A"), rel.Tuple{rel.Int(2)})
+	u, err := UnionWorldwise(a, c)
+	if err != nil || u.Len() != 2 {
+		t.Error("union wrong")
+	}
+	d, err := DiffWorldwise(a, c)
+	if err != nil || d.Len() != 1 {
+		t.Error("diff wrong")
+	}
+	if _, err := UnionWorldwise(a, b); err == nil {
+		t.Error("union schema mismatch must fail")
+	}
+	if _, err := DiffWorldwise(a, b); err == nil {
+		t.Error("diff schema mismatch must fail")
+	}
+}
+
+func TestRepairKeyWeightsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		rows := make([]rel.Tuple, 0, 6)
+		n := 2 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			rows = append(rows, rel.Tuple{
+				rel.Int(int64(rng.Intn(2))), // key
+				rel.Int(int64(i)),           // payload
+				rel.Float(0.1 + rng.Float64()),
+			})
+		}
+		r := rel.FromRows(rel.NewSchema("K", "V", "W"), rows...)
+		db := oneWorldDB(map[string]*rel.Relation{"R": r}, map[string]bool{"R": true})
+		out, err := db.RepairKey("S", "R", []string{"K"}, "W")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("repair-key output invalid: %v", err)
+		}
+		// Every repair respects the key: one tuple per key group.
+		for _, w := range out.Worlds {
+			seen := map[string]bool{}
+			for _, tp := range w.Rels["S"].Tuples() {
+				k := tp[0].Key()
+				if seen[k] {
+					t.Fatal("repair violates key constraint")
+				}
+				seen[k] = true
+			}
+		}
+	}
+}
