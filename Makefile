@@ -1,0 +1,34 @@
+# Single source of truth for build/verify commands: CI invokes these same
+# targets, so a green `make ci` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test race bench fuzz vet fmt-check ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages with real concurrency (the scheduler, the
+# mergeable estimator, and the parallel engine) plus everything they feed.
+race:
+	$(GO) test -race ./internal/...
+
+# One pass over every benchmark — the trajectory baseline CI uploads as an
+# artifact; not a statistically stable measurement.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/parser
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+ci: vet fmt-check build test race fuzz

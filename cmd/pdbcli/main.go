@@ -45,18 +45,19 @@ func main() {
 		eps0      = flag.Float64("eps0", 0.05, "ε₀ for approximate evaluation")
 		delta     = flag.Float64("delta", 0.1, "target per-tuple error δ")
 		seed      = flag.Int64("seed", 1, "random seed for approximate evaluation")
+		workers   = flag.Int("workers", 0, "parallel estimation workers (0 = GOMAXPROCS); results are seed-determined regardless")
 		explain   = flag.Bool("explain", false, "print the plan with inferred schemas instead of evaluating")
 	)
 	flag.Var(&rels, "rel", "Name=path.csv — a complete relation to load (repeatable)")
 	flag.Parse()
 
-	if err := run(rels, *query, *queryFile, *approx, *explain, *eps0, *delta, *seed); err != nil {
+	if err := run(rels, *query, *queryFile, *approx, *explain, *eps0, *delta, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "pdbcli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rels relFlags, query, queryFile string, approx, explain bool, eps0, delta float64, seed int64) error {
+func run(rels relFlags, query, queryFile string, approx, explain bool, eps0, delta float64, seed int64, workers int) error {
 	src := query
 	if queryFile != "" {
 		data, err := os.ReadFile(queryFile)
@@ -110,7 +111,7 @@ func run(rels relFlags, query, queryFile string, approx, explain bool, eps0, del
 		return nil
 	}
 
-	eng := core.NewEngine(db, core.Options{Eps0: eps0, Delta: delta, Seed: seed})
+	eng := core.NewEngine(db, core.Options{Eps0: eps0, Delta: delta, Seed: seed, Workers: workers})
 	res, err := eng.EvalApprox(q)
 	if err != nil {
 		return err

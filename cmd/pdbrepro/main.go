@@ -17,13 +17,14 @@ import (
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment id (E1..E10) or 'all'")
-		seed  = flag.Int64("seed", 2008, "random seed (PODS'08 vintage)")
-		quick = flag.Bool("quick", false, "shrink trial counts for a fast pass")
+		which   = flag.String("experiment", "all", "experiment id (E1..E10) or 'all'")
+		seed    = flag.Int64("seed", 2008, "random seed (PODS'08 vintage)")
+		quick   = flag.Bool("quick", false, "shrink trial counts for a fast pass")
+		workers = flag.Int("workers", 0, "parallel estimation workers for engine-backed experiments (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
 	if *which != "all" {
 		run, title, ok := experiments.Lookup(*which)
 		if !ok {

@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/algebra"
-	"repro/internal/dnf"
 	"repro/internal/expr"
 	"repro/internal/karpluby"
 	"repro/internal/provenance"
@@ -16,22 +16,40 @@ import (
 // approxConf implements conf_{ε,δ} (Section 4 / Corollary 4.3): the output
 // is a complete relation with an estimated P column; per-tuple membership
 // bounds are inherited from the input (the P value itself carries the
-// (ε,δ) relative-error guarantee).
+// (ε,δ) relative-error guarantee). Estimation is fanned out across the
+// engine's worker pool: every tuple becomes a job keyed by its lineage
+// row, so its PRNG streams — and hence its estimate — depend only on
+// Options.Seed, not on the worker count or on other tuples.
 func (run *evalRun) approxConf(in *evalResult, pcol string) (*evalResult, error) {
 	if in.rel.Schema().Has(pcol) {
 		return nil, fmt.Errorf("core: conf column %q already in schema %v", pcol, in.rel.Schema())
 	}
 	eps, delta := run.engine.opts.confEps(), run.engine.opts.confDelta()
-	out := urel.NewRelation(rel.NewSchema(append(in.rel.Schema().Clone(), pcol)...))
-	errs := provenance.Reliable()
-	sing := map[string]bool{}
-	for _, tc := range urel.Lineage(in.rel) {
-		p, trials, err := run.estimateConfidence(tc.F, eps, delta)
+	run.confOps++
+	keyPrefix := "conf:" + strconv.Itoa(run.confOps) + ":"
+	lineage := urel.Lineage(in.rel)
+	cvs := make([]*confValue, len(lineage))
+	var jobs []*estimateJob
+	budget := func(clauses int) int64 { return karpluby.TrialsFor(eps, delta, clauses) }
+	for i, tc := range lineage {
+		// The singleton shortcut is always on here: a single clause's
+		// weight is its exact probability (the estimator would return it
+		// deterministically anyway).
+		cv, job, err := run.newJob(tc.F, keyPrefix+tc.Row.Key(), budget, true)
 		if err != nil {
 			return nil, err
 		}
-		run.trials += trials
-		outRow := append(tc.Row.Clone(), rel.Float(p))
+		cvs[i] = cv
+		if job != nil {
+			jobs = append(jobs, job)
+		}
+	}
+	run.runEstimates(jobs)
+	out := urel.NewRelation(rel.NewSchema(append(in.rel.Schema().Clone(), pcol)...))
+	errs := provenance.Reliable()
+	sing := map[string]bool{}
+	for i, tc := range lineage {
+		outRow := append(tc.Row.Clone(), rel.Float(cvs[i].estimate()))
 		out.Add(nil, outRow)
 		inKey := tc.Row.Key()
 		outKey := outRow.Key()
@@ -43,28 +61,6 @@ func (run *evalRun) approxConf(in *evalResult, pcol string) (*evalResult, error)
 		}
 	}
 	return &evalResult{rel: out, complete: true, errs: errs, singular: sing}, nil
-}
-
-// estimateConfidence runs the Karp–Luby FPRAS for one clause set, with the
-// singleton short-circuit: a single clause's weight is its exact
-// probability (the estimator would return it deterministically anyway).
-func (run *evalRun) estimateConfidence(f dnf.F, eps, delta float64) (float64, int64, error) {
-	f = f.Dedup()
-	switch {
-	case len(f) == 0:
-		return 0, 0, nil
-	case len(f[0]) == 0:
-		return 1, 0, nil
-	case len(f) == 1:
-		return f[0].Weight(run.db.Vars), 0, nil
-	}
-	est, err := karpluby.NewEstimator(f, run.db.Vars, run.engine.rng)
-	if err != nil {
-		return 0, 0, err
-	}
-	m := karpluby.TrialsFor(eps, delta, est.ClauseCount())
-	est.Add(int(m))
-	return est.Estimate(), est.Trials(), nil
 }
 
 // confValue is one approximable conf[Āᵢ] term of a σ̂ group: either an
@@ -100,6 +96,10 @@ func (cv *confValue) delta(eps float64) float64 {
 // membership error of an emitted tuple is bounded per Lemma 6.4(2) by
 // Σᵢ δᵢ(ε) plus the provenance error of the conf inputs.
 func (run *evalRun) approxSelect(in *evalResult, n algebra.ApproxSelect) (*evalResult, error) {
+	run.shatOps++
+	keyPrefix := "shat:" + strconv.Itoa(run.shatOps) + ":"
+	roundBudget := func(clauses int) int64 { return run.rounds * int64(clauses) }
+	var jobs []*estimateJob
 	// Build each argument's projected lineage with provenance errors.
 	argTuples := make([][]argTuple, len(n.Args))
 	argSchemas := make([]rel.Schema, len(n.Args))
@@ -139,11 +139,18 @@ func (run *evalRun) approxSelect(in *evalResult, n algebra.ApproxSelect) (*evalR
 		}
 		var tuples []argTuple
 		for _, tc := range urel.Lineage(proj) {
-			cv, trials, err := run.newConfValue(tc.F)
+			// The balanced refinement scheme of the end of Section 5:
+			// run.rounds rounds of |F| trials each. NoSingletonShortcut
+			// forces even single-clause lineages through the estimator
+			// (ablation knob).
+			cv, job, err := run.newJob(tc.F, keyPrefix+strconv.Itoa(i)+":"+tc.Row.Key(),
+				roundBudget, !run.engine.opts.NoSingletonShortcut)
 			if err != nil {
 				return nil, err
 			}
-			run.trials += trials
+			if job != nil {
+				jobs = append(jobs, job)
+			}
 			cv.provErr = provErr[tc.Row.Key()]
 			cv.singular = provSing[tc.Row.Key()]
 			tuples = append(tuples, argTuple{row: tc.Row, cv: cv, attr: proj.Schema()})
@@ -151,6 +158,10 @@ func (run *evalRun) approxSelect(in *evalResult, n algebra.ApproxSelect) (*evalR
 		argTuples[i] = tuples
 		argSchemas[i] = proj.Schema()
 	}
+	// Spend every argument tuple's trial budget in one pooled batch: the
+	// scheduler sees all (tuple, chunk) tasks at once and keeps every
+	// worker busy across argument boundaries.
+	run.runEstimates(jobs)
 
 	// Output schema: union of argument attributes in order of first
 	// appearance, then P1..Pk.
@@ -213,27 +224,6 @@ func keepTargets(attrs []string) []expr.Target {
 		out[i] = expr.Keep(a)
 	}
 	return out
-}
-
-// newConfValue wraps one clause set as an exact value or a refined
-// estimator (run.rounds rounds of |F| trials, the balanced scheme of the
-// end of Section 5).
-func (run *evalRun) newConfValue(f dnf.F) (*confValue, int64, error) {
-	f = f.Dedup()
-	switch {
-	case len(f) == 0:
-		return &confValue{exact: true, value: 0}, 0, nil
-	case len(f[0]) == 0:
-		return &confValue{exact: true, value: 1}, 0, nil
-	case len(f) == 1 && !run.engine.opts.NoSingletonShortcut:
-		return &confValue{exact: true, value: f[0].Weight(run.db.Vars)}, 0, nil
-	}
-	est, err := karpluby.NewEstimator(f, run.db.Vars, run.engine.rng)
-	if err != nil {
-		return nil, 0, err
-	}
-	est.Add(int(run.rounds) * est.ClauseCount())
-	return &confValue{est: est}, est.Trials(), nil
 }
 
 // mergeBindings extends the attribute bindings with a tuple's values,

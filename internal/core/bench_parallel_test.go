@@ -1,0 +1,92 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/predapprox"
+	"repro/internal/rel"
+	"repro/internal/urel"
+	"repro/internal/vars"
+)
+
+// gridDB builds a relation whose single data tuple carries an nx·ny-clause
+// DNF lineage: clause (i,j) asserts x_i = 0 ∧ y_j = 0 over nx+ny shared
+// binary variables. Shared variables keep vars(F) small (so per-trial cost
+// is dominated by clause sampling and the minimality scan, as in the
+// paper's hard instances) while the clause count — the FPRAS's m = O(|F|)
+// driver — is large.
+func gridDB(nx, ny int) *urel.Database {
+	db := urel.NewDatabase()
+	xs := make([]vars.Var, nx)
+	ys := make([]vars.Var, ny)
+	for i := range xs {
+		xs[i] = db.Vars.Add("x"+strconv.Itoa(i), []float64{0.05, 0.95}, nil)
+	}
+	for j := range ys {
+		ys[j] = db.Vars.Add("y"+strconv.Itoa(j), []float64{0.05, 0.95}, nil)
+	}
+	r := urel.NewRelation(rel.NewSchema("ID"))
+	for i := range xs {
+		for j := range ys {
+			r.Add(vars.MustAssignment(
+				vars.Binding{Var: xs[i], Alt: 0},
+				vars.Binding{Var: ys[j], Alt: 0},
+			), rel.Tuple{rel.Int(0)})
+		}
+	}
+	db.AddURelation("R", r, false)
+	return db
+}
+
+// BenchmarkConfParallel measures the parallel confidence engine on a
+// single tuple with a 10,000-clause DNF lineage — the shape where one
+// heavy tuple must be split across workers (chunk-level parallelism, not
+// just tuple-level). The round cap fixes the trial budget so all worker
+// counts do identical work; on multi-core hardware workers=4 should run
+// ≥ 2× faster than workers=1 (on a single-core machine the variants tie).
+func BenchmarkConfParallel(b *testing.B) {
+	db := gridDB(100, 100)
+	q := algebra.ApproxSelect{
+		In:   algebra.Base{Name: "R"},
+		Args: []algebra.ConfArg{{Attrs: []string{"ID"}}},
+		Pred: predapprox.Linear([]float64{1}, 0.5),
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			eng := NewEngine(db, Options{
+				Eps0: 0.05, Delta: 0.1, Seed: 1, Workers: w,
+				InitialRounds: 8, MaxRounds: 8,
+			})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.EvalApprox(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConfManyTuples measures tuple-level fan-out: 512 independent
+// tuples with small multi-clause lineages, the common shape of conf over a
+// repair-key query.
+func BenchmarkConfManyTuples(b *testing.B) {
+	db := clusterDB(512, 4)
+	q := algebra.Conf{In: algebra.Base{Name: "R"}}
+	for _, w := range []int{1, 2, 4} {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			eng := NewEngine(db, Options{
+				Eps0: 0.1, Delta: 0.1, ConfEps: 0.1, ConfDelta: 0.1,
+				Seed: 1, Workers: w,
+			})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.EvalApprox(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -15,13 +15,13 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"strconv"
 
 	"repro/internal/algebra"
 	"repro/internal/expr"
 	"repro/internal/provenance"
 	"repro/internal/rel"
+	"repro/internal/sched"
 	"repro/internal/urel"
 )
 
@@ -43,12 +43,21 @@ type Options struct {
 	// (Corollary 4.3). Zero values default to Eps0 and Delta.
 	ConfEps   float64
 	ConfDelta float64
-	// Seed seeds the engine's deterministic random source.
+	// Seed seeds the engine's deterministic random source. Every
+	// estimation task derives its own PRNG streams from Seed plus a
+	// stable task key, so equal seeds give bit-identical results for any
+	// Workers value.
 	Seed int64
+	// Workers is the number of goroutines the engine fans Karp–Luby
+	// estimation out across; 0 (the default) selects GOMAXPROCS. Results
+	// are independent of the value — it only changes wall-clock time.
+	Workers int
 	// NoSingletonShortcut disables the optimization that treats
-	// single-clause lineages as exact values (δᵢ = 0): with it set, every
-	// confidence goes through the Karp–Luby estimator. Ablation knob for
-	// the benchmark suite.
+	// single-clause lineages as exact values (δᵢ = 0) in σ̂ decisions:
+	// with it set, every σ̂ confidence goes through the Karp–Luby
+	// estimator. Standalone conf operators always shortcut singletons
+	// (the estimator would return the clause weight deterministically
+	// anyway). Ablation knob for the benchmark suite.
 	NoSingletonShortcut bool
 	// IndependentBounds combines per-decision error bounds with the
 	// independence form 1 − Π(1−δᵢ) of Lemma 5.1 instead of the union
@@ -137,13 +146,13 @@ func (r *Result) MaxNonSingularError() float64 {
 type Engine struct {
 	db   *urel.Database
 	opts Options
-	rng  *rand.Rand
+	pool *sched.Pool
 }
 
 // NewEngine builds an engine over db. The database is cloned per
 // evaluation, never mutated.
 func NewEngine(db *urel.Database, opts Options) *Engine {
-	return &Engine{db: db, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+	return &Engine{db: db, opts: opts, pool: sched.New(opts.Workers)}
 }
 
 // DB returns the engine's database.
@@ -259,11 +268,17 @@ func finishResult(r *evalResult, stats Stats) *Result {
 
 // evalRun is one pass of approximate evaluation at a fixed round budget.
 type evalRun struct {
-	engine    *Engine
-	db        *urel.Database
-	rounds    int64
-	nextRK    int
-	trials    int64
+	engine *Engine
+	db     *urel.Database
+	rounds int64
+	nextRK int
+	trials int64
+	// confOps/shatOps count conf and σ̂ operators in evaluation order;
+	// they prefix estimation task keys so two operators over identical
+	// rows still draw decorrelated PRNG streams. Evaluation order is
+	// deterministic, so the keys are stable across runs and restarts.
+	confOps   int
+	shatOps   int
 	decisions int
 	// worstDecision is the largest non-singular per-decision error bound
 	// seen, including negative decisions (whose tuples do not appear in

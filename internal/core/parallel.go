@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/dnf"
+	"repro/internal/karpluby"
+	"repro/internal/sched"
+)
+
+// minChunkTrials is the smallest trial chunk the scheduler hands a worker.
+// Large enough to amortize per-chunk setup (one PRNG + one estimator
+// shard), small enough that a single heavy tuple still splits into many
+// chunks and saturates the pool.
+const minChunkTrials = 4096
+
+// chunkTrials returns the chunk size for a clause set of k clauses: a
+// whole number of Figure-3 rounds (k trials each) totalling at least
+// minChunkTrials trials. Round-aligned chunks keep the paper's
+// per-round error bookkeeping intact, and the size depends only on k —
+// never on the worker count — so the chunk plan (and therefore every
+// chunk's PRNG stream) is identical no matter how many workers run it.
+func chunkTrials(k int) int64 {
+	rounds := (minChunkTrials + k - 1) / k
+	return int64(rounds) * int64(k)
+}
+
+// estimateJob is one pending Karp–Luby estimation: a merge-target
+// estimator, the deterministic per-task seed its chunk streams derive
+// from, and the total trial budget to spend.
+type estimateJob struct {
+	est   *karpluby.Estimator
+	seed  int64
+	total int64
+	mu    sync.Mutex
+}
+
+// newJob classifies one clause set as an exact confidence value (empty,
+// tautological, or — when shortcutSingleton — single-clause lineage) or
+// an estimation job with the trial budget given by trials(|F|). The job's
+// seed is derived from Options.Seed and the caller's task key, so equal
+// seeds give bit-identical estimates for any worker count.
+func (run *evalRun) newJob(f dnf.F, key string, trials func(clauses int) int64, shortcutSingleton bool) (*confValue, *estimateJob, error) {
+	f = f.Dedup()
+	switch {
+	case len(f) == 0:
+		return &confValue{exact: true, value: 0}, nil, nil
+	case len(f[0]) == 0:
+		return &confValue{exact: true, value: 1}, nil, nil
+	case len(f) == 1 && shortcutSingleton:
+		return &confValue{exact: true, value: f[0].Weight(run.db.Vars)}, nil, nil
+	}
+	est, err := karpluby.NewEstimator(f, run.db.Vars, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	job := &estimateJob{
+		est:   est,
+		seed:  sched.TaskSeed(run.engine.opts.Seed, key),
+		total: trials(est.ClauseCount()),
+	}
+	return &confValue{est: est}, job, nil
+}
+
+// runEstimates spends every job's trial budget across the engine's worker
+// pool. All jobs' chunk plans are flattened into one task list, so the
+// pool load-balances across tuples and within a single large tuple alike.
+// Each chunk samples on a shard estimator whose PRNG stream is fixed by
+// (job seed, chunk index); merged hit/trial counts are integer sums, hence
+// independent of scheduling order and worker count.
+func (run *evalRun) runEstimates(jobs []*estimateJob) {
+	type chunkTask struct {
+		job *estimateJob
+		c   sched.Chunk
+	}
+	var tasks []chunkTask
+	for _, j := range jobs {
+		for _, c := range sched.Chunks(j.total, chunkTrials(j.est.ClauseCount())) {
+			tasks = append(tasks, chunkTask{job: j, c: c})
+		}
+	}
+	// fn never fails; ForEach's error is structurally nil.
+	_ = run.engine.pool.ForEach(len(tasks), func(i int) error {
+		t := tasks[i]
+		sh := t.job.est.Shard(rand.New(rand.NewSource(sched.ChunkSeed(t.job.seed, t.c.Index))))
+		sh.Add(int(t.c.N))
+		t.job.mu.Lock()
+		t.job.est.Merge(sh)
+		t.job.mu.Unlock()
+		return nil
+	})
+	for _, j := range jobs {
+		run.trials += j.est.Trials()
+	}
+}

@@ -42,7 +42,7 @@ func E9ProvenanceBounds(w io.Writer, cfg Config) (Summary, error) {
 			proj := algebra.Project{In: sel, Targets: []expr.Target{expr.As("C", expr.CInt(1))}}
 
 			// Fix the round budget so bounds are comparable across runs.
-			opts := core.Options{Eps0: eps0, Delta: delta, Seed: seed, InitialRounds: 256, MaxRounds: 256}
+			opts := core.Options{Eps0: eps0, Delta: delta, Seed: seed, Workers: cfg.Workers, InitialRounds: 256, MaxRounds: 256}
 			selRes, err := core.NewEngine(db, opts).EvalApprox(sel)
 			if err != nil {
 				return s, err
@@ -121,7 +121,7 @@ func E10QueryApprox(w io.Writer, cfg Config) (Summary, error) {
 			}
 			exactIDs := urel.Poss(exact.Rel).Project("ID")
 
-			eng := core.NewEngine(db, core.Options{Eps0: eps0, Delta: delta, Seed: seed})
+			eng := core.NewEngine(db, core.Options{Eps0: eps0, Delta: delta, Seed: seed, Workers: cfg.Workers})
 			t0 := time.Now()
 			res, err := eng.EvalApprox(q)
 			if err != nil {
@@ -174,7 +174,7 @@ func E10QueryApprox(w io.Writer, cfg Config) (Summary, error) {
 	// coin database.
 	db := CoinDatabase()
 	q := condProbQuery()
-	eng := core.NewEngine(db, core.Options{Eps0: 0.05, Delta: 0.1, Seed: 1})
+	eng := core.NewEngine(db, core.Options{Eps0: 0.05, Delta: 0.1, Seed: 1, Workers: cfg.Workers})
 	res, err := eng.EvalApprox(q)
 	if err != nil {
 		return s, err

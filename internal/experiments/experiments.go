@@ -17,6 +17,10 @@ type Config struct {
 	Seed int64
 	// Quick shrinks trial counts for use in tests and benchmarks.
 	Quick bool
+	// Workers sets the engine's estimation parallelism for the
+	// engine-backed experiments (E9/E10); 0 selects GOMAXPROCS. Tables
+	// are worker-count-independent by the engine's determinism contract.
+	Workers int
 }
 
 func (c Config) scale(full, quick int) int {

@@ -24,8 +24,9 @@ import (
 )
 
 // Estimator is an incremental Karp–Luby confidence estimator for a single
-// clause set F. It is not safe for concurrent use; create one per
-// goroutine.
+// clause set F. It is not safe for concurrent use; for parallel sampling,
+// derive per-goroutine shards with Shard and fold their counts back with
+// Merge.
 type Estimator struct {
 	f      dnf.F
 	table  *vars.Table
@@ -48,6 +49,10 @@ var ErrEmpty = errors.New("karpluby: empty clause set")
 // removed first (they would bias M but not p). A clause set containing the
 // empty assignment has confidence exactly 1; the estimator handles it by
 // construction (single clause, always minimal).
+//
+// rng may be nil for an estimator used only as a merge target (a
+// "template" whose trials all come from shards); calling Step, Add, or
+// Confidence-style sampling on a nil-rng estimator panics.
 func NewEstimator(f dnf.F, table *vars.Table, rng *rand.Rand) (*Estimator, error) {
 	f = f.Dedup()
 	if len(f) == 0 {
@@ -81,6 +86,42 @@ func (e *Estimator) M() float64 { return e.m }
 
 // Trials returns the number of estimator invocations so far.
 func (e *Estimator) Trials() int64 { return e.trials }
+
+// Hits returns the number of successful trials Σ X_i so far.
+func (e *Estimator) Hits() int64 { return e.hits }
+
+// Shard returns a fresh estimator over the same clause set that samples
+// from rng. The shard shares the parent's immutable clause data (clauses,
+// cumulative weights, variable list) but has its own trial counters and
+// scratch space, so shards of one estimator may run on separate goroutines
+// concurrently. Fold a finished shard's counts back with Merge.
+func (e *Estimator) Shard(rng *rand.Rand) *Estimator {
+	return &Estimator{
+		f:     e.f,
+		table: e.table,
+		vars:  e.vars,
+		m:     e.m,
+		cum:   e.cum,
+		rng:   rng,
+		world: make(map[vars.Var]int32, len(e.vars)),
+	}
+}
+
+// Merge folds shard o's trial counts into e. Both estimators must be over
+// the same clause set (normally o was created by e.Shard). Because the
+// estimate p̂ = X·M/m and the bound δ(ε) depend only on the integer sums
+// X and m, merging is exact and order-independent: any partition of m
+// trials into shards yields bit-identical results. The (ε,δ) guarantee of
+// Proposition 4.2 is preserved — it is a statement about m independent
+// trials regardless of which PRNG stream produced each one, provided the
+// shard streams are independent.
+func (e *Estimator) Merge(o *Estimator) {
+	if len(o.f) != len(e.f) || o.m != e.m {
+		panic("karpluby: merging estimators over different clause sets")
+	}
+	e.hits += o.hits
+	e.trials += o.trials
+}
 
 // sampleOnce runs one Karp–Luby trial (Definition 4.1) and returns 0 or 1.
 func (e *Estimator) sampleOnce() int {

@@ -1,0 +1,156 @@
+// Package sched is the engine's parallel-execution substrate: a fixed-size
+// worker pool for CPU-bound fan-out plus the deterministic seed- and
+// chunk-derivation scheme that makes parallel Monte-Carlo estimation
+// reproducible regardless of worker count.
+//
+// The design splits every estimation task's trial budget into a chunk plan
+// that depends only on the budget and the task's clause count — never on
+// the number of workers. Each chunk carries its own PRNG stream, seeded
+// from (task seed, chunk index) alone, and chunk results are merged with
+// order-independent integer sums. Workers pull chunks from a shared atomic
+// cursor ("adaptive budget": fast workers take more chunks instead of
+// lock-stepping), so scheduling order varies run to run while the merged
+// counts are bit-identical for Workers=1 and Workers=N.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs independent tasks across a fixed set of worker goroutines.
+// A Pool is stateless between calls and safe for concurrent use.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of the given size; workers <= 0 selects
+// runtime.GOMAXPROCS(0).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach runs fn(i) for every i in [0, n), fanning the calls out across
+// the pool's workers. Workers pull indices from a shared cursor, so the
+// assignment of indices to workers is load-adaptive; fn must therefore not
+// depend on which worker runs it. With one worker the calls run in order
+// on the calling goroutine (the sequential reference path).
+//
+// If any call returns an error, remaining unstarted work is abandoned and
+// the error with the smallest index among the calls that ran is returned.
+func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		cursor atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errIdx = -1
+		first  error
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, first = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// Chunk is one slice of a task's trial budget.
+type Chunk struct {
+	Index int   // position in the task's chunk plan
+	N     int64 // trials in this chunk
+}
+
+// Chunks splits a trial budget into chunks of the given size (the last
+// chunk may be smaller). The plan depends only on (total, size), never on
+// worker count — the invariant behind worker-count-independent results.
+func Chunks(total, size int64) []Chunk {
+	if total <= 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = total
+	}
+	out := make([]Chunk, 0, (total+size-1)/size)
+	for off := int64(0); off < total; off += size {
+		n := size
+		if rem := total - off; rem < n {
+			n = rem
+		}
+		out = append(out, Chunk{Index: len(out), N: n})
+	}
+	return out
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-distributed
+// 64-bit mixer (Steele et al., "Fast splittable pseudorandom number
+// generators"). It drives all seed derivation below.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// TaskSeed derives a per-task PRNG seed from a base seed (Options.Seed)
+// and a task key (e.g. an operator index plus a tuple's lineage key). The
+// derivation hashes the key with FNV-1a and mixes it with the base seed,
+// so distinct tuples get decorrelated streams while equal (seed, key)
+// pairs always yield the same stream.
+func TaskSeed(base int64, key string) int64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	return int64(splitmix64(uint64(base) ^ h))
+}
+
+// ChunkSeed derives the PRNG seed of one chunk of a task from the task
+// seed and the chunk's plan index. Because it ignores worker identity,
+// a chunk samples the same stream no matter which worker executes it.
+func ChunkSeed(taskSeed int64, chunk int) int64 {
+	return int64(splitmix64(uint64(taskSeed) + 0x9e3779b97f4a7c15*uint64(chunk+1)))
+}

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		p := New(workers)
+		n := 1000
+		var seen sync.Map
+		var count atomic.Int64
+		if err := p.ForEach(n, func(i int) error {
+			if _, dup := seen.LoadOrStore(i, true); dup {
+				t.Errorf("workers=%d: index %d ran twice", workers, i)
+			}
+			count.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := count.Load(); got != int64(n) {
+			t.Errorf("workers=%d: ran %d of %d indices", workers, got, n)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := New(4).ForEach(0, func(int) error { t.Error("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := New(workers).ForEach(100, func(i int) error {
+			if i == 37 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: got %v, want %v", workers, err, boom)
+		}
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if New(0).Workers() < 1 || New(-3).Workers() < 1 {
+		t.Error("non-positive worker counts must clamp to >= 1")
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Errorf("Workers() = %d, want 7", got)
+	}
+}
+
+func TestChunksPlan(t *testing.T) {
+	cases := []struct {
+		total, size int64
+		want        []int64
+	}{
+		{0, 10, nil},
+		{-5, 10, nil},
+		{10, 10, []int64{10}},
+		{10, 0, []int64{10}},
+		{25, 10, []int64{10, 10, 5}},
+		{30, 10, []int64{10, 10, 10}},
+		{3, 10, []int64{3}},
+	}
+	for _, c := range cases {
+		got := Chunks(c.total, c.size)
+		if len(got) != len(c.want) {
+			t.Errorf("Chunks(%d,%d) = %v, want sizes %v", c.total, c.size, got, c.want)
+			continue
+		}
+		var sum int64
+		for i, ch := range got {
+			if ch.Index != i {
+				t.Errorf("Chunks(%d,%d)[%d].Index = %d", c.total, c.size, i, ch.Index)
+			}
+			if ch.N != c.want[i] {
+				t.Errorf("Chunks(%d,%d)[%d].N = %d, want %d", c.total, c.size, i, ch.N, c.want[i])
+			}
+			sum += ch.N
+		}
+		if c.total > 0 && sum != c.total {
+			t.Errorf("Chunks(%d,%d) covers %d trials", c.total, c.size, sum)
+		}
+	}
+}
+
+func TestSeedDerivationDeterministicAndDistinct(t *testing.T) {
+	if TaskSeed(1, "conf:1:k") != TaskSeed(1, "conf:1:k") {
+		t.Error("TaskSeed is not deterministic")
+	}
+	if TaskSeed(1, "a") == TaskSeed(1, "b") {
+		t.Error("TaskSeed collides across keys")
+	}
+	if TaskSeed(1, "a") == TaskSeed(2, "a") {
+		t.Error("TaskSeed ignores the base seed")
+	}
+	s := TaskSeed(7, "t")
+	if ChunkSeed(s, 0) == ChunkSeed(s, 1) {
+		t.Error("ChunkSeed collides across chunk indices")
+	}
+	if ChunkSeed(s, 3) != ChunkSeed(s, 3) {
+		t.Error("ChunkSeed is not deterministic")
+	}
+}
