@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fuzz vet fmt-check ci
+.PHONY: build test race bench fuzz vet fmt-check docs-check ci
 
 build:
 	$(GO) build ./...
@@ -31,4 +31,12 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: vet fmt-check build test race fuzz
+# Every package (internal, cmd, examples, root) must carry a package-level
+# godoc comment; `go list`'s .Doc field is empty when one is missing.
+docs-check:
+	@missing="$$($(GO) list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...)"; \
+	if [ -n "$$missing" ]; then \
+		echo "packages missing a godoc package comment:"; \
+		echo "$$missing"; exit 1; fi
+
+ci: vet fmt-check docs-check build test race fuzz

@@ -19,10 +19,10 @@ func TestRunCoinQuery(t *testing.T) {
 	dir := t.TempDir()
 	coins := writeFile(t, dir, "coins.csv", "CoinType,Count\nfair,2\n2headed,1\n")
 	query := "conf(project[CoinType](repairkey[@Count](Coins)))"
-	if err := run(relFlags{"Coins=" + coins}, query, "", false, false, 0.05, 0.1, 1, 0); err != nil {
+	if err := run(relFlags{"Coins=" + coins}, query, "", false, false, 0.05, 0.1, 1, 0, true); err != nil {
 		t.Fatalf("exact run failed: %v", err)
 	}
-	if err := run(relFlags{"Coins=" + coins}, query, "", true, false, 0.05, 0.1, 1, 0); err != nil {
+	if err := run(relFlags{"Coins=" + coins}, query, "", true, false, 0.05, 0.1, 1, 0, true); err != nil {
 		t.Fatalf("approx run failed: %v", err)
 	}
 }
@@ -30,11 +30,11 @@ func TestRunCoinQuery(t *testing.T) {
 func TestRunExplain(t *testing.T) {
 	dir := t.TempDir()
 	coins := writeFile(t, dir, "coins.csv", "CoinType,Count\nfair,2\n")
-	if err := run(relFlags{"Coins=" + coins}, "conf(Coins)", "", false, true, 0.05, 0.1, 1, 0); err != nil {
+	if err := run(relFlags{"Coins=" + coins}, "conf(Coins)", "", false, true, 0.05, 0.1, 1, 0, true); err != nil {
 		t.Fatalf("explain run failed: %v", err)
 	}
 	// Schema errors are caught statically.
-	if err := run(relFlags{"Coins=" + coins}, "select[Nope = 1](Coins)", "", false, false, 0.05, 0.1, 1, 0); err == nil {
+	if err := run(relFlags{"Coins=" + coins}, "select[Nope = 1](Coins)", "", false, false, 0.05, 0.1, 1, 0, true); err == nil {
 		t.Error("static schema validation should reject unknown attribute")
 	}
 }
@@ -43,7 +43,7 @@ func TestRunQueryFile(t *testing.T) {
 	dir := t.TempDir()
 	coins := writeFile(t, dir, "coins.csv", "CoinType,Count\nfair,2\n2headed,1\n")
 	qf := writeFile(t, dir, "q.ua", "R := repairkey[@Count](Coins);\nposs(R);\n")
-	if err := run(relFlags{"Coins=" + coins}, "", qf, false, false, 0.05, 0.1, 1, 0); err != nil {
+	if err := run(relFlags{"Coins=" + coins}, "", qf, false, false, 0.05, 0.1, 1, 0, true); err != nil {
 		t.Fatalf("query file run failed: %v", err)
 	}
 }
@@ -65,7 +65,7 @@ func TestRunErrors(t *testing.T) {
 		{"missing query file", nil, "", filepath.Join(dir, "missing.ua")},
 	}
 	for _, c := range cases {
-		if err := run(c.rels, c.query, c.qfile, false, false, 0.05, 0.1, 1, 0); err == nil {
+		if err := run(c.rels, c.query, c.qfile, false, false, 0.05, 0.1, 1, 0, true); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
 	}

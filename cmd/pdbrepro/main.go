@@ -21,10 +21,11 @@ func main() {
 		seed    = flag.Int64("seed", 2008, "random seed (PODS'08 vintage)")
 		quick   = flag.Bool("quick", false, "shrink trial counts for a fast pass")
 		workers = flag.Int("workers", 0, "parallel estimation workers for engine-backed experiments (0 = GOMAXPROCS)")
+		resume  = flag.Bool("resume", true, "reuse estimator state across σ̂ doubling restarts in engine-backed experiments (bit-identical; off re-samples from scratch)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers, NoResume: !*resume}
 	if *which != "all" {
 		run, title, ok := experiments.Lookup(*which)
 		if !ok {

@@ -1,0 +1,19 @@
+// Package repro is a Go reproduction of Koch's PODS'08 work on
+// approximating the confidence of conjunctive queries on probabilistic
+// (U-relational) databases, grown into a parallel, resumable query
+// engine.
+//
+// The package tree splits into the representation layer (internal/vars,
+// internal/worlds, internal/rel, internal/urel, internal/dnf), the query
+// layer (internal/parser, internal/expr, internal/algebra), the
+// approximation layer (internal/karpluby, internal/predapprox,
+// internal/provenance, internal/stats), and the engine (internal/core on
+// top of internal/sched). cmd/pdbcli is the interactive CLI, cmd/pdbrepro
+// regenerates the paper's experiments (internal/experiments,
+// internal/workload), and examples/ holds five runnable walkthroughs.
+// docs/ARCHITECTURE.md describes the dataflow, the concurrency model, and
+// the cross-restart resume model with its determinism invariants.
+//
+// The root package itself carries only the benchmark harness that runs
+// each experiment driver (E1–E10) once per benchmark iteration.
+package repro

@@ -59,8 +59,8 @@ func main() {
 	}
 	fmt.Println("\nSame query, approximate (Karp–Luby + Figure 3), with error bounds:")
 	printResolved(approx.Rel, approx)
-	fmt.Printf("\nstats: rounds=%d restarts=%d decisions=%d trials=%d\n",
-		approx.Stats.FinalRounds, approx.Stats.Restarts, approx.Stats.Decisions, approx.Stats.EstimatorTrials)
+	fmt.Printf("\nstats: rounds=%d restarts=%d decisions=%d sampled-trials=%d reused-trials=%d\n",
+		approx.Stats.FinalRounds, approx.Stats.Restarts, approx.Stats.Decisions, approx.Stats.EstimatorTrials, approx.Stats.ReusedTrials)
 	fmt.Println("\nClusters without a dominant candidate stay unresolved — downstream")
 	fmt.Println("processing sees only records cleaned with quantified reliability.")
 }

@@ -90,7 +90,7 @@ func main() {
 	}
 	fmt.Println("\nPosterior, approximated with conf_{ε=0.01, δ=0.01}:")
 	printRel(urel.Poss(approx.Rel))
-	fmt.Printf("\n(estimator trials: %d)\n", approx.Stats.EstimatorTrials)
+	fmt.Printf("\n(sampled trials: %d, reused: %d)\n", approx.Stats.EstimatorTrials, approx.Stats.ReusedTrials)
 	fmt.Println("\nThe paper's answer: P(fair | HH) = 1/3 — the prior 2/3 flipped by the evidence.")
 }
 

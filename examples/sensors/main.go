@@ -111,6 +111,6 @@ func main() {
 	if ap.Len() == 0 {
 		fmt.Println("  (none)")
 	}
-	fmt.Printf("\nstats: rounds=%d decisions=%d trials=%d singular-drops=%d\n",
+	fmt.Printf("\nstats: rounds=%d decisions=%d sampled-trials=%d singular-drops=%d\n",
 		approx.Stats.FinalRounds, approx.Stats.Decisions, approx.Stats.EstimatorTrials, approx.Stats.SingularDrops)
 }

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/karpluby"
+	"repro/internal/sched"
+)
+
+// estimatorCache carries Karp–Luby estimator state across the restarts of
+// one EvalApprox doubling loop. Entries are keyed by the stable task key
+// (operator evaluation index + lineage row key), which PR 1's determinism
+// contract makes identical from restart to restart: the exact algebra is
+// deterministic, so a task key always names the same clause set, the same
+// task seed, and the same chunk plan family.
+//
+// Two reuse modes fall out of the prefix-compatible chunk plans
+// (sched.Chunks):
+//
+//   - exact replay — the cached entry covers exactly the requested budget
+//     (conf operators re-evaluated on a restart re-request the same (ε,δ)
+//     budget): the snapshot IS the final count, nothing is sampled.
+//   - prefix resume — the requested budget grew (σ̂'s round budget
+//     doubles each restart): the snapshot's full-chunk prefix seeds the
+//     estimator and only the delta chunks are sampled.
+//
+// Only full-size chunks enter the resumable prefix. A budget's trailing
+// partial chunk samples a strict prefix of its chunk stream; under a
+// larger budget that same chunk index draws more trials from the same
+// stream, so its counts cannot be carried over without replaying the
+// stream. runEstimates therefore records the partial chunk's counts
+// separately and the cache subtracts them from the prefix snapshot —
+// re-sampling at most one chunk (≤ chunkTrials(k) trials) per task per
+// restart, in exchange for bit-identical results.
+//
+// The cache is written concurrently by pool workers (the worker that
+// merges a task's last chunk publishes the task's new state) and read
+// sequentially during plan construction, so all access goes through a
+// mutex.
+type estimatorCache struct {
+	mu sync.Mutex
+	m  map[string]estCacheEntry
+}
+
+// estCacheEntry is one task's cached estimation state.
+type estCacheEntry struct {
+	clauses   int   // |F| after dedup — sanity check for key stability
+	chunkSize int64 // chunk plan granularity (chunkTrials(clauses))
+
+	// Full coverage of the last completed budget: hits over exactly
+	// total trials.
+	total int64
+	hits  int64
+
+	// Resumable prefix: counts restricted to the plan's full-size chunks
+	// [0, fullChunks), i.e. the first fullChunks·chunkSize trials.
+	fullChunks int
+	fullHits   int64
+}
+
+func newEstimatorCache() *estimatorCache {
+	return &estimatorCache{m: map[string]estCacheEntry{}}
+}
+
+// lookup returns a resumable snapshot for the task, if one exists, along
+// with how many trials of the requested budget it already covers. The
+// clause count and chunk size must match the cached entry exactly — a
+// mismatch means the task key is not stable (a bug elsewhere), and the
+// cache refuses rather than corrupt the estimate.
+func (c *estimatorCache) lookup(key string, clauses int, chunkSize, total int64) (karpluby.State, bool) {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	c.mu.Unlock()
+	if !ok || e.clauses != clauses || e.chunkSize != chunkSize {
+		return karpluby.State{}, false
+	}
+	if e.total == total {
+		// Exact replay: the identical budget was already spent under the
+		// identical seeds. Trials == total tells the caller nothing is
+		// left to sample; the cursor still marks only the full-chunk
+		// boundary, since the trailing partial chunk's counts are not
+		// extendable to larger budgets.
+		return karpluby.State{Hits: e.hits, Trials: e.total, Chunks: e.fullChunks}, true
+	}
+	if covered := int64(e.fullChunks) * chunkSize; e.fullChunks > 0 && covered <= total {
+		return karpluby.State{Hits: e.fullHits, Trials: covered, Chunks: e.fullChunks}, true
+	}
+	return karpluby.State{}, false
+}
+
+// store publishes a task's state after its budget completed. partialHits
+// is the hit count contributed by the budget's trailing partial chunk
+// (zero when the budget is chunk-aligned); subtracting it yields the
+// full-chunk prefix the next, larger budget can resume from. Entries only
+// ever grow: a stale store (smaller budget than what is cached) is
+// dropped, which keeps the cache monotone even if callers race.
+func (c *estimatorCache) store(key string, clauses int, chunkSize, total, hits, partialHits int64) {
+	full := sched.FullChunks(total, chunkSize)
+	entry := estCacheEntry{
+		clauses:    clauses,
+		chunkSize:  chunkSize,
+		total:      total,
+		hits:       hits,
+		fullChunks: full,
+		fullHits:   hits - partialHits,
+	}
+	c.mu.Lock()
+	if prev, ok := c.m[key]; !ok || prev.total < total {
+		c.m[key] = entry
+	}
+	c.mu.Unlock()
+}
+
+// len reports the number of cached tasks (test hook).
+func (c *estimatorCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -52,6 +52,17 @@ type Options struct {
 	// estimation out across; 0 (the default) selects GOMAXPROCS. Results
 	// are independent of the value — it only changes wall-clock time.
 	Workers int
+	// NoResume disables cross-restart estimator reuse. By default the
+	// doubling loop of EvalApprox snapshots every Karp–Luby task's
+	// (hits, trials, chunk-cursor) state and resumes it on the next
+	// restart, sampling only the delta chunks of the enlarged budget:
+	// the per-task seed scheme guarantees the first chunks of a doubled
+	// budget reproduce the previous restart's trials exactly, so resumed
+	// results are bit-identical to a from-scratch run at the final budget
+	// (for any Workers value) while total sampled trials roughly halve.
+	// Set NoResume to force every restart to sample from scratch
+	// (ablation / paper-literal mode).
+	NoResume bool
 	// NoSingletonShortcut disables the optimization that treats
 	// single-clause lineages as exact values (δᵢ = 0) in σ̂ decisions:
 	// with it set, every σ̂ confidence goes through the Karp–Luby
@@ -88,9 +99,15 @@ type Stats struct {
 	// Restarts is the number of times evaluation was restarted with a
 	// doubled l.
 	Restarts int
-	// EstimatorTrials is the total number of Karp–Luby estimator
-	// invocations across all restarts.
+	// EstimatorTrials is the total number of Karp–Luby trials actually
+	// sampled across all restarts. With resume enabled (Options.NoResume
+	// false) this excludes trials replayed from estimator snapshots.
 	EstimatorTrials int64
+	// ReusedTrials is the total number of trials whose counts were
+	// carried over from a previous restart's estimator snapshots instead
+	// of being re-sampled. Zero when Options.NoResume is set (or when no
+	// restart happened).
+	ReusedTrials int64
 	// Decisions is the number of σ̂ predicate decisions taken in the
 	// final evaluation.
 	Decisions int
@@ -185,15 +202,24 @@ func (e *Engine) EvalApprox(q algebra.Query) (*Result, error) {
 	if maxL <= 0 {
 		maxL = e.theorem67Cap(q)
 	}
-	var trials int64
+	var trials, reused int64
 	restarts := 0
+	// The estimator cache persists across the loop's restarts (and only
+	// across them — task keys are meaningless outside one evaluation):
+	// each restart resumes the previous restart's per-task snapshots and
+	// samples only the delta chunks of its enlarged budgets.
+	var cache *estimatorCache
+	if !e.opts.NoResume {
+		cache = newEstimatorCache()
+	}
 	for {
-		run := &evalRun{engine: e, db: e.db.Clone(), rounds: l}
+		run := &evalRun{engine: e, db: e.db.Clone(), rounds: l, cache: cache}
 		res, err := run.eval(q)
 		if err != nil {
 			return nil, err
 		}
 		trials += run.trials
+		reused += run.reused
 		// Termination criterion of Theorem 6.7: every non-singular
 		// decision (positive or negative) and every non-singular result
 		// tuple's accumulated bound must be ≤ δ. Singular tuples never
@@ -213,6 +239,7 @@ func (e *Engine) EvalApprox(q algebra.Query) (*Result, error) {
 				FinalRounds:     l,
 				Restarts:        restarts,
 				EstimatorTrials: trials,
+				ReusedTrials:    reused,
 				Decisions:       run.decisions,
 				SingularDrops:   run.singularDrops,
 			}
@@ -272,7 +299,14 @@ type evalRun struct {
 	db     *urel.Database
 	rounds int64
 	nextRK int
+	// cache, when non-nil, resumes estimation tasks from the snapshots a
+	// previous restart of the same EvalApprox stored under the same task
+	// keys (Options.NoResume disables it).
+	cache *estimatorCache
+	// trials counts trials sampled this pass; reused counts trials whose
+	// integer sums were carried over from cache snapshots instead.
 	trials int64
+	reused int64
 	// confOps/shatOps count conf and σ̂ operators in evaluation order;
 	// they prefix estimation task keys so two operators over identical
 	// rows still draw decorrelated PRNG streams. Evaluation order is

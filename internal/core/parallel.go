@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dnf"
 	"repro/internal/karpluby"
@@ -28,19 +29,38 @@ func chunkTrials(k int) int64 {
 
 // estimateJob is one pending Karp–Luby estimation: a merge-target
 // estimator, the deterministic per-task seed its chunk streams derive
-// from, and the total trial budget to spend.
+// from, and the total trial budget to spend. When the run carries an
+// estimator cache, the job may start from a resumed snapshot covering
+// startChunk plan chunks (startTrials trials), so only the delta chunks
+// are sampled.
 type estimateJob struct {
-	est   *karpluby.Estimator
-	seed  int64
-	total int64
-	mu    sync.Mutex
+	est       *karpluby.Estimator
+	key       string
+	seed      int64
+	total     int64
+	chunkSize int64
+
+	// Resumed-prefix coverage (zero when starting from scratch).
+	startChunk  int
+	startTrials int64
+
+	mu sync.Mutex
+	// partialHits records the hit count of the budget's trailing partial
+	// chunk (if any), which the cache must exclude from the resumable
+	// prefix; see estimatorCache.
+	partialHits int64
+	// remaining counts unmerged chunks; the worker that merges the last
+	// one publishes the job's state to the run's cache.
+	remaining atomic.Int64
 }
 
 // newJob classifies one clause set as an exact confidence value (empty,
 // tautological, or — when shortcutSingleton — single-clause lineage) or
 // an estimation job with the trial budget given by trials(|F|). The job's
 // seed is derived from Options.Seed and the caller's task key, so equal
-// seeds give bit-identical estimates for any worker count.
+// seeds give bit-identical estimates for any worker count. When the run
+// has an estimator cache (Options resume, the default), the job resumes
+// from the snapshot a previous restart left under the same task key.
 func (run *evalRun) newJob(f dnf.F, key string, trials func(clauses int) int64, shortcutSingleton bool) (*confValue, *estimateJob, error) {
 	f = f.Dedup()
 	switch {
@@ -56,19 +76,38 @@ func (run *evalRun) newJob(f dnf.F, key string, trials func(clauses int) int64, 
 		return nil, nil, err
 	}
 	job := &estimateJob{
-		est:   est,
-		seed:  sched.TaskSeed(run.engine.opts.Seed, key),
-		total: trials(est.ClauseCount()),
+		est:       est,
+		key:       key,
+		seed:      sched.TaskSeed(run.engine.opts.Seed, key),
+		total:     trials(est.ClauseCount()),
+		chunkSize: chunkTrials(est.ClauseCount()),
+	}
+	if run.cache != nil {
+		if st, ok := run.cache.lookup(key, est.ClauseCount(), job.chunkSize, job.total); ok {
+			if err := est.Resume(st); err == nil {
+				job.startChunk = st.Chunks
+				job.startTrials = st.Trials
+				if st.Trials == job.total {
+					// Exact replay: the snapshot already covers the whole
+					// budget (including any trailing partial chunk), so no
+					// plan chunk — not even the partial one past the
+					// cursor — may run again.
+					job.startChunk = sched.PlanChunks(job.total, job.chunkSize)
+				}
+			}
+		}
 	}
 	return &confValue{est: est}, job, nil
 }
 
-// runEstimates spends every job's trial budget across the engine's worker
-// pool. All jobs' chunk plans are flattened into one task list, so the
-// pool load-balances across tuples and within a single large tuple alike.
-// Each chunk samples on a shard estimator whose PRNG stream is fixed by
-// (job seed, chunk index); merged hit/trial counts are integer sums, hence
-// independent of scheduling order and worker count.
+// runEstimates spends every job's remaining trial budget across the
+// engine's worker pool. All jobs' delta-chunk plans are flattened into one
+// task list, so the pool load-balances across tuples and within a single
+// large tuple alike. Each chunk samples on a shard estimator whose PRNG
+// stream is fixed by (job seed, chunk plan index); merged hit/trial counts
+// are integer sums, hence independent of scheduling order and worker
+// count — and, with resumption, of how the total budget was split across
+// restarts.
 func (run *evalRun) runEstimates(jobs []*estimateJob) {
 	type chunkTask struct {
 		job *estimateJob
@@ -76,21 +115,42 @@ func (run *evalRun) runEstimates(jobs []*estimateJob) {
 	}
 	var tasks []chunkTask
 	for _, j := range jobs {
-		for _, c := range sched.Chunks(j.total, chunkTrials(j.est.ClauseCount())) {
+		chunks := sched.ChunksFrom(j.total, j.chunkSize, j.startChunk)
+		j.remaining.Store(int64(len(chunks)))
+		for _, c := range chunks {
 			tasks = append(tasks, chunkTask{job: j, c: c})
 		}
 	}
 	// fn never fails; ForEach's error is structurally nil.
 	_ = run.engine.pool.ForEach(len(tasks), func(i int) error {
 		t := tasks[i]
-		sh := t.job.est.Shard(rand.New(rand.NewSource(sched.ChunkSeed(t.job.seed, t.c.Index))))
+		j := t.job
+		sh := j.est.Shard(rand.New(rand.NewSource(sched.ChunkSeed(j.seed, t.c.Index))))
 		sh.Add(int(t.c.N))
-		t.job.mu.Lock()
-		t.job.est.Merge(sh)
-		t.job.mu.Unlock()
+		j.mu.Lock()
+		j.est.Merge(sh)
+		if t.c.N < j.chunkSize {
+			// Only the plan's trailing chunk can be undersized; its counts
+			// must stay out of the next restart's resumable prefix.
+			j.partialHits = sh.Hits()
+		}
+		j.mu.Unlock()
+		if j.remaining.Add(-1) == 0 {
+			// Last chunk of this job: all merges happened-before this
+			// atomic observation, so the totals are final. The cursor
+			// marks the resumable boundary — full-size chunks only; a
+			// trailing partial chunk's counts are replay-only (see
+			// estimatorCache) and must stay outside it.
+			j.est.AdvanceTo(sched.FullChunks(j.total, j.chunkSize))
+			if run.cache != nil {
+				run.cache.store(j.key, j.est.ClauseCount(), j.chunkSize,
+					j.total, j.est.Hits(), j.partialHits)
+			}
+		}
 		return nil
 	})
 	for _, j := range jobs {
-		run.trials += j.est.Trials()
+		run.trials += j.est.Trials() - j.startTrials
+		run.reused += j.startTrials
 	}
 }

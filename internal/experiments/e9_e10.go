@@ -42,7 +42,7 @@ func E9ProvenanceBounds(w io.Writer, cfg Config) (Summary, error) {
 			proj := algebra.Project{In: sel, Targets: []expr.Target{expr.As("C", expr.CInt(1))}}
 
 			// Fix the round budget so bounds are comparable across runs.
-			opts := core.Options{Eps0: eps0, Delta: delta, Seed: seed, Workers: cfg.Workers, InitialRounds: 256, MaxRounds: 256}
+			opts := core.Options{Eps0: eps0, Delta: delta, Seed: seed, Workers: cfg.Workers, NoResume: cfg.NoResume, InitialRounds: 256, MaxRounds: 256}
 			selRes, err := core.NewEngine(db, opts).EvalApprox(sel)
 			if err != nil {
 				return s, err
@@ -103,10 +103,10 @@ func E10QueryApprox(w io.Writer, cfg Config) (Summary, error) {
 	}
 
 	fmt.Fprintf(w, "σ̂_{conf[ID] ≥ 0.5}(R) over multi-clause databases (ε₀=%.2f, δ=%.2f):\n", eps0, delta)
-	tbl := stats.NewTable(w, "n tuples", "ms/query", "final l", "trials", "membership err rate", "max bound", "naive l₀ trials ×")
+	tbl := stats.NewTable(w, "n tuples", "ms/query", "final l", "sampled trials", "reused trials", "membership err rate", "max bound", "naive l₀ trials ×")
 	var msPerN []float64
 	for _, n := range sizes {
-		var ms, finalL, trials, errRate, bounds, naiveRatio []float64
+		var ms, finalL, trials, reused, errRate, bounds, naiveRatio []float64
 		for r := 0; r < reps; r++ {
 			seed := rng.Int63()
 			db := workload.MultiClause(rand.New(rand.NewSource(seed)), "R", n, 3, 4, 2)
@@ -121,7 +121,7 @@ func E10QueryApprox(w io.Writer, cfg Config) (Summary, error) {
 			}
 			exactIDs := urel.Poss(exact.Rel).Project("ID")
 
-			eng := core.NewEngine(db, core.Options{Eps0: eps0, Delta: delta, Seed: seed, Workers: cfg.Workers})
+			eng := core.NewEngine(db, core.Options{Eps0: eps0, Delta: delta, Seed: seed, Workers: cfg.Workers, NoResume: cfg.NoResume})
 			t0 := time.Now()
 			res, err := eng.EvalApprox(q)
 			if err != nil {
@@ -130,6 +130,7 @@ func E10QueryApprox(w io.Writer, cfg Config) (Summary, error) {
 			ms = append(ms, float64(time.Since(t0).Microseconds())/1000)
 			finalL = append(finalL, float64(res.Stats.FinalRounds))
 			trials = append(trials, float64(res.Stats.EstimatorTrials))
+			reused = append(reused, float64(res.Stats.ReusedTrials))
 			bounds = append(bounds, res.MaxNonSingularError())
 
 			// Membership error rate over non-singular decisions: compare
@@ -145,15 +146,17 @@ func E10QueryApprox(w io.Writer, cfg Config) (Summary, error) {
 			errRate = append(errRate, wrong)
 
 			// Naive cost: running every estimator at the Proposition 6.6
-			// round bound l₀ directly.
+			// round bound l₀ directly. The adaptive side counts sampled +
+			// reused trials — the paper-literal doubling-loop cost — so
+			// the ratio is resume-independent.
 			l0 := provenance.RoundsForProposition66(1, 1, n, eps0, delta)
-			approxTrials := res.Stats.EstimatorTrials
+			approxTrials := res.Stats.EstimatorTrials + res.Stats.ReusedTrials
 			if approxTrials > 0 {
 				naiveTrials := float64(l0) * float64(4*n) // 4 clauses per tuple
 				naiveRatio = append(naiveRatio, naiveTrials/float64(approxTrials))
 			}
 		}
-		tbl.Row(n, stats.Mean(ms), stats.Mean(finalL), stats.Mean(trials), stats.Mean(errRate), stats.Max(bounds), stats.Mean(naiveRatio))
+		tbl.Row(n, stats.Mean(ms), stats.Mean(finalL), stats.Mean(trials), stats.Mean(reused), stats.Mean(errRate), stats.Max(bounds), stats.Mean(naiveRatio))
 		msPerN = append(msPerN, stats.Mean(ms))
 		s.Values[fmt.Sprintf("err_rate_n%d", n)] = stats.Mean(errRate)
 		s.Values[fmt.Sprintf("max_bound_n%d", n)] = stats.Max(bounds)
@@ -174,7 +177,7 @@ func E10QueryApprox(w io.Writer, cfg Config) (Summary, error) {
 	// coin database.
 	db := CoinDatabase()
 	q := condProbQuery()
-	eng := core.NewEngine(db, core.Options{Eps0: 0.05, Delta: 0.1, Seed: 1, Workers: cfg.Workers})
+	eng := core.NewEngine(db, core.Options{Eps0: 0.05, Delta: 0.1, Seed: 1, Workers: cfg.Workers, NoResume: cfg.NoResume})
 	res, err := eng.EvalApprox(q)
 	if err != nil {
 		return s, err

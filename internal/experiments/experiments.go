@@ -21,6 +21,13 @@ type Config struct {
 	// engine-backed experiments (E9/E10); 0 selects GOMAXPROCS. Tables
 	// are worker-count-independent by the engine's determinism contract.
 	Workers int
+	// NoResume disables cross-restart estimator reuse in the
+	// engine-backed experiments (core.Options.NoResume). All
+	// result-quality columns (estimates, error rates, bounds, final l)
+	// are resume-independent by the engine's bit-identity contract; only
+	// the sampled/reused trial-accounting columns change, which is what
+	// the knob exists to measure.
+	NoResume bool
 }
 
 func (c Config) scale(full, quick int) int {

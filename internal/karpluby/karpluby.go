@@ -37,6 +37,14 @@ type Estimator struct {
 	hits   int64 // Σ X_i
 	trials int64 // m
 
+	// chunks is the round-aligned chunk-plan cursor: the counts above are
+	// known to cover plan chunks [0, chunks) of the scheduling layer's
+	// deterministic chunk plan. The estimator itself never derives it —
+	// it is carried by State/Resume and advanced by the scheduler so a
+	// snapshot can be extended with only the delta chunks of a larger
+	// budget.
+	chunks int
+
 	// scratch buffers reused across trials to avoid allocation
 	world map[vars.Var]int32
 }
@@ -104,6 +112,70 @@ func (e *Estimator) Shard(rng *rand.Rand) *Estimator {
 		cum:   e.cum,
 		rng:   rng,
 		world: make(map[vars.Var]int32, len(e.vars)),
+	}
+}
+
+// State is a resumable snapshot of an estimator's trial counts. It is the
+// whole mutable state of an Estimator: the clause set, weights, and PRNG
+// streams are all derived deterministically elsewhere (from the clause set
+// and the scheduler's seed scheme), so (Hits, Trials, Chunks) suffices to
+// continue an estimation exactly where a previous — possibly smaller —
+// budget left off.
+//
+// Chunks is the scheduler's round-aligned chunk-plan cursor: the counts
+// cover at least plan chunks [0, Chunks) of the deterministic chunk plan
+// for the budget that produced the snapshot. Because chunk plans for
+// nested budgets share their full-size prefix, a chunk-aligned snapshot
+// (Trials == Chunks·chunkSize) can seed a run at any larger budget: only
+// chunks ≥ Chunks need sampling, and the merged counts are bit-identical
+// to a from-scratch run. A snapshot whose Trials exceed the cursor's
+// coverage additionally contains a trailing partial chunk's counts —
+// those sampled a strict prefix of a chunk stream that larger budgets
+// sample further, so such a snapshot is valid only for exact replay at
+// the budget that produced it, never for extension.
+type State struct {
+	Hits   int64
+	Trials int64
+	Chunks int
+}
+
+// Valid reports whether the snapshot is internally consistent.
+func (s State) Valid() bool {
+	return s.Hits >= 0 && s.Trials >= s.Hits && s.Chunks >= 0
+}
+
+// State returns a snapshot of the estimator's counts and chunk cursor.
+// Snapshots taken after all chunks of a budget merged (see AdvanceTo) are
+// resumable into any run whose chunk plan extends this one's.
+func (e *Estimator) State() State {
+	return State{Hits: e.hits, Trials: e.trials, Chunks: e.chunks}
+}
+
+// Resume loads a snapshot into a fresh estimator, so that subsequent
+// sampling extends the snapshotted run instead of restarting it. The
+// estimator must not have sampled yet (Resume replaces, not merges), the
+// snapshot must be valid, and — for the bit-identity guarantee — it must
+// have been produced over the same clause set under the same seed scheme;
+// the latter is the caller's contract, since a State carries no clause
+// identity.
+func (e *Estimator) Resume(st State) error {
+	if !st.Valid() {
+		return errors.New("karpluby: invalid resume state")
+	}
+	if e.trials != 0 || e.hits != 0 {
+		return errors.New("karpluby: Resume on an estimator that already sampled")
+	}
+	e.hits, e.trials, e.chunks = st.Hits, st.Trials, st.Chunks
+	return nil
+}
+
+// AdvanceTo raises the chunk-plan cursor to chunk (a no-op when the cursor
+// is already past it). The scheduling layer calls it after every plan
+// chunk below the mark has merged, making the estimator's State resumable
+// at that boundary.
+func (e *Estimator) AdvanceTo(chunk int) {
+	if chunk > e.chunks {
+		e.chunks = chunk
 	}
 }
 

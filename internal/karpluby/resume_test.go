@@ -1,0 +1,176 @@
+package karpluby
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/dnf"
+	"repro/internal/sched"
+	"repro/internal/vars"
+)
+
+// resumeClauseSet builds a k-clause DNF over k independent binary
+// variables (clause i asserts v_i = 0 with probability 0.3).
+func resumeClauseSet(t testing.TB, k int) (dnf.F, *vars.Table) {
+	t.Helper()
+	table := vars.NewTable()
+	f := make(dnf.F, k)
+	for i := 0; i < k; i++ {
+		v := table.Add("v"+strconv.Itoa(i), []float64{0.3, 0.7}, nil)
+		f[i] = vars.MustAssignment(vars.Binding{Var: v, Alt: 0})
+	}
+	return f, table
+}
+
+func TestStateResumeRoundTrip(t *testing.T) {
+	f, table := resumeClauseSet(t, 5)
+	e, err := NewEstimator(f, table, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Add(1234)
+	e.AdvanceTo(3)
+	st := e.State()
+	if st.Trials != 1234 || st.Hits != e.Hits() || st.Chunks != 3 {
+		t.Fatalf("snapshot %+v does not reflect estimator (hits=%d trials=%d)", st, e.Hits(), e.Trials())
+	}
+	if !st.Valid() {
+		t.Fatalf("snapshot %+v should be valid", st)
+	}
+
+	r, err := NewEstimator(f, table, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Resume(st); err != nil {
+		t.Fatal(err)
+	}
+	if r.Hits() != e.Hits() || r.Trials() != e.Trials() || r.State() != st {
+		t.Errorf("resumed estimator state %+v, want %+v", r.State(), st)
+	}
+	if r.Estimate() != e.Estimate() {
+		t.Errorf("resumed estimate %v, want %v", r.Estimate(), e.Estimate())
+	}
+	if r.Delta(0.1) != e.Delta(0.1) {
+		t.Errorf("resumed delta %v, want %v", r.Delta(0.1), e.Delta(0.1))
+	}
+}
+
+func TestResumeRejectsBadStates(t *testing.T) {
+	f, table := resumeClauseSet(t, 3)
+	for _, st := range []State{
+		{Hits: -1, Trials: 0, Chunks: 0},
+		{Hits: 5, Trials: 4, Chunks: 0},
+		{Hits: 0, Trials: 0, Chunks: -1},
+	} {
+		e, err := NewEstimator(f, table, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Resume(st); err == nil {
+			t.Errorf("Resume(%+v) accepted an invalid state", st)
+		}
+	}
+	// Resume must not overwrite counts an estimator already accumulated.
+	e, err := NewEstimator(f, table, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Add(10)
+	if err := e.Resume(State{Hits: 0, Trials: 100, Chunks: 1}); err == nil {
+		t.Error("Resume on a sampled estimator should fail")
+	}
+}
+
+func TestAdvanceToIsMonotone(t *testing.T) {
+	f, table := resumeClauseSet(t, 3)
+	e, err := NewEstimator(f, table, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AdvanceTo(4)
+	e.AdvanceTo(2) // must not regress
+	if got := e.State().Chunks; got != 4 {
+		t.Errorf("cursor = %d after AdvanceTo(4) then AdvanceTo(2), want 4", got)
+	}
+}
+
+// TestResumeExtendsMatchScratch is the primitive-level statement of the
+// engine's resume invariant: running the chunk plan of budget T₁, then
+// resuming the snapshot and running only the delta chunks of T₂ > T₁,
+// yields counts bit-identical to running T₂'s full plan from scratch —
+// because plans are prefix-compatible and chunk streams depend only on
+// (task seed, plan index).
+func TestResumeExtendsMatchScratch(t *testing.T) {
+	f, table := resumeClauseSet(t, 4)
+	const (
+		taskSeed = 99
+		size     = 512
+		t1       = int64(3 * size) // chunk-aligned first budget
+		t2       = int64(7*size + 123)
+	)
+	runPlan := func(e *Estimator, chunks []sched.Chunk) {
+		for _, c := range chunks {
+			sh := e.Shard(rand.New(rand.NewSource(sched.ChunkSeed(taskSeed, c.Index))))
+			sh.Add(int(c.N))
+			e.Merge(sh)
+		}
+	}
+
+	first, err := NewEstimator(f, table, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPlan(first, sched.Chunks(t1, size))
+	first.AdvanceTo(sched.FullChunks(t1, size))
+	st := first.State()
+	if st.Chunks != 3 || st.Trials != t1 {
+		t.Fatalf("first budget snapshot %+v, want 3 chunks / %d trials", st, t1)
+	}
+
+	resumed, err := NewEstimator(f, table, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Resume(st); err != nil {
+		t.Fatal(err)
+	}
+	runPlan(resumed, sched.ChunksFrom(t2, size, st.Chunks))
+
+	scratch, err := NewEstimator(f, table, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPlan(scratch, sched.Chunks(t2, size))
+
+	if resumed.Hits() != scratch.Hits() || resumed.Trials() != scratch.Trials() {
+		t.Errorf("resumed (hits=%d trials=%d) differs from scratch (hits=%d trials=%d)",
+			resumed.Hits(), resumed.Trials(), scratch.Hits(), scratch.Trials())
+	}
+	if resumed.Estimate() != scratch.Estimate() {
+		t.Errorf("resumed estimate %v differs from scratch %v", resumed.Estimate(), scratch.Estimate())
+	}
+}
+
+// Shards of a resumed estimator must not inherit the resumed counts —
+// merging would then double-count the snapshot.
+func TestShardOfResumedEstimatorIsFresh(t *testing.T) {
+	f, table := resumeClauseSet(t, 3)
+	e, err := NewEstimator(f, table, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Resume(State{Hits: 7, Trials: 30, Chunks: 1}); err != nil {
+		t.Fatal(err)
+	}
+	sh := e.Shard(rand.New(rand.NewSource(3)))
+	if sh.Hits() != 0 || sh.Trials() != 0 {
+		t.Fatalf("shard starts with hits=%d trials=%d, want zeros", sh.Hits(), sh.Trials())
+	}
+	sh.Add(10)
+	e.Merge(sh)
+	if e.Trials() != 40 {
+		t.Errorf("merge after resume: trials=%d, want 40", e.Trials())
+	}
+}

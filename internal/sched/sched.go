@@ -102,22 +102,72 @@ type Chunk struct {
 // Chunks splits a trial budget into chunks of the given size (the last
 // chunk may be smaller). The plan depends only on (total, size), never on
 // worker count — the invariant behind worker-count-independent results.
+//
+// Plans for nested budgets are prefix-compatible: chunk i covers trials
+// [i·size, min((i+1)·size, total)), so every chunk that is full-size in
+// the plan for a budget T is bit-for-bit the same chunk (same index, same
+// trial count, hence same derived PRNG stream) in the plan for any budget
+// T' ≥ T. Only the final, possibly-partial chunk differs between plans —
+// the property ChunksFrom and the resume machinery build on.
 func Chunks(total, size int64) []Chunk {
+	return ChunksFrom(total, size, 0)
+}
+
+// ChunksFrom returns the suffix of Chunks(total, size) starting at plan
+// index from: the delta chunks a resumed estimation still has to run when
+// a snapshot already covers chunks [0, from). Indices are plan indices
+// (the first returned chunk has Index == from), so chunk PRNG streams are
+// unchanged by resumption. from ≤ 0 yields the full plan; from beyond the
+// plan yields nil.
+func ChunksFrom(total, size int64, from int) []Chunk {
 	if total <= 0 {
 		return nil
 	}
 	if size <= 0 {
 		size = total
 	}
-	out := make([]Chunk, 0, (total+size-1)/size)
-	for off := int64(0); off < total; off += size {
+	if from < 0 {
+		from = 0
+	}
+	rest := (total+size-1)/size - int64(from)
+	if rest < 0 {
+		rest = 0
+	}
+	out := make([]Chunk, 0, rest)
+	for off := int64(from) * size; off < total; off += size {
 		n := size
 		if rem := total - off; rem < n {
 			n = rem
 		}
-		out = append(out, Chunk{Index: len(out), N: n})
+		out = append(out, Chunk{Index: from + len(out), N: n})
 	}
 	return out
+}
+
+// FullChunks returns the number of full-size chunks in the plan for
+// (total, size) — the largest prefix of the plan that is shared with the
+// plan of every budget ≥ total, and therefore the chunk cursor a
+// resumable snapshot of a finished budget may carry.
+func FullChunks(total, size int64) int {
+	if total <= 0 {
+		return 0
+	}
+	if size <= 0 {
+		return 1
+	}
+	return int(total / size)
+}
+
+// PlanChunks returns the total number of chunks in the plan for
+// (total, size), counting a trailing partial chunk.
+func PlanChunks(total, size int64) int {
+	if total <= 0 {
+		return 0
+	}
+	if size <= 0 {
+		return 1
+	}
+	return int((total + size - 1) / size)
 }
 
 // splitmix64 is the SplitMix64 finalizer: a cheap, well-distributed

@@ -111,3 +111,77 @@ func TestSeedDerivationDeterministicAndDistinct(t *testing.T) {
 		t.Error("ChunkSeed is not deterministic")
 	}
 }
+
+// Chunk plans of nested budgets must share their full-size prefix, and
+// ChunksFrom must return exactly the suffix of the full plan — the two
+// properties the resume machinery's bit-identity rests on.
+func TestChunksFromIsPlanSuffix(t *testing.T) {
+	cases := []struct {
+		total, size int64
+	}{
+		{10, 3}, {12, 3}, {1, 5}, {4096, 4096}, {10000, 4096}, {3, 0},
+	}
+	for _, c := range cases {
+		full := Chunks(c.total, c.size)
+		for from := 0; from <= len(full)+1; from++ {
+			got := ChunksFrom(c.total, c.size, from)
+			want := full
+			if from < len(full) {
+				want = full[from:]
+			} else {
+				want = nil
+			}
+			if len(got) != len(want) {
+				t.Fatalf("ChunksFrom(%d,%d,%d): %d chunks, want %d", c.total, c.size, from, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("ChunksFrom(%d,%d,%d)[%d] = %+v, want %+v", c.total, c.size, from, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	if got := ChunksFrom(10, 3, -2); len(got) != len(Chunks(10, 3)) {
+		t.Errorf("negative from should yield the full plan, got %d chunks", len(got))
+	}
+}
+
+func TestChunkPlanPrefixCompatibility(t *testing.T) {
+	const size = 128
+	small := Chunks(5*size+17, size)
+	large := Chunks(9*size+3, size)
+	// Every full-size chunk of the smaller plan is bit-identical (index
+	// and trial count, hence derived PRNG stream) in the larger plan.
+	for i := 0; i < FullChunks(5*size+17, size); i++ {
+		if small[i] != large[i] {
+			t.Errorf("chunk %d differs between nested plans: %+v vs %+v", i, small[i], large[i])
+		}
+	}
+}
+
+func TestFullAndPlanChunkCounts(t *testing.T) {
+	cases := []struct {
+		total, size int64
+		full, plan  int
+	}{
+		{0, 10, 0, 0},
+		{-5, 10, 0, 0},
+		{9, 10, 0, 1},
+		{10, 10, 1, 1},
+		{11, 10, 1, 2},
+		{40, 10, 4, 4},
+		{41, 10, 4, 5},
+		{7, 0, 1, 1}, // size<=0 collapses to one chunk
+	}
+	for _, c := range cases {
+		if got := FullChunks(c.total, c.size); got != c.full {
+			t.Errorf("FullChunks(%d,%d) = %d, want %d", c.total, c.size, got, c.full)
+		}
+		if got := PlanChunks(c.total, c.size); got != c.plan {
+			t.Errorf("PlanChunks(%d,%d) = %d, want %d", c.total, c.size, got, c.plan)
+		}
+		if got := len(Chunks(c.total, c.size)); got != c.plan {
+			t.Errorf("len(Chunks(%d,%d)) = %d, want %d", c.total, c.size, got, c.plan)
+		}
+	}
+}
