@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fuzz vet fmt-check docs-check ci
+.PHONY: build test race bench fuzz vet fmt-check docs-check examples ci
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,21 @@ build:
 test:
 	$(GO) test ./...
 
+# Build and run every examples/ program: the examples are executable
+# documentation of the public pdb API, so a pass means the documented
+# usage actually works end to end.
+examples:
+	$(GO) build ./examples/...
+	@set -e; for d in examples/*/; do \
+		echo "== running $$d"; \
+		$(GO) run ./$$d > /dev/null; \
+	done
+
 # Race-check the packages with real concurrency (the scheduler, the
-# mergeable estimator, and the parallel engine) plus everything they feed.
+# mergeable estimator, and the parallel engine) plus everything they
+# feed, and the public facade's cancellation paths.
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./internal/... ./pdb
 
 # One pass over every benchmark — the trajectory baseline CI uploads as an
 # artifact; not a statistically stable measurement.
@@ -39,4 +50,4 @@ docs-check:
 		echo "packages missing a godoc package comment:"; \
 		echo "$$missing"; exit 1; fi
 
-ci: vet fmt-check docs-check build test race fuzz
+ci: vet fmt-check docs-check build test race fuzz examples

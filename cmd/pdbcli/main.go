@@ -1,30 +1,32 @@
 // Command pdbcli loads complete relations from CSV files and evaluates UA
-// queries over them, exactly or approximately.
+// queries over them, exactly or approximately, through the public pdb API.
 //
 // Usage:
 //
 //	pdbcli -rel Coins=coins.csv -rel Faces=faces.csv \
 //	       -query 'conf(project[CoinType](repairkey[@Count](Coins)))'
 //
-//	pdbcli -rel R=r.csv -queryfile program.ua -approx -eps0 0.05 -delta 0.1
+//	pdbcli -rel R=r.csv -queryfile program.ua -approx -eps0 0.05 -delta 0.1 \
+//	       -timeout 30s -progress
 //
 // The query language is documented in internal/parser. Probabilistic data
 // is introduced with repairkey[...@W](...) over the loaded complete
 // relations; -approx switches confidence computation and σ̂ decisions to
-// the Karp–Luby / Figure-3 machinery with per-tuple error bounds.
+// the Karp–Luby / Figure-3 machinery with per-tuple error bounds. A
+// -timeout bound cancels the evaluation cooperatively; -progress reports
+// every pass of the doubling loop on stderr.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
+	"time"
 
-	"repro/internal/algebra"
-	"repro/internal/core"
-	"repro/internal/parser"
-	"repro/internal/urel"
+	"repro/pdb"
 )
 
 type relFlags []string
@@ -36,32 +38,48 @@ func (r *relFlags) Set(v string) error {
 	return nil
 }
 
+// cliConfig carries the parsed command line.
+type cliConfig struct {
+	rels      relFlags
+	query     string
+	queryFile string
+	approx    bool
+	explain   bool
+	progress  bool
+	eps0      float64
+	delta     float64
+	seed      int64
+	workers   int
+	resume    bool
+	timeout   time.Duration
+}
+
 func main() {
-	var (
-		rels      relFlags
-		query     = flag.String("query", "", "UA query text")
-		queryFile = flag.String("queryfile", "", "file containing the UA query program")
-		approx    = flag.Bool("approx", false, "use approximate evaluation (Karp–Luby + Figure 3)")
-		eps0      = flag.Float64("eps0", 0.05, "ε₀ for approximate evaluation")
-		delta     = flag.Float64("delta", 0.1, "target per-tuple error δ")
-		seed      = flag.Int64("seed", 1, "random seed for approximate evaluation")
-		workers   = flag.Int("workers", 0, "parallel estimation workers (0 = GOMAXPROCS); results are seed-determined regardless")
-		resume    = flag.Bool("resume", true, "reuse estimator state across σ̂ doubling restarts (bit-identical, ~2× fewer trials); off re-samples every restart from scratch")
-		explain   = flag.Bool("explain", false, "print the plan with inferred schemas instead of evaluating")
-	)
-	flag.Var(&rels, "rel", "Name=path.csv — a complete relation to load (repeatable)")
+	var cfg cliConfig
+	flag.StringVar(&cfg.query, "query", "", "UA query text")
+	flag.StringVar(&cfg.queryFile, "queryfile", "", "file containing the UA query program")
+	flag.BoolVar(&cfg.approx, "approx", false, "use approximate evaluation (Karp–Luby + Figure 3)")
+	flag.Float64Var(&cfg.eps0, "eps0", 0.05, "ε₀ for approximate evaluation")
+	flag.Float64Var(&cfg.delta, "delta", 0.1, "target per-tuple error δ")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for approximate evaluation")
+	flag.IntVar(&cfg.workers, "workers", 0, "parallel estimation workers (0 = GOMAXPROCS); results are seed-determined regardless")
+	flag.BoolVar(&cfg.resume, "resume", true, "reuse estimator state across σ̂ doubling restarts (bit-identical, ~2× fewer trials); off re-samples every restart from scratch")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort evaluation after this duration (0 = no limit)")
+	flag.BoolVar(&cfg.progress, "progress", false, "report each pass of the doubling loop on stderr")
+	flag.BoolVar(&cfg.explain, "explain", false, "print the plan with inferred schemas instead of evaluating")
+	flag.Var(&cfg.rels, "rel", "Name=path.csv — a complete relation to load (repeatable)")
 	flag.Parse()
 
-	if err := run(rels, *query, *queryFile, *approx, *explain, *eps0, *delta, *seed, *workers, *resume); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "pdbcli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rels relFlags, query, queryFile string, approx, explain bool, eps0, delta float64, seed int64, workers int, resume bool) error {
-	src := query
-	if queryFile != "" {
-		data, err := os.ReadFile(queryFile)
+func run(cfg cliConfig) error {
+	src := cfg.query
+	if cfg.queryFile != "" {
+		data, err := os.ReadFile(cfg.queryFile)
 		if err != nil {
 			return err
 		}
@@ -70,83 +88,86 @@ func run(rels relFlags, query, queryFile string, approx, explain bool, eps0, del
 	if src == "" {
 		return fmt.Errorf("no query given; use -query or -queryfile")
 	}
-	q, err := parser.Parse(src)
-	if err != nil {
-		return err
-	}
 
-	db := urel.NewDatabase()
-	for _, spec := range rels {
+	sources := map[string]string{}
+	for _, spec := range cfg.rels {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
 			return fmt.Errorf("bad -rel %q; want Name=path.csv", spec)
 		}
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		r, err := parser.LoadCSV(f)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("loading %s: %w", path, err)
-		}
-		db.AddComplete(name, r)
+		sources[name] = path
 	}
-
-	// Static schema validation catches malformed programs before any
-	// evaluation work (and powers -explain).
-	if _, err := algebra.InferSchema(q, db); err != nil {
-		return err
-	}
-	if explain {
-		fmt.Print(algebra.Explain(q, db))
-		return nil
-	}
-
-	if !approx {
-		res, err := algebra.NewURelEvaluator(db).Eval(q)
-		if err != nil {
-			return err
-		}
-		printURel(res.Rel, res.Complete, nil)
-		return nil
-	}
-
-	eng := core.NewEngine(db, core.Options{Eps0: eps0, Delta: delta, Seed: seed, Workers: workers, NoResume: !resume})
-	res, err := eng.EvalApprox(q)
+	db, err := pdb.Open(sources)
 	if err != nil {
 		return err
 	}
-	printURel(res.Rel, res.Complete, res)
-	fmt.Printf("\n# rounds=%d restarts=%d sampled-trials=%d reused-trials=%d decisions=%d singular-drops=%d\n",
-		res.Stats.FinalRounds, res.Stats.Restarts, res.Stats.EstimatorTrials,
-		res.Stats.ReusedTrials, res.Stats.Decisions, res.Stats.SingularDrops)
+
+	// Prepare parses, validates, and schema-checks before any evaluation
+	// work (and powers -explain).
+	q, err := db.Prepare(src)
+	if err != nil {
+		return err
+	}
+	if cfg.explain {
+		fmt.Print(q.Explain())
+		return nil
+	}
+
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+
+	if !cfg.approx {
+		res, err := q.EvalExact(ctx)
+		if err != nil {
+			return timeoutErr(err, cfg.timeout)
+		}
+		printResult(res, false)
+		return nil
+	}
+
+	opts := []pdb.Option{
+		pdb.WithEpsilon(cfg.eps0),
+		pdb.WithDelta(cfg.delta),
+		pdb.WithSeed(cfg.seed),
+		pdb.WithWorkers(cfg.workers),
+	}
+	if !cfg.resume {
+		opts = append(opts, pdb.WithNoResume())
+	}
+	if cfg.progress {
+		opts = append(opts, pdb.WithProgress(func(ev pdb.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "# pass %d: rounds=%d/%d worst-bound=%.4g sampled=%d reused=%d done=%v\n",
+				ev.Restart, ev.Rounds, ev.MaxRounds, ev.WorstBound, ev.SampledTrials, ev.ReusedTrials, ev.Done)
+		}))
+	}
+	res, err := q.Eval(ctx, opts...)
+	if err != nil {
+		return timeoutErr(err, cfg.timeout)
+	}
+	printResult(res, true)
 	return nil
 }
 
-func printURel(r *urel.Relation, complete bool, res *core.Result) {
-	fmt.Println(strings.Join(r.Schema(), "\t"))
-	lines := make([]string, 0, r.Len())
-	for _, ut := range r.Tuples() {
-		parts := make([]string, 0, len(ut.Row)+2)
-		for _, v := range ut.Row {
-			parts = append(parts, v.String())
-		}
-		if !complete {
-			parts = append(parts, "D="+ut.D.Key())
-		}
-		if res != nil {
-			if e := res.TupleError(ut.Row); e > 0 {
-				parts = append(parts, fmt.Sprintf("±err≤%.4g", e))
-			}
-			if res.IsSingular(ut.Row) {
-				parts = append(parts, "SINGULAR")
-			}
-		}
-		lines = append(lines, strings.Join(parts, "\t"))
+// timeoutErr rewraps a deadline error with the user's -timeout value.
+func timeoutErr(err error, timeout time.Duration) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("evaluation timed out after %s", timeout)
 	}
-	sort.Strings(lines)
-	for _, l := range lines {
-		fmt.Println(l)
+	return err
+}
+
+func printResult(res *pdb.Result, stats bool) {
+	fmt.Println(strings.Join(res.Columns(), "\t"))
+	for row := range res.Rows() {
+		fmt.Println(row)
+	}
+	if stats {
+		s := res.Stats()
+		fmt.Printf("\n# rounds=%d restarts=%d sampled-trials=%d reused-trials=%d decisions=%d singular-drops=%d\n",
+			s.FinalRounds, s.Restarts, s.SampledTrials, s.ReusedTrials, s.Decisions, s.SingularDrops)
 	}
 }

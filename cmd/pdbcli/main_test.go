@@ -1,9 +1,12 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 )
 
 func writeFile(t *testing.T, dir, name, content string) string {
@@ -15,14 +18,20 @@ func writeFile(t *testing.T, dir, name, content string) string {
 	return path
 }
 
+// base returns a config with the flag defaults.
+func base(rels relFlags, query string) cliConfig {
+	return cliConfig{rels: rels, query: query, eps0: 0.05, delta: 0.1, seed: 1, resume: true}
+}
+
 func TestRunCoinQuery(t *testing.T) {
 	dir := t.TempDir()
 	coins := writeFile(t, dir, "coins.csv", "CoinType,Count\nfair,2\n2headed,1\n")
-	query := "conf(project[CoinType](repairkey[@Count](Coins)))"
-	if err := run(relFlags{"Coins=" + coins}, query, "", false, false, 0.05, 0.1, 1, 0, true); err != nil {
+	cfg := base(relFlags{"Coins=" + coins}, "conf(project[CoinType](repairkey[@Count](Coins)))")
+	if err := run(cfg); err != nil {
 		t.Fatalf("exact run failed: %v", err)
 	}
-	if err := run(relFlags{"Coins=" + coins}, query, "", true, false, 0.05, 0.1, 1, 0, true); err != nil {
+	cfg.approx = true
+	if err := run(cfg); err != nil {
 		t.Fatalf("approx run failed: %v", err)
 	}
 }
@@ -30,11 +39,13 @@ func TestRunCoinQuery(t *testing.T) {
 func TestRunExplain(t *testing.T) {
 	dir := t.TempDir()
 	coins := writeFile(t, dir, "coins.csv", "CoinType,Count\nfair,2\n")
-	if err := run(relFlags{"Coins=" + coins}, "conf(Coins)", "", false, true, 0.05, 0.1, 1, 0, true); err != nil {
+	cfg := base(relFlags{"Coins=" + coins}, "conf(Coins)")
+	cfg.explain = true
+	if err := run(cfg); err != nil {
 		t.Fatalf("explain run failed: %v", err)
 	}
-	// Schema errors are caught statically.
-	if err := run(relFlags{"Coins=" + coins}, "select[Nope = 1](Coins)", "", false, false, 0.05, 0.1, 1, 0, true); err == nil {
+	// Schema errors are caught statically at Prepare.
+	if err := run(base(relFlags{"Coins=" + coins}, "select[Nope = 1](Coins)")); err == nil {
 		t.Error("static schema validation should reject unknown attribute")
 	}
 }
@@ -43,8 +54,51 @@ func TestRunQueryFile(t *testing.T) {
 	dir := t.TempDir()
 	coins := writeFile(t, dir, "coins.csv", "CoinType,Count\nfair,2\n2headed,1\n")
 	qf := writeFile(t, dir, "q.ua", "R := repairkey[@Count](Coins);\nposs(R);\n")
-	if err := run(relFlags{"Coins=" + coins}, "", qf, false, false, 0.05, 0.1, 1, 0, true); err != nil {
+	cfg := base(relFlags{"Coins=" + coins}, "")
+	cfg.queryFile = qf
+	if err := run(cfg); err != nil {
 		t.Fatalf("query file run failed: %v", err)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	dir := t.TempDir()
+	// 40 independent coin flips (repair-key per ID), conf[∅] ≈ 1, and a σ̂
+	// threshold only 0.01 away: the margin forces ~250k doubling rounds —
+	// far longer than the timeout.
+	var sb strings.Builder
+	sb.WriteString("ID,Present,W\n")
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&sb, "%d,1,1\n%d,0,1\n", i, i)
+	}
+	rel := writeFile(t, dir, "r.csv", sb.String())
+	cfg := base(relFlags{"R=" + rel},
+		"aselect[p1 >= 0.99 over conf[]](project[ID](select[Present = 1](repairkey[ID@W](R))))")
+	cfg.approx = true
+	cfg.eps0 = 0.001
+	cfg.delta = 0.0005
+	cfg.timeout = 30 * time.Millisecond
+	err := run(cfg)
+	if err == nil {
+		t.Fatal("expected a timeout error")
+	}
+	if !strings.Contains(err.Error(), "timed out after") {
+		t.Errorf("timeout error %q should mention the timeout", err)
+	}
+}
+
+func TestRunOptionValidation(t *testing.T) {
+	dir := t.TempDir()
+	coins := writeFile(t, dir, "coins.csv", "CoinType,Count\nfair,2\n")
+	cfg := base(relFlags{"Coins=" + coins}, "conf(Coins)")
+	cfg.approx = true
+	cfg.delta = 1.5
+	err := run(cfg)
+	if err == nil {
+		t.Fatal("out-of-range -delta should be rejected")
+	}
+	if !strings.Contains(err.Error(), "WithDelta") {
+		t.Errorf("error %q should come from option validation", err)
 	}
 }
 
@@ -65,7 +119,9 @@ func TestRunErrors(t *testing.T) {
 		{"missing query file", nil, "", filepath.Join(dir, "missing.ua")},
 	}
 	for _, c := range cases {
-		if err := run(c.rels, c.query, c.qfile, false, false, 0.05, 0.1, 1, 0, true); err == nil {
+		cfg := base(c.rels, c.query)
+		cfg.queryFile = c.qfile
+		if err := run(cfg); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
 	}

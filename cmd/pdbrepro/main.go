@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	pdbrepro [-experiment all|E1|…|E10] [-seed N] [-quick]
+//	pdbrepro [-experiment all|E1|…|E10] [-seed N] [-quick] [-timeout 5m]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -22,34 +25,45 @@ func main() {
 		quick   = flag.Bool("quick", false, "shrink trial counts for a fast pass")
 		workers = flag.Int("workers", 0, "parallel estimation workers for engine-backed experiments (0 = GOMAXPROCS)")
 		resume  = flag.Bool("resume", true, "reuse estimator state across σ̂ doubling restarts in engine-backed experiments (bit-identical; off re-samples from scratch)")
+		timeout = flag.Duration("timeout", 0, "abort engine-backed evaluation after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers, NoResume: !*resume}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers, NoResume: !*resume, Ctx: ctx}
 	if *which != "all" {
 		run, title, ok := experiments.Lookup(*which)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; use E1..E10 or all\n", *which)
 			os.Exit(2)
 		}
-		if err := runOne(*which, title, run, cfg); err != nil {
+		if err := runOne(*which, title, run, cfg, *timeout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
 	for _, e := range experiments.All() {
-		if err := runOne(e.ID, e.Title, e.Run, cfg); err != nil {
+		if err := runOne(e.ID, e.Title, e.Run, cfg, *timeout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
 }
 
-func runOne(id, title string, run experiments.Runner, cfg experiments.Config) error {
+func runOne(id, title string, run experiments.Runner, cfg experiments.Config, timeout time.Duration) error {
 	fmt.Printf("=== %s — %s ===\n", id, title)
 	summary, err := run(os.Stdout, cfg)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("%s: evaluation timed out after %s", id, timeout)
+		}
 		return fmt.Errorf("%s: %w", id, err)
 	}
 	fmt.Println("\nkey measurements:")

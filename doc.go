@@ -3,14 +3,19 @@
 // (U-relational) databases, grown into a parallel, resumable query
 // engine.
 //
-// The package tree splits into the representation layer (internal/vars,
-// internal/worlds, internal/rel, internal/urel, internal/dnf), the query
-// layer (internal/parser, internal/expr, internal/algebra), the
-// approximation layer (internal/karpluby, internal/predapprox,
-// internal/provenance, internal/stats), and the engine (internal/core on
-// top of internal/sched). cmd/pdbcli is the interactive CLI, cmd/pdbrepro
+// The public, supported API is the pdb package (open or build a
+// database, prepare a UA query, evaluate it with context-aware
+// cancellation, validated options, and progress hooks); everything under
+// internal/ is an implementation detail. The tree splits into the
+// representation layer (internal/vars, internal/worlds, internal/rel,
+// internal/urel, internal/dnf), the query layer (internal/parser,
+// internal/expr, internal/algebra), the approximation layer
+// (internal/karpluby, internal/predapprox, internal/provenance,
+// internal/stats), and the engine (internal/core on top of
+// internal/sched). cmd/pdbcli is the interactive CLI, cmd/pdbrepro
 // regenerates the paper's experiments (internal/experiments,
-// internal/workload), and examples/ holds five runnable walkthroughs.
+// internal/workload), and examples/ holds five runnable walkthroughs on
+// the pdb facade.
 // docs/ARCHITECTURE.md describes the dataflow, the concurrency model, and
 // the cross-restart resume model with its determinism invariants.
 //

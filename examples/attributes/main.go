@@ -1,90 +1,74 @@
-// Attribute-level uncertainty via vertical decomposition (Section 3 of the
-// paper, following [1]): a customer table whose Name and City attributes
-// are independently uncertain is stored as one U-relation per attribute —
-// linear in the number of alternatives — while representing the full
-// cartesian product of possibilities. Queries then run on the joined view:
-// here, the marginal distribution of each full record and a selection of
-// records that live in 'NYC' with confidence ≥ 0.5.
+// Attribute-level uncertainty via vertical decomposition on the public pdb
+// API (Section 3 of the paper, following [1]): a customer table whose Name
+// and City attributes are independently uncertain is stored as one
+// U-relation per attribute — linear in the number of alternatives — while
+// representing the full cartesian product of possibilities. Queries then
+// run on the joined view: here, the marginal distribution of each full
+// record and a selection of records that live in 'NYC' with confidence
+// ≥ 0.5.
 //
 // Run with: go run ./examples/attributes
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/algebra"
-	"repro/internal/core"
-	"repro/internal/expr"
-	"repro/internal/predapprox"
-	"repro/internal/rel"
-	"repro/internal/urel"
+	"repro/pdb"
 )
 
 func main() {
-	db := urel.NewDatabase()
-	schema := rel.NewSchema("Name", "City")
-	rows := [][]urel.AttrAlternatives{
-		{
-			{Values: []rel.Value{rel.String("Ann"), rel.String("Anna")}, Probs: []float64{0.7, 0.3}},
-			{Values: []rel.Value{rel.String("NYC"), rel.String("Newark")}, Probs: []float64{0.8, 0.2}},
-		},
-		{
-			urel.Certain(rel.String("Bob")),
-			{Values: []rel.Value{rel.String("LA"), rel.String("NYC")}, Probs: []float64{0.4, 0.6}},
-		},
-		{
-			{Values: []rel.Value{rel.String("Cy"), rel.String("Cyrus"), rel.String("Ciro")}, Probs: []float64{0.5, 0.3, 0.2}},
-			urel.Certain(rel.String("NYC")),
-		},
-	}
-	vd, err := urel.BuildAttributeUncertainty(db.Vars, schema, rows, "TID", "attr")
+	db, err := pdb.NewBuilder().
+		AttributeUncertain("Customers", []string{"Name", "City"},
+			[]pdb.Alt{
+				pdb.Choice("Ann", 0.7, "Anna", 0.3),
+				pdb.Choice("NYC", 0.8, "Newark", 0.2),
+			},
+			[]pdb.Alt{
+				pdb.Certain("Bob"),
+				pdb.Choice("LA", 0.4, "NYC", 0.6),
+			},
+			[]pdb.Alt{
+				pdb.Choice("Cy", 0.5, "Cyrus", 0.3, "Ciro", 0.2),
+				pdb.Certain("NYC"),
+			}).
+		Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("Vertical representation: %d U-tuples across %d parts\n", vd.Size(), len(vd.Parts))
-	joined := vd.Joined()
-	fmt.Printf("Represented (joined) relation: %d U-tuples\n\n", joined.Len())
-	db.AddURelation("Customers", joined, false)
+	fmt.Printf("Joined U-relational representation: %d U-tuples\n\n", db.NumTuples("Customers"))
+	ctx := context.Background()
 
 	// Marginal distribution of full records.
-	conf, err := algebra.NewURelEvaluator(db).Eval(algebra.Conf{In: algebra.Base{Name: "Customers"}})
+	confQ, err := db.Prepare(`conf(Customers)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conf, err := confQ.EvalExact(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Record marginals:")
-	cp := urel.Poss(conf.Rel)
-	for _, tp := range cp.Sorted() {
-		fmt.Printf("  %-7s %-8s %.3f\n",
-			cp.Value(tp, "Name").AsString(), cp.Value(tp, "City").AsString(),
-			cp.Value(tp, "P").AsFloat())
+	for row := range conf.Rows() {
+		fmt.Printf("  %-7s %-8s %.3f\n", row.Str("Name"), row.Str("City"), row.Float("P"))
 	}
 
 	// σ̂: (Name) groups whose probability of living in NYC is ≥ 0.5.
-	q := algebra.ApproxSelect{
-		In: algebra.Select{
-			In:   algebra.Base{Name: "Customers"},
-			Pred: cityIs("NYC"),
-		},
-		Args: []algebra.ConfArg{{Attrs: []string{"Name"}}},
-		Pred: predapprox.Linear([]float64{1}, 0.5),
+	q, err := db.Prepare(`aselect[p1 >= 0.5 over conf[Name]](select[City = 'NYC'](Customers))`)
+	if err != nil {
+		log.Fatal(err)
 	}
-	eng := core.NewEngine(db, core.Options{Eps0: 0.05, Delta: 0.05, Seed: 31})
-	res, err := eng.EvalApprox(q)
+	res, err := q.Eval(ctx, pdb.WithEpsilon(0.05), pdb.WithDelta(0.05), pdb.WithSeed(31))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nNames that are in NYC with probability ≥ 0.5 (σ̂, with bounds):")
-	out := urel.Poss(res.Rel)
-	for _, tp := range out.Sorted() {
+	for row := range res.Rows() {
 		fmt.Printf("  %-7s P̂ = %.3f  (err ≤ %.4f)\n",
-			out.Value(tp, "Name").AsString(), out.Value(tp, "P1").AsFloat(), res.TupleError(tp))
+			row.Str("Name"), row.Float("P1"), row.ErrorBound())
 	}
-	if out.Len() == 0 {
+	if res.Len() == 0 {
 		fmt.Println("  (none)")
 	}
-}
-
-func cityIs(c string) expr.Pred {
-	return expr.Eq(expr.A("City"), expr.CStr(c))
 }

@@ -1,119 +1,120 @@
-// Generalized Bayesian coin inference: Example 2.2 scaled to arbitrary
-// bags and toss counts. For each number of observed all-heads tosses, the
-// posterior P(fair | all heads) is computed through the algebra (exact and
-// approximate) and compared with the analytic value — showing that the
-// compositional conf operator really computes conditional probabilities.
+// Generalized Bayesian coin inference on the public pdb API: Example 2.2
+// scaled to arbitrary bags and toss counts. For each number of observed
+// all-heads tosses, the posterior P(fair | all heads) is computed through
+// the algebra (exact and approximate) and compared with the analytic
+// value — showing that the compositional conf operator really computes
+// conditional probabilities.
 //
 // Run with: go run ./examples/coins
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math"
+	"strings"
 
-	"repro/internal/algebra"
-	"repro/internal/core"
-	"repro/internal/expr"
-	"repro/internal/rel"
-	"repro/internal/urel"
-	"repro/internal/workload"
+	"repro/pdb"
+)
+
+const (
+	fairCount   = 3
+	biasedCount = 2
+	bias        = 0.9 // P(H) of the biased coin type
 )
 
 func main() {
-	bag := workload.CoinBag{FairCount: 3, BiasedCount: 2, Bias: 0.9}
 	fmt.Printf("Bag: %d fair coins, %d biased coins with P(H) = %.2f\n\n",
-		bag.FairCount, bag.BiasedCount, bag.Bias)
+		fairCount, biasedCount, bias)
 	fmt.Println("tosses  analytic   exact algebra  approx algebra  |exact−analytic|")
 	fmt.Println("------  ---------  -------------  --------------  ----------------")
 
+	ctx := context.Background()
 	for tosses := 1; tosses <= 4; tosses++ {
-		bag.Tosses = tosses
-		db := bag.Database()
-		query := posteriorQuery(tosses)
-
-		exact, err := algebra.NewURelEvaluator(db).Eval(query)
+		db := bagDatabase(tosses)
+		q, err := db.Prepare(posteriorProgram(tosses))
 		if err != nil {
 			log.Fatal(err)
 		}
-		pExact, ok := fairPosterior(urel.Poss(exact.Rel))
+
+		exact, err := q.EvalExact(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pExact, ok := fairPosterior(exact)
 		if !ok {
 			log.Fatalf("missing fair tuple at %d tosses", tosses)
 		}
 
-		eng := core.NewEngine(db, core.Options{
-			Eps0: 0.05, Delta: 0.05, ConfEps: 0.02, ConfDelta: 0.02, Seed: int64(tosses),
-		})
-		approx, err := eng.EvalApprox(query)
+		approx, err := q.Eval(ctx, pdb.WithConfBudget(0.02, 0.02), pdb.WithSeed(int64(tosses)))
 		if err != nil {
 			log.Fatal(err)
 		}
-		pApprox, _ := fairPosterior(urel.Poss(approx.Rel))
+		pApprox, _ := fairPosterior(approx)
 
-		analytic := bag.PosteriorFairAllHeads()
+		analytic := posteriorFairAllHeads(tosses)
 		fmt.Printf("%6d  %9.5f  %13.5f  %14.5f  %16.2e\n",
-			tosses, analytic, pExact, pApprox, abs(pExact-analytic))
+			tosses, analytic, pExact, pApprox, math.Abs(pExact-analytic))
 	}
 	fmt.Println("\nEach added head shifts belief toward the biased coin, exactly as")
 	fmt.Println("Bayes' rule dictates — computed purely with repair-key, join and conf.")
 }
 
-// posteriorQuery builds U for the given number of tosses: draw a coin,
-// toss it n times, condition on all heads.
-func posteriorQuery(tosses int) algebra.Query {
-	r := algebra.Project{
-		In:      algebra.RepairKey{In: algebra.Base{Name: "Coins"}, Weight: "Count"},
-		Targets: []expr.Target{expr.Keep("CoinType")},
+// bagDatabase builds the complete relations for the bag with the given
+// number of tosses.
+func bagDatabase(tosses int) *pdb.DB {
+	b := pdb.NewBuilder().
+		Table("Coins", []string{"CoinType", "Count"},
+			[]any{"fair", fairCount},
+			[]any{"biased", biasedCount}).
+		Table("Faces", []string{"CoinType", "Face", "FProb"},
+			[]any{"fair", "H", 0.5},
+			[]any{"fair", "T", 0.5},
+			[]any{"biased", "H", bias},
+			[]any{"biased", "T", 1 - bias})
+	rows := make([][]any, tosses)
+	for i := range rows {
+		rows[i] = []any{i + 1}
 	}
-	s := algebra.Project{
-		In: algebra.RepairKey{
-			In:     algebra.Product{L: algebra.Base{Name: "Faces"}, R: algebra.Base{Name: "Tosses"}},
-			Key:    []string{"CoinType", "Toss"},
-			Weight: "FProb",
-		},
-		Targets: []expr.Target{expr.Keep("CoinType"), expr.Keep("Toss"), expr.Keep("Face")},
+	b.Table("Tosses", []string{"Toss"}, rows...)
+	db, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
 	}
-	t := algebra.Query(algebra.Base{Name: "R"})
-	for i := 1; i <= tosses; i++ {
-		heads := algebra.Project{
-			In: algebra.Select{
-				In: algebra.Base{Name: "S"},
-				Pred: expr.AndOf(
-					expr.Eq(expr.A("Toss"), expr.CInt(int64(i))),
-					expr.Eq(expr.A("Face"), expr.CStr("H")),
-				),
-			},
-			Targets: []expr.Target{expr.Keep("CoinType")},
-		}
-		t = algebra.Join{L: t, R: heads}
-	}
-	u := algebra.Project{
-		In: algebra.Product{
-			L: algebra.Conf{In: algebra.Base{Name: "T"}, As: "P1"},
-			R: algebra.Conf{In: algebra.Project{In: algebra.Base{Name: "T"}}, As: "P2"},
-		},
-		Targets: []expr.Target{
-			expr.Keep("CoinType"),
-			expr.As("P", expr.Div(expr.A("P1"), expr.A("P2"))),
-		},
-	}
-	return algebra.Let{Name: "R", Def: r,
-		In: algebra.Let{Name: "S", Def: s,
-			In: algebra.Let{Name: "T", Def: t, In: u}}}
+	return db
 }
 
-// fairPosterior extracts the P value of the CoinType = "fair" tuple.
-func fairPosterior(r *rel.Relation) (float64, bool) {
-	for _, tp := range r.Tuples() {
-		if r.Value(tp, "CoinType").AsString() == "fair" {
-			return r.Value(tp, "P").AsFloat(), true
+// posteriorProgram builds the UA program for the given number of tosses:
+// draw a coin, toss it n times, condition on all heads.
+func posteriorProgram(tosses int) string {
+	var sb strings.Builder
+	sb.WriteString("R := project[CoinType](repairkey[@Count](Coins));\n")
+	sb.WriteString("S := project[CoinType, Toss, Face](repairkey[CoinType, Toss @ FProb](product(Faces, Tosses)));\n")
+	t := "R"
+	for i := 1; i <= tosses; i++ {
+		t = fmt.Sprintf("join(%s, project[CoinType](select[Toss = %d and Face = 'H'](S)))", t, i)
+	}
+	fmt.Fprintf(&sb, "T := %s;\n", t)
+	sb.WriteString("project[CoinType, P1/P2 as P](product(conf as P1 (T), conf as P2 (project[](T))));\n")
+	return sb.String()
+}
+
+// fairPosterior extracts the P value of the CoinType = "fair" row.
+func fairPosterior(res *pdb.Result) (float64, bool) {
+	for row := range res.Rows() {
+		if row.Str("CoinType") == "fair" {
+			return row.Float("P"), true
 		}
 	}
 	return 0, false
 }
 
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
+// posteriorFairAllHeads is the analytic ground truth: Bayes' rule over the
+// two coin types with an all-heads likelihood.
+func posteriorFairAllHeads(tosses int) float64 {
+	total := float64(fairCount + biasedCount)
+	pFair, pBiased := float64(fairCount)/total, float64(biasedCount)/total
+	likeFair, likeBiased := math.Pow(0.5, float64(tosses)), math.Pow(bias, float64(tosses))
+	return pFair * likeFair / (pFair*likeFair + pBiased*likeBiased)
 }

@@ -1,84 +1,102 @@
-// Data cleaning with probabilistic repairs — the use case the paper's
-// introduction motivates. Duplicate-record clusters carry weighted
-// candidate resolutions; repair-key turns them into a probabilistic
-// database of possible clean instances, and an approximate selection keeps
-// only the clusters whose most likely resolution has confidence ≥ 0.6 —
-// a predicate over approximated marginal probabilities (σ̂, Section 6).
+// Data cleaning with probabilistic repairs on the public pdb API — the use
+// case the paper's introduction motivates. Duplicate-record clusters carry
+// weighted candidate resolutions; repair-key turns them into a
+// probabilistic database of possible clean instances, and an approximate
+// selection keeps only the clusters whose most likely resolution has
+// confidence ≥ 0.6 — a predicate over approximated marginal probabilities
+// (σ̂, Section 6). The -timeout-style context support bounds the
+// evaluation, and a progress hook observes the doubling loop.
 //
 // Run with: go run ./examples/datacleaning
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
+	"time"
 
-	"repro/internal/algebra"
-	"repro/internal/core"
-	"repro/internal/predapprox"
-	"repro/internal/urel"
-	"repro/internal/workload"
+	"repro/pdb"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(7))
-	db := workload.DirtyCustomers(rng, 8, 3)
+	// Candidate resolutions per duplicate cluster with match weights.
+	// Clusters 0, 2, and 5 have a dominant candidate (cleanly resolvable);
+	// the others are ambiguous.
+	candidates := [][]any{
+		{0, "Acme Corp", 2.8}, {0, "Acme Co", 0.4}, {0, "ACME", 0.3},
+		{1, "Globex", 0.9}, {1, "Globex Inc", 0.8}, {1, "Globex LLC", 0.7},
+		{2, "Initech", 2.5}, {2, "Intech", 0.5},
+		{3, "Umbrella", 0.6}, {3, "Umbrela", 0.6}, {3, "Umbrello", 0.5},
+		{4, "Stark Ind", 1.1}, {4, "Stark Industries", 0.9},
+		{5, "Wayne Ent", 3.0}, {5, "Wayne Enterprises", 0.4},
+	}
+	db, err := pdb.NewBuilder().
+		Table("Candidates", []string{"Cluster", "Name", "Weight"}, candidates...).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("Candidates (cluster, candidate name, match weight):")
-	for _, ut := range db.Rels["Candidates"].Tuples() {
-		fmt.Printf("  %v\n", ut.Row)
+	for _, c := range candidates {
+		fmt.Printf("  %v\n", c)
 	}
 
 	// Clean := repair-key_{Cluster}@Weight(Candidates): one candidate per
-	// cluster, weighted; then σ̂ keeps (Cluster, Name) pairs whose
-	// marginal confidence is at least 0.6 — confidently resolved records.
-	clean := algebra.RepairKey{
-		In:     algebra.Base{Name: "Candidates"},
-		Key:    []string{"Cluster"},
-		Weight: "Weight",
-	}
-	confident := algebra.ApproxSelect{
-		In:   clean,
-		Args: []algebra.ConfArg{{Attrs: []string{"Cluster", "Name"}}},
-		Pred: predapprox.Linear([]float64{1}, 0.6),
+	// cluster, weighted; then σ̂ keeps (Cluster, Name) pairs whose marginal
+	// confidence is at least 0.6 — confidently resolved records.
+	q, err := db.Prepare(`
+		Clean := repairkey[Cluster @ Weight](Candidates);
+		aselect[p1 >= 0.6 over conf[Cluster, Name]](Clean);
+	`)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// Exact reference.
-	exact, err := algebra.NewURelEvaluator(db).Eval(confident)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	exact, err := q.EvalExact(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nConfidently resolved records (exact confidence ≥ 0.6):")
-	printResolved(exact.Rel, nil)
+	printResolved(exact, false)
 
-	// Approximate engine with per-tuple error bounds.
-	eng := core.NewEngine(db, core.Options{Eps0: 0.05, Delta: 0.05, Seed: 99})
-	approx, err := eng.EvalApprox(confident)
+	// Approximate engine with per-tuple error bounds and an observer on
+	// the doubling loop.
+	approx, err := q.Eval(ctx,
+		pdb.WithEpsilon(0.05), pdb.WithDelta(0.05), pdb.WithSeed(99),
+		pdb.WithProgress(func(ev pdb.ProgressEvent) {
+			fmt.Printf("  [progress] pass %d: rounds=%d worst-bound=%.4g sampled=%d reused=%d\n",
+				ev.Restart, ev.Rounds, ev.WorstBound, ev.SampledTrials, ev.ReusedTrials)
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nSame query, approximate (Karp–Luby + Figure 3), with error bounds:")
-	printResolved(approx.Rel, approx)
+	printResolved(approx, true)
+	s := approx.Stats()
 	fmt.Printf("\nstats: rounds=%d restarts=%d decisions=%d sampled-trials=%d reused-trials=%d\n",
-		approx.Stats.FinalRounds, approx.Stats.Restarts, approx.Stats.Decisions, approx.Stats.EstimatorTrials, approx.Stats.ReusedTrials)
+		s.FinalRounds, s.Restarts, s.Decisions, s.SampledTrials, s.ReusedTrials)
 	fmt.Println("\nClusters without a dominant candidate stay unresolved — downstream")
 	fmt.Println("processing sees only records cleaned with quantified reliability.")
 }
 
-func printResolved(r *urel.Relation, res *core.Result) {
-	out := urel.Poss(r)
-	for _, tp := range out.Sorted() {
-		line := fmt.Sprintf("  cluster %v → %-10v conf %.3f",
-			out.Value(tp, "Cluster"), out.Value(tp, "Name"), out.Value(tp, "P1").AsFloat())
-		if res != nil {
-			line += fmt.Sprintf("  (err ≤ %.4f)", res.TupleError(tp))
-			if res.IsSingular(tp) {
+func printResolved(res *pdb.Result, withBounds bool) {
+	for row := range res.Rows() {
+		line := fmt.Sprintf("  cluster %d → %-18s conf %.3f",
+			row.Int("Cluster"), row.Str("Name"), row.Float("P1"))
+		if withBounds {
+			line += fmt.Sprintf("  (err ≤ %.4f)", row.ErrorBound())
+			if row.Singular() {
 				line += " SINGULAR"
 			}
 		}
 		fmt.Println(line)
 	}
-	if out.Len() == 0 {
+	if res.Len() == 0 {
 		fmt.Println("  (none)")
 	}
 }

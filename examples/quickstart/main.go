@@ -1,101 +1,70 @@
-// Quickstart: the paper's Example 2.2 end to end — build a probabilistic
-// database with repair-key, compute a conditional probability with
-// compositional conf, and compare exact #P evaluation against the
-// Karp–Luby-based approximate engine.
+// Quickstart: the paper's Example 2.2 end to end on the public pdb API —
+// build a probabilistic database with repair-key, compute a conditional
+// probability with compositional conf, and compare exact #P evaluation
+// against the Karp–Luby-based approximate engine.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/algebra"
-	"repro/internal/core"
-	"repro/internal/expr"
-	"repro/internal/rel"
-	"repro/internal/urel"
+	"repro/pdb"
 )
 
 func main() {
 	// A bag with two fair coins and one double-headed coin (Example 2.2).
-	db := urel.NewDatabase()
-	db.AddComplete("Coins", rel.FromRows(rel.NewSchema("CoinType", "Count"),
-		rel.Tuple{rel.String("fair"), rel.Int(2)},
-		rel.Tuple{rel.String("2headed"), rel.Int(1)},
-	))
-	db.AddComplete("Faces", rel.FromRows(rel.NewSchema("CoinType", "Face", "FProb"),
-		rel.Tuple{rel.String("fair"), rel.String("H"), rel.Float(0.5)},
-		rel.Tuple{rel.String("fair"), rel.String("T"), rel.Float(0.5)},
-		rel.Tuple{rel.String("2headed"), rel.String("H"), rel.Float(1)},
-	))
-	db.AddComplete("Tosses", rel.FromRows(rel.NewSchema("Toss"),
-		rel.Tuple{rel.Int(1)}, rel.Tuple{rel.Int(2)},
-	))
+	db, err := pdb.NewBuilder().
+		Table("Coins", []string{"CoinType", "Count"},
+			[]any{"fair", 2},
+			[]any{"2headed", 1}).
+		Table("Faces", []string{"CoinType", "Face", "FProb"},
+			[]any{"fair", "H", 0.5},
+			[]any{"fair", "T", 0.5},
+			[]any{"2headed", "H", 1.0}).
+		Table("Tosses", []string{"Toss"}, []any{1}, []any{2}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// R: draw a coin. S: toss it twice. T: coin types consistent with two
-	// observed heads. U: the posterior P(CoinType | HH).
-	r := algebra.Project{
-		In:      algebra.RepairKey{In: algebra.Base{Name: "Coins"}, Weight: "Count"},
-		Targets: []expr.Target{expr.Keep("CoinType")},
+	// observed heads. Final query: the posterior P(CoinType | HH) as a
+	// ratio of confidences.
+	q, err := db.Prepare(`
+		R := project[CoinType](repairkey[@Count](Coins));
+		S := project[CoinType, Toss, Face](repairkey[CoinType, Toss @ FProb](product(Faces, Tosses)));
+		T := join(join(R, project[CoinType](select[Toss = 1 and Face = 'H'](S))),
+		          project[CoinType](select[Toss = 2 and Face = 'H'](S)));
+		project[CoinType, P1/P2 as P](product(conf as P1 (T), conf as P2 (project[](T))));
+	`)
+	if err != nil {
+		log.Fatal(err)
 	}
-	s := algebra.Project{
-		In: algebra.RepairKey{
-			In:     algebra.Product{L: algebra.Base{Name: "Faces"}, R: algebra.Base{Name: "Tosses"}},
-			Key:    []string{"CoinType", "Toss"},
-			Weight: "FProb",
-		},
-		Targets: []expr.Target{expr.Keep("CoinType"), expr.Keep("Toss"), expr.Keep("Face")},
-	}
-	headsAt := func(toss int64) algebra.Query {
-		return algebra.Project{
-			In: algebra.Select{
-				In: algebra.Base{Name: "S"},
-				Pred: expr.AndOf(
-					expr.Eq(expr.A("Toss"), expr.CInt(toss)),
-					expr.Eq(expr.A("Face"), expr.CStr("H")),
-				),
-			},
-			Targets: []expr.Target{expr.Keep("CoinType")},
-		}
-	}
-	t := algebra.Join{L: algebra.Join{L: algebra.Base{Name: "R"}, R: headsAt(1)}, R: headsAt(2)}
-	u := algebra.Project{
-		In: algebra.Product{
-			L: algebra.Conf{In: algebra.Base{Name: "T"}, As: "P1"},
-			R: algebra.Conf{In: algebra.Project{In: algebra.Base{Name: "T"}}, As: "P2"},
-		},
-		Targets: []expr.Target{
-			expr.Keep("CoinType"),
-			expr.As("P", expr.Div(expr.A("P1"), expr.A("P2"))),
-		},
-	}
-	query := algebra.Let{Name: "R", Def: r,
-		In: algebra.Let{Name: "S", Def: s,
-			In: algebra.Let{Name: "T", Def: t, In: u}}}
+	ctx := context.Background()
 
 	// Exact evaluation (#P confidence computation on U-relations).
-	exact, err := algebra.NewURelEvaluator(db).Eval(query)
+	exact, err := q.EvalExact(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Posterior P(CoinType | two heads), exact:")
-	printRel(urel.Poss(exact.Rel))
+	for row := range exact.Rows() {
+		fmt.Printf("  %-10s %.5f\n", row.Str("CoinType"), row.Float("P"))
+	}
 
 	// Approximate evaluation (Karp–Luby FPRAS, Corollary 4.3).
-	eng := core.NewEngine(db, core.Options{Eps0: 0.05, Delta: 0.05, ConfEps: 0.01, ConfDelta: 0.01, Seed: 42})
-	approx, err := eng.EvalApprox(query)
+	approx, err := q.Eval(ctx, pdb.WithConfBudget(0.01, 0.01), pdb.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nPosterior, approximated with conf_{ε=0.01, δ=0.01}:")
-	printRel(urel.Poss(approx.Rel))
-	fmt.Printf("\n(sampled trials: %d, reused: %d)\n", approx.Stats.EstimatorTrials, approx.Stats.ReusedTrials)
-	fmt.Println("\nThe paper's answer: P(fair | HH) = 1/3 — the prior 2/3 flipped by the evidence.")
-}
-
-func printRel(r *rel.Relation) {
-	for _, tp := range r.Sorted() {
-		fmt.Printf("  %-10s %.5f\n", r.Value(tp, "CoinType").AsString(), r.Value(tp, "P").AsFloat())
+	for row := range approx.Rows() {
+		fmt.Printf("  %-10s %.5f\n", row.Str("CoinType"), row.Float("P"))
 	}
+	s := approx.Stats()
+	fmt.Printf("\n(sampled trials: %d, reused: %d)\n", s.SampledTrials, s.ReusedTrials)
+	fmt.Println("\nThe paper's answer: P(fair | HH) = 1/3 — the prior 2/3 flipped by the evidence.")
 }

@@ -1,7 +1,7 @@
-// Sensor-data processing with probability predicates — the second
-// application area the paper's introduction highlights. Readings arrive as
-// a tuple-independent probabilistic relation (each reading present with a
-// sensor-noise confidence). Three queries:
+// Sensor-data processing with probability predicates on the public pdb
+// API — the second application area the paper's introduction highlights.
+// Readings arrive as a tuple-independent probabilistic relation (each
+// reading present with a sensor-noise confidence). Three queries:
 //
 //  1. per-reading confidences (conf);
 //  2. a conditional probability per sensor, P(live in both epochs | live
@@ -15,102 +15,96 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"repro/internal/algebra"
-	"repro/internal/core"
-	"repro/internal/expr"
-	"repro/internal/predapprox"
-	"repro/internal/urel"
-	"repro/internal/workload"
+	"repro/pdb"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(11))
-	db := workload.SensorReadings(rng, 6, 2)
-
-	// 1. Per-reading confidences.
-	fmt.Println("Per-reading confidences (sensor, epoch → P):")
-	conf, err := algebra.NewURelEvaluator(db).Eval(algebra.Conf{
-		In: algebra.Project{
-			In:      algebra.Base{Name: "Readings"},
-			Targets: []expr.Target{expr.Keep("Sensor"), expr.Keep("Epoch")},
-		},
-	})
+	// Six sensors, two epochs; each reading carries the probability that
+	// the sensor was actually live (sensor noise).
+	var rows [][]any
+	var probs []float64
+	reliability := []float64{0.95, 0.85, 0.72, 0.61, 0.48, 0.35}
+	values := []float64{20.4, 21.1, 19.7, 22.3, 18.9, 20.0}
+	for s, rel := range reliability {
+		for e := 0; e < 2; e++ {
+			rows = append(rows, []any{s, e, values[s] + 0.3*float64(e)})
+			probs = append(probs, rel*(0.9+0.05*float64(e)))
+		}
+	}
+	db, err := pdb.NewBuilder().
+		Independent("Readings", []string{"Sensor", "Epoch", "Value"}, rows, probs).
+		Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	cp := urel.Poss(conf.Rel)
-	for _, tp := range cp.Sorted() {
-		fmt.Printf("  sensor %v epoch %v: %.3f\n",
-			cp.Value(tp, "Sensor"), cp.Value(tp, "Epoch"), cp.Value(tp, "P").AsFloat())
-	}
+	ctx := context.Background()
 
-	epoch := func(e int64) algebra.Query {
-		return algebra.Project{
-			In: algebra.Select{
-				In:   algebra.Base{Name: "Readings"},
-				Pred: expr.Eq(expr.A("Epoch"), expr.CInt(e)),
-			},
-			Targets: []expr.Target{expr.Keep("Sensor")},
-		}
+	// 1. Per-reading confidences.
+	fmt.Println("Per-reading confidences (sensor, epoch → P):")
+	conf, err := mustPrepare(db, `conf(project[Sensor, Epoch](Readings))`).EvalExact(ctx)
+	if err != nil {
+		log.Fatal(err)
 	}
-	both := algebra.Join{L: epoch(0), R: epoch(1)}
-	any := algebra.Union{L: epoch(0), R: epoch(1)}
+	for row := range conf.Rows() {
+		fmt.Printf("  sensor %d epoch %d: %.3f\n",
+			row.Int("Sensor"), row.Int("Epoch"), row.Float("P"))
+	}
 
 	// 2. Conditional probability per sensor via compositional conf (the
 	// Example 2.2 pattern), then an ordinary selection on the ratio.
-	ratio := algebra.Project{
-		In: algebra.Join{
-			L: algebra.Conf{In: both, As: "PBoth"},
-			R: algebra.Conf{In: any, As: "PAny"},
-		},
-		Targets: []expr.Target{
-			expr.Keep("Sensor"),
-			expr.As("PCond", expr.Div(expr.A("PBoth"), expr.A("PAny"))),
-		},
-	}
-	sel := algebra.Select{In: ratio, Pred: expr.Ge(expr.A("PCond"), expr.CFloat(0.5))}
-	exact, err := algebra.NewURelEvaluator(db).Eval(sel)
+	cond, err := mustPrepare(db, `
+		Both := join(project[Sensor](select[Epoch = 0](Readings)),
+		             project[Sensor](select[Epoch = 1](Readings)));
+		Any := union(project[Sensor](select[Epoch = 0](Readings)),
+		             project[Sensor](select[Epoch = 1](Readings)));
+		select[PCond >= 0.5](project[Sensor, PBoth/PAny as PCond](
+			join(conf as PBoth (Both), conf as PAny (Any))));
+	`).EvalExact(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nSensors with P(live in both epochs | live in some epoch) ≥ 0.5 (exact):")
-	ep := urel.Poss(exact.Rel)
-	for _, tp := range ep.Sorted() {
-		fmt.Printf("  sensor %v: %.3f\n", ep.Value(tp, "Sensor"), ep.Value(tp, "PCond").AsFloat())
+	for row := range cond.Rows() {
+		fmt.Printf("  sensor %d: %.3f\n", row.Int("Sensor"), row.Float("PCond"))
 	}
-	if ep.Len() == 0 {
+	if cond.Len() == 0 {
 		fmt.Println("  (none)")
 	}
 
 	// 3. σ̂ in the Example 6.1 shape over the both-epochs relation:
-	// p1/p2 ≥ 0.3 with p1 = conf[Sensor] and p2 = conf[∅] (the
-	// probability that any sensor is live in both epochs). Linearized:
-	// p1 − 0.3·p2 ≥ 0.
-	shat := algebra.ApproxSelect{
-		In:   both,
-		Args: []algebra.ConfArg{{Attrs: []string{"Sensor"}}, {Attrs: nil}},
-		Pred: predapprox.Linear([]float64{1, -0.3}, 0),
-	}
-	eng := core.NewEngine(db, core.Options{Eps0: 0.05, Delta: 0.1, Seed: 23})
-	approx, err := eng.EvalApprox(shat)
+	// conf[Sensor] ≥ 0.3 · conf[∅], linearized as p1 − 0.3·p2 ≥ 0, decided
+	// by the Figure 3 algorithm on Karp–Luby estimates with error bounds.
+	shat := mustPrepare(db, `
+		Both := join(project[Sensor](select[Epoch = 0](Readings)),
+		             project[Sensor](select[Epoch = 1](Readings)));
+		aselect[p1 - 0.3 * p2 >= 0 over conf[Sensor], conf[]](Both);
+	`)
+	approx, err := shat.Eval(ctx, pdb.WithEpsilon(0.05), pdb.WithDelta(0.1), pdb.WithSeed(23))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nσ̂: sensors with conf[Sensor] ≥ 0.3 · conf[∅] on the both-epochs relation,")
 	fmt.Println("decided by the Figure 3 algorithm on Karp–Luby estimates:")
-	ap := urel.Poss(approx.Rel)
-	for _, tp := range ap.Sorted() {
-		fmt.Printf("  sensor %v: P̂sensor %.3f, P̂network %.3f  (err ≤ %.4f)\n",
-			ap.Value(tp, "Sensor"), ap.Value(tp, "P1").AsFloat(), ap.Value(tp, "P2").AsFloat(),
-			approx.TupleError(tp))
+	for row := range approx.Rows() {
+		fmt.Printf("  sensor %d: P̂sensor %.3f, P̂network %.3f  (err ≤ %.4f)\n",
+			row.Int("Sensor"), row.Float("P1"), row.Float("P2"), row.ErrorBound())
 	}
-	if ap.Len() == 0 {
+	if approx.Len() == 0 {
 		fmt.Println("  (none)")
 	}
+	s := approx.Stats()
 	fmt.Printf("\nstats: rounds=%d decisions=%d sampled-trials=%d singular-drops=%d\n",
-		approx.Stats.FinalRounds, approx.Stats.Decisions, approx.Stats.EstimatorTrials, approx.Stats.SingularDrops)
+		s.FinalRounds, s.Decisions, s.SampledTrials, s.SingularDrops)
+}
+
+func mustPrepare(db *pdb.DB, src string) *pdb.Query {
+	q, err := db.Prepare(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return q
 }

@@ -1,6 +1,7 @@
 package algebra
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -25,6 +26,9 @@ type URelResult struct {
 type URelEvaluator struct {
 	db     *urel.Database
 	nextRK int
+	// ctx, when non-nil, is checked at every operator so a cancelled
+	// evaluation aborts between nodes with ctx.Err().
+	ctx context.Context
 }
 
 // NewURelEvaluator clones db and returns an evaluator over the clone.
@@ -38,13 +42,28 @@ func (e *URelEvaluator) DB() *urel.Database { return e.db }
 
 // Eval evaluates the query and returns the result relation.
 func (e *URelEvaluator) Eval(q Query) (URelResult, error) {
+	return e.EvalContext(context.Background(), q)
+}
+
+// EvalContext evaluates the query with cooperative cancellation: ctx is
+// checked before every operator, so a cancelled or expired context aborts
+// the evaluation between nodes and returns ctx.Err(). Exact confidence
+// computation on one operator's lineage is not interruptible — the check
+// granularity is the plan node.
+func (e *URelEvaluator) EvalContext(ctx context.Context, q Query) (URelResult, error) {
 	if err := Validate(q); err != nil {
 		return URelResult{}, err
 	}
+	e.ctx = ctx
 	return e.eval(q)
 }
 
 func (e *URelEvaluator) eval(q Query) (URelResult, error) {
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return URelResult{}, err
+		}
+	}
 	switch n := q.(type) {
 	case Base:
 		r, ok := e.db.Rels[n.Name]

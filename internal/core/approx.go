@@ -44,7 +44,9 @@ func (run *evalRun) approxConf(in *evalResult, pcol string) (*evalResult, error)
 			jobs = append(jobs, job)
 		}
 	}
-	run.runEstimates(jobs)
+	if err := run.runEstimates(jobs); err != nil {
+		return nil, err
+	}
 	out := urel.NewRelation(rel.NewSchema(append(in.rel.Schema().Clone(), pcol)...))
 	errs := provenance.Reliable()
 	sing := map[string]bool{}
@@ -161,7 +163,9 @@ func (run *evalRun) approxSelect(in *evalResult, n algebra.ApproxSelect) (*evalR
 	// Spend every argument tuple's trial budget in one pooled batch: the
 	// scheduler sees all (tuple, chunk) tasks at once and keeps every
 	// worker busy across argument boundaries.
-	run.runEstimates(jobs)
+	if err := run.runEstimates(jobs); err != nil {
+		return nil, err
+	}
 
 	// Output schema: union of argument attributes in order of first
 	// appearance, then P1..Pk.

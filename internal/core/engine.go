@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -76,6 +77,61 @@ type Options struct {
 	// independently seeded runs; kept off by default to match the
 	// algorithm as printed in Figure 3.
 	IndependentBounds bool
+	// Progress, when non-nil, is called synchronously after every pass of
+	// the doubling loop with a snapshot of the evaluation's progress. The
+	// hook must be fast and must not call back into the engine.
+	Progress func(Progress)
+}
+
+// Progress is one observation of EvalApprox's doubling loop, delivered to
+// Options.Progress after each pass (including the final one, flagged Done).
+type Progress struct {
+	// Restart is the number of restarts before this pass (0 = first pass).
+	Restart int
+	// Rounds is the round budget l the pass ran with.
+	Rounds int64
+	// MaxRounds is the cap on l (the Theorem 6.7 bound when Options left
+	// it 0).
+	MaxRounds int64
+	// WorstBound is the largest non-singular per-tuple/per-decision error
+	// bound after the pass — the value the loop compares against δ.
+	WorstBound float64
+	// SampledTrials and ReusedTrials are cumulative Karp–Luby trial counts
+	// across all passes so far (see Stats).
+	SampledTrials int64
+	ReusedTrials  int64
+	// Decisions is the number of σ̂ decisions taken in this pass.
+	Decisions int
+	// Done reports whether the loop terminates with this pass.
+	Done bool
+}
+
+// Validate checks the option values an evaluation relies on, returning a
+// descriptive error for out-of-range settings: ε₀ and δ must lie in (0,1),
+// and round budgets/worker counts must not be negative.
+func (o Options) Validate() error {
+	if o.Eps0 <= 0 || o.Eps0 >= 1 {
+		return fmt.Errorf("core: ε₀ must be in (0,1), got %v", o.Eps0)
+	}
+	if o.Delta <= 0 || o.Delta >= 1 {
+		return fmt.Errorf("core: δ must be in (0,1), got %v", o.Delta)
+	}
+	if o.ConfEps < 0 || o.ConfEps >= 1 {
+		return fmt.Errorf("core: conf ε must be in (0,1) (or 0 to inherit ε₀), got %v", o.ConfEps)
+	}
+	if o.ConfDelta < 0 || o.ConfDelta >= 1 {
+		return fmt.Errorf("core: conf δ must be in (0,1) (or 0 to inherit δ), got %v", o.ConfDelta)
+	}
+	if o.InitialRounds < 0 {
+		return fmt.Errorf("core: InitialRounds must not be negative, got %d", o.InitialRounds)
+	}
+	if o.MaxRounds < 0 {
+		return fmt.Errorf("core: MaxRounds must not be negative, got %d", o.MaxRounds)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: Workers must not be negative, got %d", o.Workers)
+	}
+	return nil
 }
 
 func (o Options) confEps() float64 {
@@ -181,18 +237,35 @@ func (e *Engine) EvalExact(q algebra.Query) (algebra.URelResult, error) {
 	return algebra.NewURelEvaluator(e.db).Eval(q)
 }
 
+// EvalExactContext is EvalExact with cooperative cancellation between plan
+// operators.
+func (e *Engine) EvalExactContext(ctx context.Context, q algebra.Query) (algebra.URelResult, error) {
+	return algebra.NewURelEvaluator(e.db).EvalContext(ctx, q)
+}
+
 // EvalApprox evaluates the query approximately per Theorem 6.7: it runs
 // the plan with round budget l, doubling l until every non-singular output
 // tuple's error bound is ≤ δ (or the round cap is reached).
 func (e *Engine) EvalApprox(q algebra.Query) (*Result, error) {
+	return e.EvalApproxContext(context.Background(), q)
+}
+
+// EvalApproxContext is EvalApprox with cooperative cancellation: the
+// context is checked between operators of each pass and between estimation
+// chunks inside the worker pool, so cancelling ctx aborts the evaluation
+// within one chunk boundary and returns ctx.Err(). Cancellation never
+// corrupts the cross-restart estimator cache — a task's snapshot is only
+// published once every chunk of its budget has merged — so the engine (and
+// its resume machinery) remains fully usable after an aborted call.
+func (e *Engine) EvalApproxContext(ctx context.Context, q algebra.Query) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := algebra.Validate(q); err != nil {
 		return nil, err
 	}
-	if e.opts.Eps0 <= 0 || e.opts.Eps0 >= 1 {
-		return nil, fmt.Errorf("core: ε₀ must be in (0,1), got %v", e.opts.Eps0)
-	}
-	if e.opts.Delta <= 0 || e.opts.Delta >= 1 {
-		return nil, fmt.Errorf("core: δ must be in (0,1), got %v", e.opts.Delta)
+	if err := e.opts.Validate(); err != nil {
+		return nil, err
 	}
 	l := e.opts.InitialRounds
 	if l <= 0 {
@@ -213,7 +286,10 @@ func (e *Engine) EvalApprox(q algebra.Query) (*Result, error) {
 		cache = newEstimatorCache()
 	}
 	for {
-		run := &evalRun{engine: e, db: e.db.Clone(), rounds: l, cache: cache}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		run := &evalRun{engine: e, ctx: ctx, db: e.db.Clone(), rounds: l, cache: cache}
 		res, err := run.eval(q)
 		if err != nil {
 			return nil, err
@@ -234,7 +310,20 @@ func (e *Engine) EvalApprox(q algebra.Query) (*Result, error) {
 				worst = v
 			}
 		}
-		if worst <= e.opts.Delta || l >= maxL {
+		done := worst <= e.opts.Delta || l >= maxL
+		if e.opts.Progress != nil {
+			e.opts.Progress(Progress{
+				Restart:       restarts,
+				Rounds:        l,
+				MaxRounds:     maxL,
+				WorstBound:    worst,
+				SampledTrials: trials,
+				ReusedTrials:  reused,
+				Decisions:     run.decisions,
+				Done:          done,
+			})
+		}
+		if done {
 			stats := Stats{
 				FinalRounds:     l,
 				Restarts:        restarts,
@@ -296,6 +385,9 @@ func finishResult(r *evalResult, stats Stats) *Result {
 // evalRun is one pass of approximate evaluation at a fixed round budget.
 type evalRun struct {
 	engine *Engine
+	// ctx is checked at every operator of the pass and between estimation
+	// chunks (sched.Pool.ForEachCtx), bounding cancellation latency.
+	ctx    context.Context
 	db     *urel.Database
 	rounds int64
 	nextRK int
@@ -336,6 +428,11 @@ func reliableResult(r *urel.Relation, complete bool) *evalResult {
 }
 
 func (run *evalRun) eval(q algebra.Query) (*evalResult, error) {
+	if run.ctx != nil {
+		if err := run.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	switch n := q.(type) {
 	case algebra.Base:
 		r, ok := run.db.Rels[n.Name]

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -108,7 +109,13 @@ func (run *evalRun) newJob(f dnf.F, key string, trials func(clauses int) int64, 
 // are integer sums, hence independent of scheduling order and worker
 // count — and, with resumption, of how the total budget was split across
 // restarts.
-func (run *evalRun) runEstimates(jobs []*estimateJob) {
+//
+// Cancelling the run's context aborts the batch between chunks and returns
+// ctx.Err(). An aborted batch never publishes estimator snapshots for
+// unfinished jobs (a job's state is stored only when its last chunk
+// merges), so the cross-restart cache only ever holds complete, valid
+// snapshots.
+func (run *evalRun) runEstimates(jobs []*estimateJob) error {
 	type chunkTask struct {
 		job *estimateJob
 		c   sched.Chunk
@@ -121,8 +128,12 @@ func (run *evalRun) runEstimates(jobs []*estimateJob) {
 			tasks = append(tasks, chunkTask{job: j, c: c})
 		}
 	}
-	// fn never fails; ForEach's error is structurally nil.
-	_ = run.engine.pool.ForEach(len(tasks), func(i int) error {
+	ctx := run.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// fn never fails, so the only possible error is ctx.Err().
+	err := run.engine.pool.ForEachCtx(ctx, len(tasks), func(i int) error {
 		t := tasks[i]
 		j := t.job
 		sh := j.est.Shard(rand.New(rand.NewSource(sched.ChunkSeed(j.seed, t.c.Index))))
@@ -149,8 +160,12 @@ func (run *evalRun) runEstimates(jobs []*estimateJob) {
 		}
 		return nil
 	})
+	if err != nil {
+		return err
+	}
 	for _, j := range jobs {
 		run.trials += j.est.Trials() - j.startTrials
 		run.reused += j.startTrials
 	}
+	return nil
 }

@@ -43,14 +43,14 @@ func E9ProvenanceBounds(w io.Writer, cfg Config) (Summary, error) {
 
 			// Fix the round budget so bounds are comparable across runs.
 			opts := core.Options{Eps0: eps0, Delta: delta, Seed: seed, Workers: cfg.Workers, NoResume: cfg.NoResume, InitialRounds: 256, MaxRounds: 256}
-			selRes, err := core.NewEngine(db, opts).EvalApprox(sel)
+			selRes, err := core.NewEngine(db, opts).EvalApproxContext(cfg.ctx(), sel)
 			if err != nil {
 				return s, err
 			}
 			for _, v := range selRes.Errors {
 				perTuple = append(perTuple, v)
 			}
-			projRes, err := core.NewEngine(db, opts).EvalApprox(proj)
+			projRes, err := core.NewEngine(db, opts).EvalApproxContext(cfg.ctx(), proj)
 			if err != nil {
 				return s, err
 			}
@@ -115,7 +115,7 @@ func E10QueryApprox(w io.Writer, cfg Config) (Summary, error) {
 				Args: []algebra.ConfArg{{Attrs: []string{"ID"}}},
 				Pred: predapprox.Linear([]float64{1}, 0.5),
 			}
-			exact, err := algebra.NewURelEvaluator(db).Eval(q)
+			exact, err := algebra.NewURelEvaluator(db).EvalContext(cfg.ctx(), q)
 			if err != nil {
 				return s, err
 			}
@@ -123,7 +123,7 @@ func E10QueryApprox(w io.Writer, cfg Config) (Summary, error) {
 
 			eng := core.NewEngine(db, core.Options{Eps0: eps0, Delta: delta, Seed: seed, Workers: cfg.Workers, NoResume: cfg.NoResume})
 			t0 := time.Now()
-			res, err := eng.EvalApprox(q)
+			res, err := eng.EvalApproxContext(cfg.ctx(), q)
 			if err != nil {
 				return s, err
 			}
@@ -178,7 +178,7 @@ func E10QueryApprox(w io.Writer, cfg Config) (Summary, error) {
 	db := CoinDatabase()
 	q := condProbQuery()
 	eng := core.NewEngine(db, core.Options{Eps0: 0.05, Delta: 0.1, Seed: 1, Workers: cfg.Workers, NoResume: cfg.NoResume})
-	res, err := eng.EvalApprox(q)
+	res, err := eng.EvalApproxContext(cfg.ctx(), q)
 	if err != nil {
 		return s, err
 	}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -28,6 +29,18 @@ type Config struct {
 	// the sampled/reused trial-accounting columns change, which is what
 	// the knob exists to measure.
 	NoResume bool
+	// Ctx, when non-nil, cancels the engine-backed experiments (E9/E10)
+	// cooperatively: an expired deadline aborts evaluation between
+	// estimation chunks with ctx.Err(). Nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the configured context, defaulting to Background.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 func (c Config) scale(full, quick int) int {

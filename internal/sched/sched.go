@@ -14,6 +14,7 @@
 package sched
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -46,8 +47,17 @@ func (p *Pool) Workers() int { return p.workers }
 // If any call returns an error, remaining unstarted work is abandoned and
 // the error with the smallest index among the calls that ran is returned.
 func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	return p.ForEachCtx(context.Background(), n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: every worker checks
+// ctx between tasks, so after ctx is cancelled no new task starts and the
+// call returns once in-flight tasks finish — cancellation latency is
+// bounded by one task, and no worker goroutine outlives the call. When the
+// context is cancelled and no task failed first, ctx.Err() is returned.
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	w := p.workers
 	if w > n {
@@ -55,11 +65,14 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
 		}
-		return nil
+		return ctx.Err()
 	}
 	var (
 		cursor atomic.Int64
@@ -73,7 +86,7 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
-			for !failed.Load() {
+			for !failed.Load() && ctx.Err() == nil {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
 					return
@@ -90,7 +103,10 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return first
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
 }
 
 // Chunk is one slice of a task's trial budget.

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -183,5 +184,57 @@ func TestFullAndPlanChunkCounts(t *testing.T) {
 		if got := len(Chunks(c.total, c.size)); got != c.plan {
 			t.Errorf("len(Chunks(%d,%d)) = %d, want %d", c.total, c.size, got, c.plan)
 		}
+	}
+}
+
+func TestForEachCtxCancelStopsNewTasks(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int64
+		p := New(workers)
+		err := p.ForEachCtx(ctx, 1000, func(i int) error {
+			if started.Add(1) == int64(workers) {
+				// Cancel from inside a task: no task may start after every
+				// worker observes the cancellation.
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: ForEachCtx returned %v, want context.Canceled", workers, err)
+		}
+		// Each worker can have at most one in-flight task when the
+		// cancellation lands, so the started count is bounded by 2·workers.
+		if n := started.Load(); n > int64(2*workers) {
+			t.Errorf("workers=%d: %d tasks started after cancellation point", workers, n)
+		}
+		cancel()
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := New(4).ForEachCtx(ctx, 10, func(i int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("ForEachCtx = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("no task should run on a pre-cancelled context")
+	}
+}
+
+func TestForEachCtxTaskErrorWinsOverCancel(t *testing.T) {
+	ctx := context.Background()
+	boom := errors.New("boom")
+	err := New(4).ForEachCtx(ctx, 100, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("ForEachCtx = %v, want task error", err)
 	}
 }

@@ -1,0 +1,164 @@
+package pdb
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// heavyDB is a tuple-independent relation whose conf[∅] lineage has 40
+// clauses — genuine Karp–Luby work.
+func heavyDB(t *testing.T) *DB {
+	t.Helper()
+	rows := make([][]any, 40)
+	probs := make([]float64, 40)
+	for i := range rows {
+		rows[i] = []any{i}
+		probs[i] = 0.5
+	}
+	db, err := NewBuilder().Independent("R", []string{"ID"}, rows, probs).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// heavyOptions drive the σ̂ doubling loop to an enormous budget: the
+// predicate threshold sits 0.01 from the true probability, so the bound
+// only converges after ~250k rounds — tens of millions of trials.
+func heavyOptions() []Option {
+	return []Option{
+		WithEpsilon(0.001), WithDelta(0.0005),
+		WithMaxRounds(1 << 40), WithSeed(3), WithWorkers(2),
+	}
+}
+
+const heavyQuery = `aselect[p1 >= 0.99 over conf[]](R)`
+
+func TestEvalCancelReturnsContextError(t *testing.T) {
+	db := heavyDB(t)
+	q, err := db.Prepare(heavyQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := q.Eval(ctx, heavyOptions()...)
+		done <- outcome{res, err}
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	cancelled := time.Now()
+	cancel()
+
+	select {
+	case out := <-done:
+		latency := time.Since(cancelled)
+		if out.err == nil {
+			t.Fatal("cancelled Eval returned no error")
+		}
+		if !errors.Is(out.err, context.Canceled) {
+			t.Fatalf("cancelled Eval returned %v, want context.Canceled", out.err)
+		}
+		if out.res != nil {
+			t.Error("cancelled Eval should not return a result")
+		}
+		// Cooperative checks sit between operators, restarts, and 4096-trial
+		// estimation chunks, so the abort must be prompt — far below the
+		// seconds the full evaluation would need.
+		if latency > 2*time.Second {
+			t.Errorf("cancellation took %v, want well under 2s", latency)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled Eval did not return")
+	}
+
+	// goleak-style check: every worker goroutine must have exited.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after cancellation: %d before, %d after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestEvalAfterCancelBitIdentical(t *testing.T) {
+	db := heavyDB(t)
+	q, err := db.Prepare(heavyQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Abort a huge evaluation mid-doubling.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(30 * time.Millisecond); cancel() }()
+	if _, err := q.Eval(ctx, heavyOptions()...); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+
+	// A subsequent uncancelled evaluation on the same query (moderate
+	// budget so it terminates) must match a run on a fresh database and
+	// query bit for bit — the abort left no state behind.
+	moderate := []Option{WithEpsilon(0.05), WithDelta(0.05), WithSeed(3), WithWorkers(2)}
+	after, err := q.Eval(context.Background(), moderate...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	freshQ, err := heavyDB(t).Prepare(heavyQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := freshQ.Eval(context.Background(), moderate...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(after) != fingerprint(fresh) {
+		t.Errorf("post-cancel run differs from fresh run:\n%s\nvs\n%s",
+			fingerprint(after), fingerprint(fresh))
+	}
+	if after.Stats() != fresh.Stats() {
+		t.Errorf("post-cancel stats differ: %+v vs %+v", after.Stats(), fresh.Stats())
+	}
+}
+
+func TestEvalExactCancel(t *testing.T) {
+	db := heavyDB(t)
+	q, err := db.Prepare(`conf(R)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := q.EvalExact(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("EvalExact on a cancelled context returned %v, want context.Canceled", err)
+	}
+}
+
+func TestEvalDeadline(t *testing.T) {
+	db := heavyDB(t)
+	q, err := db.Prepare(heavyQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	if _, err := q.Eval(ctx, heavyOptions()...); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline-bounded Eval returned %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -1,0 +1,175 @@
+package pdb
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// OptionError reports an evaluation option that was rejected at
+// construction, before any evaluation work started.
+type OptionError struct {
+	// Option is the name of the offending option, e.g. "WithEpsilon".
+	Option string
+	// Value renders the rejected value.
+	Value string
+	// Reason says what a valid value looks like.
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("pdb: %s(%s): %s", e.Option, e.Value, e.Reason)
+}
+
+// Option configures one evaluation. Options are validated when applied (at
+// the start of Eval); invalid settings surface as a *OptionError.
+type Option struct {
+	apply func(*core.Options) error
+}
+
+func optionErr(option string, value any, reason string) error {
+	return &OptionError{Option: option, Value: fmt.Sprint(value), Reason: reason}
+}
+
+// WithEpsilon sets ε₀, the smallest relative half-width the σ̂ predicate
+// approximation aims for (points closer than ε₀ to a decision boundary are
+// treated as singularities). Must lie in (0, 1). Default 0.05.
+func WithEpsilon(eps float64) Option {
+	return Option{func(o *core.Options) error {
+		if eps <= 0 || eps >= 1 {
+			return optionErr("WithEpsilon", eps, "ε₀ must be in (0,1)")
+		}
+		o.Eps0 = eps
+		return nil
+	}}
+}
+
+// WithDelta sets δ, the target per-tuple error probability the doubling
+// loop drives every non-singular bound below. Must lie in (0, 1).
+// Default 0.05.
+func WithDelta(delta float64) Option {
+	return Option{func(o *core.Options) error {
+		if delta <= 0 || delta >= 1 {
+			return optionErr("WithDelta", delta, "δ must be in (0,1)")
+		}
+		o.Delta = delta
+		return nil
+	}}
+}
+
+// WithConfBudget sets the (ε, δ) accuracy of standalone conf operators
+// (Corollary 4.3): the estimated probability is within relative error ε
+// with probability at least 1−δ, per tuple. Both must lie in (0, 1). They
+// default to the WithEpsilon / WithDelta values.
+func WithConfBudget(eps, delta float64) Option {
+	return Option{func(o *core.Options) error {
+		if eps <= 0 || eps >= 1 {
+			return optionErr("WithConfBudget", eps, "conf ε must be in (0,1)")
+		}
+		if delta <= 0 || delta >= 1 {
+			return optionErr("WithConfBudget", delta, "conf δ must be in (0,1)")
+		}
+		o.ConfEps, o.ConfDelta = eps, delta
+		return nil
+	}}
+}
+
+// WithInitialRounds sets the starting round budget l of the doubling loop.
+// Must be positive. Default 1.
+func WithInitialRounds(l int64) Option {
+	return Option{func(o *core.Options) error {
+		if l <= 0 {
+			return optionErr("WithInitialRounds", l, "initial rounds must be positive")
+		}
+		o.InitialRounds = l
+		return nil
+	}}
+}
+
+// WithMaxRounds caps the round budget. Must be positive; when unset the
+// engine derives the Theorem 6.7 bound l₀ from the query and database, so
+// termination in polynomial time is guaranteed either way.
+func WithMaxRounds(l int64) Option {
+	return Option{func(o *core.Options) error {
+		if l <= 0 {
+			return optionErr("WithMaxRounds", l, "round cap must be positive")
+		}
+		o.MaxRounds = l
+		return nil
+	}}
+}
+
+// WithSeed seeds the engine's deterministic random source. Equal seeds
+// give bit-identical results for any worker count. Default 1.
+func WithSeed(seed int64) Option {
+	return Option{func(o *core.Options) error {
+		o.Seed = seed
+		return nil
+	}}
+}
+
+// WithWorkers sets the number of goroutines estimation fans out across;
+// 0 selects GOMAXPROCS. Must not be negative. Results are independent of
+// the value — it only changes wall-clock time.
+func WithWorkers(n int) Option {
+	return Option{func(o *core.Options) error {
+		if n < 0 {
+			return optionErr("WithWorkers", n, "worker count must not be negative")
+		}
+		o.Workers = n
+		return nil
+	}}
+}
+
+// WithNoResume disables cross-restart estimator reuse: every doubling
+// restart samples from scratch instead of resuming the previous restart's
+// snapshots. Results are bit-identical either way; this is an ablation /
+// paper-literal mode that roughly doubles sampled trials.
+func WithNoResume() Option {
+	return Option{func(o *core.Options) error {
+		o.NoResume = true
+		return nil
+	}}
+}
+
+// ProgressEvent is one observation of a running evaluation, delivered to
+// the WithProgress hook after every pass of the doubling loop: the restart
+// count, the pass's round budget and cap, cumulative sampled/reused trial
+// counts, the worst non-singular error bound, and whether the loop stops
+// here.
+type ProgressEvent = core.Progress
+
+// WithProgress registers a hook observing the evaluation: it is called
+// synchronously after every pass of the doubling loop (including the final
+// one, flagged Done). The hook must be non-nil and fast, and must not call
+// back into the query or database.
+func WithProgress(fn func(ProgressEvent)) Option {
+	return Option{func(o *core.Options) error {
+		if fn == nil {
+			return optionErr("WithProgress", "nil", "progress hook must be non-nil")
+		}
+		o.Progress = fn
+		return nil
+	}}
+}
+
+// defaultOptions is the baseline configuration Eval starts from.
+func defaultOptions() core.Options {
+	return core.Options{Eps0: 0.05, Delta: 0.05, Seed: 1}
+}
+
+// buildOptions applies opts over the defaults, returning the first
+// validation error.
+func buildOptions(opts []Option) (core.Options, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		if opt.apply == nil {
+			continue
+		}
+		if err := opt.apply(&o); err != nil {
+			return core.Options{}, err
+		}
+	}
+	return o, nil
+}

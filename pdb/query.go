@@ -1,0 +1,84 @@
+package pdb
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+// Query is a prepared UA query: parsed, statically validated, and
+// schema-checked against its database once, then evaluable many times.
+// A Query is immutable and safe for concurrent use.
+type Query struct {
+	db   *DB
+	plan algebra.Query
+	src  string
+}
+
+// Prepare parses a UA program (zero or more `Name := query;` bindings and
+// a final query), validates it, and infers its schema against the
+// database, so malformed programs fail here rather than mid-evaluation.
+func (db *DB) Prepare(src string) (*Query, error) {
+	plan, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("pdb: %w", err)
+	}
+	if err := algebra.Validate(plan); err != nil {
+		return nil, fmt.Errorf("pdb: %w", err)
+	}
+	if _, err := algebra.InferSchema(plan, db.udb); err != nil {
+		return nil, fmt.Errorf("pdb: %w", err)
+	}
+	return &Query{db: db, plan: plan, src: src}, nil
+}
+
+// Text returns the source text the query was prepared from.
+func (q *Query) Text() string { return q.src }
+
+// Explain renders the query plan with inferred schemas, without
+// evaluating.
+func (q *Query) Explain() string { return algebra.Explain(q.plan, q.db.udb) }
+
+// Eval evaluates the query approximately with per-tuple error bounds
+// (Theorem 6.7): confidence computations use the Karp–Luby FPRAS and σ̂
+// predicates are decided on estimates, with the round budget doubled until
+// every non-singular bound is below δ. Options configure accuracy, seed,
+// parallelism, and observability; invalid options are rejected with a
+// typed *OptionError before any work starts.
+//
+// Cancelling ctx aborts the evaluation cooperatively — between plan
+// operators, doubling restarts, and estimation chunks — and returns
+// ctx.Err(). A cancelled evaluation leaves no goroutines behind, and a
+// later Eval on the same Query is bit-identical to one on a fresh
+// database.
+func (q *Query) Eval(ctx context.Context, opts ...Option) (*Result, error) {
+	copts, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := core.NewEngine(q.db.udb, copts).EvalApproxContext(ctx, q.plan)
+	if err != nil {
+		return nil, err
+	}
+	return newApproxResult(res), nil
+}
+
+// EvalExact evaluates the query with exact confidence computation (#P in
+// general — use Eval for large lineages). The context is checked between
+// plan operators.
+func (q *Query) EvalExact(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := core.NewEngine(q.db.udb, defaultOptions()).EvalExactContext(ctx, q.plan)
+	if err != nil {
+		return nil, err
+	}
+	return newExactResult(res), nil
+}

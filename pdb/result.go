@@ -1,0 +1,203 @@
+package pdb
+
+import (
+	"fmt"
+	"iter"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/rel"
+)
+
+// Stats reports the work an approximate evaluation did.
+type Stats struct {
+	// FinalRounds is the round budget l the doubling loop stopped at.
+	FinalRounds int64
+	// Restarts is the number of doubling restarts.
+	Restarts int
+	// SampledTrials is the number of Karp–Luby trials actually sampled;
+	// ReusedTrials counts trials resumed from earlier restarts' estimator
+	// snapshots instead.
+	SampledTrials int64
+	ReusedTrials  int64
+	// Decisions is the number of σ̂ predicate decisions in the final pass.
+	Decisions int
+	// SingularDrops counts negative σ̂ decisions flagged as potential
+	// ε₀-singularities (their absence is not covered by the δ guarantee).
+	SingularDrops int
+}
+
+// Result is the outcome of one evaluation: a deterministic ordered set of
+// rows with optional per-row conditions (for probabilistic results) and,
+// after approximate evaluation, per-row error bounds and statistics.
+type Result struct {
+	cols     []string
+	rows     []Row
+	complete bool
+	stats    Stats
+}
+
+// Row is one result row with typed column access.
+type Row struct {
+	res      *Result
+	vals     rel.Tuple
+	cond     string
+	errBound float64
+	singular bool
+}
+
+func newApproxResult(r *core.Result) *Result {
+	out := &Result{cols: append([]string(nil), r.Rel.Schema()...), complete: r.Complete}
+	out.stats = Stats{
+		FinalRounds:   r.Stats.FinalRounds,
+		Restarts:      r.Stats.Restarts,
+		SampledTrials: r.Stats.EstimatorTrials,
+		ReusedTrials:  r.Stats.ReusedTrials,
+		Decisions:     r.Stats.Decisions,
+		SingularDrops: r.Stats.SingularDrops,
+	}
+	for _, ut := range r.Rel.Tuples() {
+		out.rows = append(out.rows, Row{
+			res:      out,
+			vals:     ut.Row,
+			cond:     ut.D.Key(),
+			errBound: r.TupleError(ut.Row),
+			singular: r.IsSingular(ut.Row),
+		})
+	}
+	out.sortRows()
+	return out
+}
+
+func newExactResult(r algebra.URelResult) *Result {
+	out := &Result{cols: append([]string(nil), r.Rel.Schema()...), complete: r.Complete}
+	for _, ut := range r.Rel.Tuples() {
+		out.rows = append(out.rows, Row{res: out, vals: ut.Row, cond: ut.D.Key()})
+	}
+	out.sortRows()
+	return out
+}
+
+// sortRows fixes a deterministic, content-based row order (conditions
+// first, then values) independent of evaluation order.
+func (r *Result) sortRows() {
+	sort.Slice(r.rows, func(i, j int) bool {
+		if r.rows[i].cond != r.rows[j].cond {
+			return r.rows[i].cond < r.rows[j].cond
+		}
+		return r.rows[i].vals.Key() < r.rows[j].vals.Key()
+	})
+}
+
+// Columns returns the result schema in order.
+func (r *Result) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Len returns the number of rows.
+func (r *Result) Len() int { return len(r.rows) }
+
+// Complete reports whether the result is a complete (non-probabilistic)
+// relation. Incomplete results carry per-row conditions (Row.Condition).
+func (r *Result) Complete() bool { return r.complete }
+
+// Stats returns evaluation statistics (zero for EvalExact results).
+func (r *Result) Stats() Stats { return r.stats }
+
+// MaxErrorBound returns the worst per-row membership-error bound over
+// non-singular rows (0 for exact results).
+func (r *Result) MaxErrorBound() float64 {
+	worst := 0.0
+	for _, row := range r.rows {
+		if !row.singular && row.errBound > worst {
+			worst = row.errBound
+		}
+	}
+	return worst
+}
+
+// Rows iterates the rows in the result's deterministic order:
+//
+//	for row := range res.Rows() { ... }
+func (r *Result) Rows() iter.Seq[Row] {
+	return func(yield func(Row) bool) {
+		for _, row := range r.rows {
+			if !yield(row) {
+				return
+			}
+		}
+	}
+}
+
+// index returns the position of col, panicking on unknown columns (a typo
+// in a column name is a programming error, not a data condition).
+func (row Row) index(col string) int {
+	for i, c := range row.res.cols {
+		if c == col {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("pdb: no column %q in result schema %v", col, row.res.cols))
+}
+
+// Value returns the column's value as a Go scalar: string, bool, int64,
+// float64, or nil for NULL. It panics on unknown column names.
+func (row Row) Value(col string) any {
+	v := row.vals[row.index(col)]
+	switch v.Kind() {
+	case rel.BoolKind:
+		return v.AsBool()
+	case rel.IntKind:
+		return v.AsInt()
+	case rel.FloatKind:
+		return v.AsFloat()
+	case rel.StringKind:
+		return v.AsString()
+	default:
+		return nil
+	}
+}
+
+// Float returns the column as float64 (ints convert; other kinds are 0).
+func (row Row) Float(col string) float64 { return row.vals[row.index(col)].AsFloat() }
+
+// Int returns the column as int64 (floats truncate; other kinds are 0).
+func (row Row) Int(col string) int64 { return row.vals[row.index(col)].AsInt() }
+
+// Str returns the column as a string ("" for non-strings).
+func (row Row) Str(col string) string { return row.vals[row.index(col)].AsString() }
+
+// ErrorBound returns the row's membership-error bound µ: the probability
+// that the row's presence in the result is wrong is at most µ (0 for
+// exact results and reliable rows).
+func (row Row) ErrorBound() float64 { return row.errBound }
+
+// Singular reports whether the row's σ̂ decisions hit the ε₀ floor: the
+// predicate point may be an ε₀-singularity, and the δ guarantee does not
+// cover this row.
+func (row Row) Singular() bool { return row.singular }
+
+// Condition returns the row's world condition in compact form ("" when
+// the row is unconditional, i.e. present in every world the result
+// describes). Conditions name the engine's internal random variables; they
+// are stable identifiers for comparing rows, not user-assigned names.
+func (row Row) Condition() string { return row.cond }
+
+// String renders the row tab-separated in column order, with condition,
+// error bound, and singularity markers appended when present.
+func (row Row) String() string {
+	parts := make([]string, 0, len(row.vals)+3)
+	for _, v := range row.vals {
+		parts = append(parts, v.String())
+	}
+	if row.cond != "" {
+		parts = append(parts, "D="+row.cond)
+	}
+	if row.errBound > 0 {
+		parts = append(parts, fmt.Sprintf("±err≤%.4g", row.errBound))
+	}
+	if row.singular {
+		parts = append(parts, "SINGULAR")
+	}
+	return strings.Join(parts, "\t")
+}
