@@ -28,9 +28,11 @@ race:
 	$(GO) test -race ./internal/... ./pdb
 
 # One pass over every benchmark — the trajectory baseline CI uploads as an
-# artifact; not a statistically stable measurement.
+# artifact; not a statistically stable measurement. -benchmem puts B/op
+# and allocs/op into the baseline so the benchstat gate can flag
+# allocation regressions on the exact-algebra hot path, not just time.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/parser

@@ -14,7 +14,9 @@
 // relations; -approx switches confidence computation and σ̂ decisions to
 // the Karp–Luby / Figure-3 machinery with per-tuple error bounds. A
 // -timeout bound cancels the evaluation cooperatively; -progress reports
-// every pass of the doubling loop on stderr.
+// every pass of the doubling loop on stderr. -cpuprofile and -memprofile
+// write pprof profiles of the evaluation (CPU, and heap after a final GC)
+// so operator hot spots can be captured without a test harness.
 package main
 
 import (
@@ -23,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,18 +44,20 @@ func (r *relFlags) Set(v string) error {
 
 // cliConfig carries the parsed command line.
 type cliConfig struct {
-	rels      relFlags
-	query     string
-	queryFile string
-	approx    bool
-	explain   bool
-	progress  bool
-	eps0      float64
-	delta     float64
-	seed      int64
-	workers   int
-	resume    bool
-	timeout   time.Duration
+	rels       relFlags
+	query      string
+	queryFile  string
+	approx     bool
+	explain    bool
+	progress   bool
+	eps0       float64
+	delta      float64
+	seed       int64
+	workers    int
+	resume     bool
+	timeout    time.Duration
+	cpuprofile string
+	memprofile string
 }
 
 func main() {
@@ -67,6 +73,8 @@ func main() {
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort evaluation after this duration (0 = no limit)")
 	flag.BoolVar(&cfg.progress, "progress", false, "report each pass of the doubling loop on stderr")
 	flag.BoolVar(&cfg.explain, "explain", false, "print the plan with inferred schemas instead of evaluating")
+	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the evaluation to this file (inspect with go tool pprof)")
+	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile (after evaluation and a final GC) to this file")
 	flag.Var(&cfg.rels, "rel", "Name=path.csv — a complete relation to load (repeatable)")
 	flag.Parse()
 
@@ -76,7 +84,45 @@ func main() {
 	}
 }
 
-func run(cfg cliConfig) error {
+// startProfiles begins CPU profiling and returns a stop function that also
+// captures the heap profile, so operator hot spots can be captured from
+// the CLI without a test harness.
+func startProfiles(cfg cliConfig) (func() error, error) {
+	var cpuFile *os.File
+	if cfg.cpuprofile != "" {
+		f, err := os.Create(cfg.cpuprofile)
+		if err != nil {
+			return nil, fmt.Errorf("creating -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if cfg.memprofile != "" {
+			f, err := os.Create(cfg.memprofile)
+			if err != nil {
+				return fmt.Errorf("creating -memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("writing heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
+
+func run(cfg cliConfig) (err error) {
 	src := cfg.query
 	if cfg.queryFile != "" {
 		data, err := os.ReadFile(cfg.queryFile)
@@ -88,6 +134,18 @@ func run(cfg cliConfig) error {
 	if src == "" {
 		return fmt.Errorf("no query given; use -query or -queryfile")
 	}
+
+	stopProfiles, err := startProfiles(cfg)
+	if err != nil {
+		return err
+	}
+	// Finalize the profiles on every return path: a truncated CPU profile
+	// or missing heap profile is worse than no profile at all.
+	defer func() {
+		if stopErr := stopProfiles(); stopErr != nil && err == nil {
+			err = stopErr
+		}
+	}()
 
 	sources := map[string]string{}
 	for _, spec := range cfg.rels {
@@ -121,7 +179,7 @@ func run(cfg cliConfig) error {
 	}
 
 	if !cfg.approx {
-		res, err := q.EvalExact(ctx)
+		res, err := q.EvalExact(ctx, pdb.WithWorkers(cfg.workers))
 		if err != nil {
 			return timeoutErr(err, cfg.timeout)
 		}

@@ -36,6 +36,29 @@ func TestRunCoinQuery(t *testing.T) {
 	}
 }
 
+// TestRunProfiles checks the -cpuprofile/-memprofile flags produce
+// non-empty pprof files on both evaluation paths.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	coins := writeFile(t, dir, "coins.csv", "CoinType,Count\nfair,2\n2headed,1\n")
+	cfg := base(relFlags{"Coins=" + coins}, "conf(project[CoinType](repairkey[@Count](Coins)))")
+	cfg.cpuprofile = filepath.Join(dir, "cpu.pprof")
+	cfg.memprofile = filepath.Join(dir, "mem.pprof")
+	cfg.approx = true
+	if err := run(cfg); err != nil {
+		t.Fatalf("profiled run failed: %v", err)
+	}
+	for _, p := range []string{cfg.cpuprofile, cfg.memprofile} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
 func TestRunExplain(t *testing.T) {
 	dir := t.TempDir()
 	coins := writeFile(t, dir, "coins.csv", "CoinType,Count\nfair,2\n")

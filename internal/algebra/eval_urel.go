@@ -7,15 +7,19 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/rel"
+	"repro/internal/sched"
 	"repro/internal/urel"
 )
 
 // URelResult is the outcome of exact evaluation on a U-relational
 // database: the result U-relation (complete relations are U-relations with
-// empty D columns) and the completeness flag c(result).
+// empty D columns) and the completeness flag c(result). Ops carries the
+// evaluation's per-operator statistics; it is set only on the result of a
+// top-level Eval/EvalContext call, never on intermediate results.
 type URelResult struct {
 	Rel      *urel.Relation
 	Complete bool
+	Ops      urel.StatsMap
 }
 
 // URelEvaluator evaluates UA queries exactly on a U-relational database:
@@ -23,17 +27,49 @@ type URelResult struct {
 // exact #P computation (dnf), σ̂ by its defining composition with exact
 // confidences. The evaluator works on a clone of the database, so
 // repair-key never mutates the caller's variable table.
+//
+// A pool-backed evaluator (NewParallelURelEvaluator) runs the partitioned
+// operator implementations across its workers and evaluates independent
+// plan branches concurrently; results are bit-identical to the sequential
+// evaluator for any worker count (the urel.Exec determinism invariant).
 type URelEvaluator struct {
 	db     *urel.Database
 	nextRK int
+	pool   *sched.Pool
+	ctrs   *urel.Counters
+	exec   *urel.Exec
+	// branchSem bounds concurrent branch pairs: sched.Pool is a per-call
+	// fan-out width, not a shared semaphore, so without a gate a bushy
+	// plan of d safe binary operators could run up to 2^d branches, each
+	// fanning its operators out pool-wide. Tokens are acquired
+	// non-blockingly — a pair that finds none runs sequentially.
+	branchSem chan struct{}
 	// ctx, when non-nil, is checked at every operator so a cancelled
 	// evaluation aborts between nodes with ctx.Err().
 	ctx context.Context
 }
 
-// NewURelEvaluator clones db and returns an evaluator over the clone.
+// NewURelEvaluator clones db and returns a sequential evaluator over the
+// clone.
 func NewURelEvaluator(db *urel.Database) *URelEvaluator {
-	return &URelEvaluator{db: db.Clone()}
+	return NewParallelURelEvaluator(db, nil)
+}
+
+// NewParallelURelEvaluator clones db and returns an evaluator whose
+// operators (and independent plan branches) run across pool's workers.
+// A nil pool selects one worker — the sequential reference path.
+func NewParallelURelEvaluator(db *urel.Database, pool *sched.Pool) *URelEvaluator {
+	if pool == nil {
+		pool = sched.New(1)
+	}
+	ctrs := urel.NewCounters()
+	return &URelEvaluator{
+		db:        db.Clone(),
+		pool:      pool,
+		ctrs:      ctrs,
+		exec:      urel.NewExec(pool, ctrs),
+		branchSem: make(chan struct{}, pool.Workers()),
+	}
 }
 
 // DB exposes the evaluator's (cloned) database; repair-key applications
@@ -54,8 +90,17 @@ func (e *URelEvaluator) EvalContext(ctx context.Context, q Query) (URelResult, e
 	if err := Validate(q); err != nil {
 		return URelResult{}, err
 	}
+	// Fresh statistics per evaluation, so URelResult.Ops reports this
+	// call's work even when the evaluator is reused for several queries.
+	e.ctrs = urel.NewCounters()
+	e.exec = urel.NewExec(e.pool, e.ctrs)
 	e.ctx = ctx
-	return e.eval(q)
+	res, err := e.eval(q)
+	if err != nil {
+		return res, err
+	}
+	res.Ops = e.ctrs.Snapshot()
+	return res, nil
 }
 
 func (e *URelEvaluator) eval(q Query) (URelResult, error) {
@@ -77,21 +122,21 @@ func (e *URelEvaluator) eval(q Query) (URelResult, error) {
 		if err != nil {
 			return URelResult{}, err
 		}
-		return URelResult{Rel: urel.Select(in.Rel, n.Pred), Complete: in.Complete}, nil
+		return URelResult{Rel: e.exec.Select(in.Rel, n.Pred), Complete: in.Complete}, nil
 
 	case Project:
 		in, err := e.eval(n.In)
 		if err != nil {
 			return URelResult{}, err
 		}
-		return URelResult{Rel: urel.Project(in.Rel, n.Targets), Complete: in.Complete}, nil
+		return URelResult{Rel: e.exec.Project(in.Rel, n.Targets), Complete: in.Complete}, nil
 
 	case Product:
 		l, r, err := e.evalPair(n.L, n.R)
 		if err != nil {
 			return URelResult{}, err
 		}
-		p, err := urel.Product(l.Rel, r.Rel)
+		p, err := e.exec.Product(l.Rel, r.Rel)
 		if err != nil {
 			return URelResult{}, err
 		}
@@ -102,14 +147,14 @@ func (e *URelEvaluator) eval(q Query) (URelResult, error) {
 		if err != nil {
 			return URelResult{}, err
 		}
-		return URelResult{Rel: urel.Join(l.Rel, r.Rel), Complete: l.Complete && r.Complete}, nil
+		return URelResult{Rel: e.exec.Join(l.Rel, r.Rel), Complete: l.Complete && r.Complete}, nil
 
 	case Union:
 		l, r, err := e.evalPair(n.L, n.R)
 		if err != nil {
 			return URelResult{}, err
 		}
-		u, err := urel.Union(l.Rel, r.Rel)
+		u, err := e.exec.Union(l.Rel, r.Rel)
 		if err != nil {
 			return URelResult{}, err
 		}
@@ -123,7 +168,7 @@ func (e *URelEvaluator) eval(q Query) (URelResult, error) {
 		if !l.Complete || !r.Complete {
 			return URelResult{}, fmt.Errorf("algebra: −c requires inputs complete by c")
 		}
-		d, err := urel.DiffComplete(l.Rel, r.Rel)
+		d, err := e.exec.DiffComplete(l.Rel, r.Rel)
 		if err != nil {
 			return URelResult{}, err
 		}
@@ -136,7 +181,7 @@ func (e *URelEvaluator) eval(q Query) (URelResult, error) {
 		}
 		e.nextRK++
 		prefix := "rk" + strconv.Itoa(e.nextRK)
-		rk, err := urel.RepairKey(in.Rel, n.Key, n.Weight, e.db.Vars, prefix)
+		rk, err := e.exec.RepairKey(in.Rel, n.Key, n.Weight, e.db.Vars, prefix)
 		if err != nil {
 			return URelResult{}, err
 		}
@@ -147,7 +192,7 @@ func (e *URelEvaluator) eval(q Query) (URelResult, error) {
 		if err != nil {
 			return URelResult{}, err
 		}
-		c, err := urel.ConfExact(in.Rel, e.db.Vars, n.PCol())
+		c, err := e.exec.ConfExact(in.Rel, e.db.Vars, n.PCol())
 		if err != nil {
 			return URelResult{}, err
 		}
@@ -158,14 +203,14 @@ func (e *URelEvaluator) eval(q Query) (URelResult, error) {
 		if err != nil {
 			return URelResult{}, err
 		}
-		return URelResult{Rel: urel.FromComplete(urel.Poss(in.Rel)), Complete: true}, nil
+		return URelResult{Rel: urel.FromComplete(e.exec.Poss(in.Rel)), Complete: true}, nil
 
 	case Cert:
 		in, err := e.eval(n.In)
 		if err != nil {
 			return URelResult{}, err
 		}
-		return URelResult{Rel: urel.FromComplete(urel.CertExact(in.Rel, e.db.Vars)), Complete: true}, nil
+		return URelResult{Rel: urel.FromComplete(e.exec.CertExact(in.Rel, e.db.Vars)), Complete: true}, nil
 
 	case Let:
 		def, err := e.eval(n.Def)
@@ -202,7 +247,41 @@ func (e *URelEvaluator) eval(q Query) (URelResult, error) {
 	}
 }
 
+// evalPair evaluates the two inputs of a binary operator. When the pool
+// has more than one worker, a branch token is available, and both
+// branches are effect-free — no RepairKey (mutates the shared variable
+// table and the rk counter) and no Let (rebinds a name in the shared
+// database) — the branches evaluate concurrently; otherwise strictly
+// left-then-right. Concurrent branches change only wall-clock time: each
+// branch's own operators are deterministic, the branches share no mutable
+// state, and error priority (left first) matches the sequential path.
+// Cancellation stays at node granularity — every eval call checks the
+// evaluator's context.
 func (e *URelEvaluator) evalPair(l, r Query) (URelResult, URelResult, error) {
+	if e.pool.Workers() > 1 && branchSafe(l) && branchSafe(r) {
+		select {
+		case e.branchSem <- struct{}{}:
+			defer func() { <-e.branchSem }()
+			ctx := e.ctx
+			if ctx == nil {
+				ctx = context.Background()
+			}
+			var res [2]URelResult
+			qs := [2]Query{l, r}
+			err := e.pool.ForEachCtx(ctx, 2, func(i int) error {
+				out, err := e.eval(qs[i])
+				res[i] = out
+				return err
+			})
+			if err != nil {
+				return URelResult{}, URelResult{}, err
+			}
+			return res[0], res[1], nil
+		default:
+			// No token free: enough branch pairs are already in flight to
+			// keep the pool busy — fall through to sequential evaluation.
+		}
+	}
 	lr, err := e.eval(l)
 	if err != nil {
 		return URelResult{}, URelResult{}, err
@@ -214,12 +293,28 @@ func (e *URelEvaluator) evalPair(l, r Query) (URelResult, URelResult, error) {
 	return lr, rr, nil
 }
 
+// branchSafe reports whether a plan branch can run concurrently with a
+// sibling: it must not contain RepairKey (which registers variables in
+// the shared table and consumes the evaluator's deterministic rk counter)
+// or Let (which temporarily rebinds a relation name in the shared
+// database).
+func branchSafe(q Query) bool {
+	safe := true
+	Walk(q, func(n Query) {
+		switch n.(type) {
+		case RepairKey, Let:
+			safe = false
+		}
+	})
+	return safe
+}
+
 // approxSelectExact evaluates σ̂ by its defining composition with exact
 // confidence computation: this is the Q (as opposed to Q∼) semantics of
 // Section 6.
 func (e *URelEvaluator) approxSelectExact(in *urel.Relation, n ApproxSelect) (*rel.Relation, error) {
-	confRels, err := BuildConfArgs(in, n.Args, func(r *urel.Relation, pcol string) (*rel.Relation, error) {
-		return urel.ConfExact(r, e.db.Vars, pcol)
+	confRels, err := BuildConfArgs(e.exec, in, n.Args, func(r *urel.Relation, pcol string) (*rel.Relation, error) {
+		return e.exec.ConfExact(r, e.db.Vars, pcol)
 	})
 	if err != nil {
 		return nil, err
@@ -229,8 +324,12 @@ func (e *URelEvaluator) approxSelectExact(in *urel.Relation, n ApproxSelect) (*r
 
 // BuildConfArgs computes, for each conf[Āᵢ] argument, the confidence
 // relation ρ_{P→Pi}(conf(π_{Āᵢ}(in))) using the supplied conf
-// implementation (exact or approximate).
-func BuildConfArgs(in *urel.Relation, args []ConfArg, conf func(*urel.Relation, string) (*rel.Relation, error)) ([]*rel.Relation, error) {
+// implementation (exact or approximate), with the projections routed
+// through x (nil selects a sequential Exec).
+func BuildConfArgs(x *urel.Exec, in *urel.Relation, args []ConfArg, conf func(*urel.Relation, string) (*rel.Relation, error)) ([]*rel.Relation, error) {
+	if x == nil {
+		x = urel.NewExec(nil, nil)
+	}
 	out := make([]*rel.Relation, len(args))
 	for i, a := range args {
 		targets := make([]expr.Target, len(a.Attrs))
@@ -240,7 +339,7 @@ func BuildConfArgs(in *urel.Relation, args []ConfArg, conf func(*urel.Relation, 
 			}
 			targets[j] = expr.Keep(attr)
 		}
-		proj := urel.Project(in, targets)
+		proj := x.Project(in, targets)
 		c, err := conf(proj, PColName(i))
 		if err != nil {
 			return nil, err

@@ -27,22 +27,34 @@ func (run *evalRun) approxConf(in *evalResult, pcol string) (*evalResult, error)
 	eps, delta := run.engine.opts.confEps(), run.engine.opts.confDelta()
 	run.confOps++
 	keyPrefix := "conf:" + strconv.Itoa(run.confOps) + ":"
-	lineage := urel.Lineage(in.rel)
-	cvs := make([]*confValue, len(lineage))
+	// Stream the lineage groups: one pass builds the estimation jobs and
+	// keeps only (row, value) per distinct tuple — the clause sets flow
+	// straight into the estimators instead of surviving in a second
+	// materialized []TupleConf.
+	type rowConf struct {
+		row rel.Tuple
+		cv  *confValue
+	}
+	var tuples []rowConf
 	var jobs []*estimateJob
+	var jobErr error
 	budget := func(clauses int) int64 { return karpluby.TrialsFor(eps, delta, clauses) }
-	for i, tc := range lineage {
+	for tc := range run.exec.LineageSeq(in.rel) {
 		// The singleton shortcut is always on here: a single clause's
 		// weight is its exact probability (the estimator would return it
 		// deterministically anyway).
 		cv, job, err := run.newJob(tc.F, keyPrefix+tc.Row.Key(), budget, true)
 		if err != nil {
-			return nil, err
+			jobErr = err
+			break
 		}
-		cvs[i] = cv
 		if job != nil {
 			jobs = append(jobs, job)
 		}
+		tuples = append(tuples, rowConf{row: tc.Row, cv: cv})
+	}
+	if jobErr != nil {
+		return nil, jobErr
 	}
 	if err := run.runEstimates(jobs); err != nil {
 		return nil, err
@@ -50,10 +62,12 @@ func (run *evalRun) approxConf(in *evalResult, pcol string) (*evalResult, error)
 	out := urel.NewRelation(rel.NewSchema(append(in.rel.Schema().Clone(), pcol)...))
 	errs := provenance.Reliable()
 	sing := map[string]bool{}
-	for i, tc := range lineage {
-		outRow := append(tc.Row.Clone(), rel.Float(cvs[i].estimate()))
-		out.Add(nil, outRow)
-		inKey := tc.Row.Key()
+	for _, t := range tuples {
+		outRow := make(rel.Tuple, len(t.row)+1)
+		copy(outRow, t.row)
+		outRow[len(t.row)] = rel.Float(t.cv.estimate())
+		out.AddOwned(nil, outRow)
+		inKey := t.row.Key()
 		outKey := outRow.Key()
 		if v := in.errs.Get(inKey); v > 0 {
 			errs.Set(outKey, v)
@@ -111,7 +125,7 @@ func (run *evalRun) approxSelect(in *evalResult, n algebra.ApproxSelect) (*evalR
 				return nil, fmt.Errorf("core: σ̂ conf attribute %q not in schema %v", attr, in.rel.Schema())
 			}
 		}
-		proj := urel.Project(in.rel, keepTargets(a.Attrs))
+		proj := run.exec.Project(in.rel, keepTargets(a.Attrs))
 		// Provenance error of each projected tuple: sum over distinct
 		// input data tuples projecting onto it.
 		provErr := map[string]float64{}
@@ -140,7 +154,8 @@ func (run *evalRun) approxSelect(in *evalResult, n algebra.ApproxSelect) (*evalR
 			}
 		}
 		var tuples []argTuple
-		for _, tc := range urel.Lineage(proj) {
+		var jobErr error
+		for tc := range run.exec.LineageSeq(proj) {
 			// The balanced refinement scheme of the end of Section 5:
 			// run.rounds rounds of |F| trials each. NoSingletonShortcut
 			// forces even single-clause lineages through the estimator
@@ -148,7 +163,8 @@ func (run *evalRun) approxSelect(in *evalResult, n algebra.ApproxSelect) (*evalR
 			cv, job, err := run.newJob(tc.F, keyPrefix+strconv.Itoa(i)+":"+tc.Row.Key(),
 				roundBudget, !run.engine.opts.NoSingletonShortcut)
 			if err != nil {
-				return nil, err
+				jobErr = err
+				break
 			}
 			if job != nil {
 				jobs = append(jobs, job)
@@ -156,6 +172,9 @@ func (run *evalRun) approxSelect(in *evalResult, n algebra.ApproxSelect) (*evalR
 			cv.provErr = provErr[tc.Row.Key()]
 			cv.singular = provSing[tc.Row.Key()]
 			tuples = append(tuples, argTuple{row: tc.Row, cv: cv, attr: proj.Schema()})
+		}
+		if jobErr != nil {
+			return nil, jobErr
 		}
 		argTuples[i] = tuples
 		argSchemas[i] = proj.Schema()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"sync"
 
 	"repro/internal/karpluby"
@@ -24,14 +25,14 @@ import (
 //     doubles each restart): the snapshot's full-chunk prefix seeds the
 //     estimator and only the delta chunks are sampled.
 //
-// Only full-size chunks enter the resumable prefix. A budget's trailing
-// partial chunk samples a strict prefix of its chunk stream; under a
-// larger budget that same chunk index draws more trials from the same
-// stream, so its counts cannot be carried over without replaying the
-// stream. runEstimates therefore records the partial chunk's counts
-// separately and the cache subtracts them from the prefix snapshot —
-// re-sampling at most one chunk (≤ chunkTrials(k) trials) per task per
-// restart, in exchange for bit-identical results.
+// Full-size chunks enter the resumable prefix unconditionally. A budget's
+// trailing partial chunk samples a strict prefix of its chunk stream;
+// under a larger budget that same chunk index draws more trials from the
+// same stream. Its counts are carried over together with the live PRNG
+// that sampled them (karpluby.State's Partial fields): the next restart
+// completes the chunk by continuing the saved stream from exactly where
+// it stopped, so no trial of a previous restart is ever re-sampled and
+// the merged counts stay bit-identical to a from-scratch run.
 //
 // The cache is written concurrently by pool workers (the worker that
 // merges a task's last chunk publishes the task's new state) and read
@@ -56,6 +57,13 @@ type estCacheEntry struct {
 	// [0, fullChunks), i.e. the first fullChunks·chunkSize trials.
 	fullChunks int
 	fullHits   int64
+
+	// Trailing partial chunk (plan index fullChunks), when the budget was
+	// not chunk-aligned: its counts and the live PRNG positioned right
+	// after its last sampled trial, for mid-chunk continuation.
+	partialHits   int64
+	partialTrials int64
+	partialRNG    *rand.Rand
 }
 
 func newEstimatorCache() *estimatorCache {
@@ -67,9 +75,22 @@ func newEstimatorCache() *estimatorCache {
 // clause count and chunk size must match the cached entry exactly — a
 // mismatch means the task key is not stable (a bug elsewhere), and the
 // cache refuses rather than corrupt the estimate.
+//
+// A mid-chunk tail is handed out with *ownership*: the entry's partial
+// fields are cleared under the lock, because the scheduler will advance
+// the returned PRNG in place. If the batch then aborts before store()
+// republishes the grown state, the entry has simply degraded to its
+// full-chunk prefix — still valid — rather than silently pairing stale
+// partial counts with an advanced PRNG. (The normal path re-stores the
+// new tail when the job's last chunk merges.)
 func (c *estimatorCache) lookup(key string, clauses int, chunkSize, total int64) (karpluby.State, bool) {
 	c.mu.Lock()
 	e, ok := c.m[key]
+	if ok && e.partialRNG != nil && e.total != total {
+		cleared := e
+		cleared.partialHits, cleared.partialTrials, cleared.partialRNG = 0, 0, nil
+		c.m[key] = cleared
+	}
 	c.mu.Unlock()
 	if !ok || e.clauses != clauses || e.chunkSize != chunkSize {
 		return karpluby.State{}, false
@@ -78,31 +99,54 @@ func (c *estimatorCache) lookup(key string, clauses int, chunkSize, total int64)
 		// Exact replay: the identical budget was already spent under the
 		// identical seeds. Trials == total tells the caller nothing is
 		// left to sample; the cursor still marks only the full-chunk
-		// boundary, since the trailing partial chunk's counts are not
-		// extendable to larger budgets.
+		// boundary, and the partial fields stay unset — there is no chunk
+		// left to continue.
 		return karpluby.State{Hits: e.hits, Trials: e.total, Chunks: e.fullChunks}, true
 	}
-	if covered := int64(e.fullChunks) * chunkSize; e.fullChunks > 0 && covered <= total {
-		return karpluby.State{Hits: e.fullHits, Trials: covered, Chunks: e.fullChunks}, true
+	covered := int64(e.fullChunks) * chunkSize
+	if covered+e.partialTrials > total {
+		// The cached budget overlaps the requested plan's trailing partial
+		// chunk beyond its end — cannot happen for the doubling loop's
+		// growing budgets; refuse rather than mis-resume.
+		return karpluby.State{}, false
 	}
-	return karpluby.State{}, false
+	if e.fullChunks == 0 && e.partialRNG == nil {
+		return karpluby.State{}, false
+	}
+	st := karpluby.State{Hits: e.fullHits, Trials: covered, Chunks: e.fullChunks}
+	if e.partialRNG != nil {
+		// Mid-chunk continuation: the partial chunk's counts join the
+		// resumed totals, and the saved PRNG lets the scheduler complete
+		// that chunk's stream instead of re-sampling its prefix.
+		st.Hits += e.partialHits
+		st.Trials += e.partialTrials
+		st.PartialHits = e.partialHits
+		st.PartialTrials = e.partialTrials
+		st.PartialRNG = e.partialRNG
+	}
+	return st, true
 }
 
 // store publishes a task's state after its budget completed. partialHits
-// is the hit count contributed by the budget's trailing partial chunk
-// (zero when the budget is chunk-aligned); subtracting it yields the
-// full-chunk prefix the next, larger budget can resume from. Entries only
-// ever grow: a stale store (smaller budget than what is cached) is
-// dropped, which keeps the cache monotone even if callers race.
-func (c *estimatorCache) store(key string, clauses int, chunkSize, total, hits, partialHits int64) {
+// and partialTrials are the counts contributed by the budget's trailing
+// partial chunk (zero when the budget is chunk-aligned) and partialRNG is
+// the PRNG that sampled it, positioned right after its last trial;
+// subtracting the partial counts yields the full-chunk prefix, and the
+// PRNG lets the next, larger budget continue the partial chunk mid-stream.
+// Entries only ever grow: a stale store (smaller budget than what is
+// cached) is dropped, which keeps the cache monotone even if callers race.
+func (c *estimatorCache) store(key string, clauses int, chunkSize, total, hits, partialHits, partialTrials int64, partialRNG *rand.Rand) {
 	full := sched.FullChunks(total, chunkSize)
 	entry := estCacheEntry{
-		clauses:    clauses,
-		chunkSize:  chunkSize,
-		total:      total,
-		hits:       hits,
-		fullChunks: full,
-		fullHits:   hits - partialHits,
+		clauses:       clauses,
+		chunkSize:     chunkSize,
+		total:         total,
+		hits:          hits,
+		fullChunks:    full,
+		fullHits:      hits - partialHits,
+		partialHits:   partialHits,
+		partialTrials: partialTrials,
+		partialRNG:    partialRNG,
 	}
 	c.mu.Lock()
 	if prev, ok := c.m[key]; !ok || prev.total < total {

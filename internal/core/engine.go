@@ -171,6 +171,10 @@ type Stats struct {
 	// flagged as potential ε₀-singularities: the dropped tuple's absence
 	// is not covered by the δ guarantee.
 	SingularDrops int
+	// Ops aggregates per-operator work (tuple counts, estimated bytes
+	// materialized) across every pass of the evaluation, including
+	// restarted passes.
+	Ops urel.StatsMap
 }
 
 // Result is the outcome of an (approximate) query evaluation.
@@ -232,15 +236,18 @@ func NewEngine(db *urel.Database, opts Options) *Engine {
 func (e *Engine) DB() *urel.Database { return e.db }
 
 // EvalExact evaluates the query with exact confidence computation
-// (delegating to the algebra package's U-relational evaluator).
+// (delegating to the algebra package's U-relational evaluator). The
+// evaluator runs its partitioned operators — and independent plan
+// branches — across the engine's worker pool (Options.Workers); results
+// are bit-identical for any worker count.
 func (e *Engine) EvalExact(q algebra.Query) (algebra.URelResult, error) {
-	return algebra.NewURelEvaluator(e.db).Eval(q)
+	return algebra.NewParallelURelEvaluator(e.db, e.pool).Eval(q)
 }
 
 // EvalExactContext is EvalExact with cooperative cancellation between plan
 // operators.
 func (e *Engine) EvalExactContext(ctx context.Context, q algebra.Query) (algebra.URelResult, error) {
-	return algebra.NewURelEvaluator(e.db).EvalContext(ctx, q)
+	return algebra.NewParallelURelEvaluator(e.db, e.pool).EvalContext(ctx, q)
 }
 
 // EvalApprox evaluates the query approximately per Theorem 6.7: it runs
@@ -285,11 +292,15 @@ func (e *Engine) EvalApproxContext(ctx context.Context, q algebra.Query) (*Resul
 	if !e.opts.NoResume {
 		cache = newEstimatorCache()
 	}
+	// One operator-statistics collector spans all restarts, so Stats.Ops
+	// reports the evaluation's total exact-algebra work.
+	ctrs := urel.NewCounters()
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		run := &evalRun{engine: e, ctx: ctx, db: e.db.Clone(), rounds: l, cache: cache}
+		run := &evalRun{engine: e, ctx: ctx, db: e.db.Clone(), rounds: l, cache: cache,
+			exec: urel.NewExec(e.pool, ctrs)}
 		res, err := run.eval(q)
 		if err != nil {
 			return nil, err
@@ -331,6 +342,7 @@ func (e *Engine) EvalApproxContext(ctx context.Context, q algebra.Query) (*Resul
 				ReusedTrials:    reused,
 				Decisions:       run.decisions,
 				SingularDrops:   run.singularDrops,
+				Ops:             ctrs.Snapshot(),
 			}
 			return finishResult(res, stats), nil
 		}
@@ -395,6 +407,9 @@ type evalRun struct {
 	// previous restart of the same EvalApprox stored under the same task
 	// keys (Options.NoResume disables it).
 	cache *estimatorCache
+	// exec runs the exact-algebra operators of this pass across the
+	// engine's worker pool, recording per-operator statistics.
+	exec *urel.Exec
 	// trials counts trials sampled this pass; reused counts trials whose
 	// integer sums were carried over from cache snapshots instead.
 	trials int64
@@ -446,7 +461,7 @@ func (run *evalRun) eval(q algebra.Query) (*evalResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := urel.Select(in.rel, n.Pred)
+		out := run.exec.Select(in.rel, n.Pred)
 		// (t, σ_φ(R)) ≺ (t, R): bounds carry over for surviving tuples.
 		errs := provenance.Reliable()
 		sing := map[string]bool{}
@@ -466,7 +481,7 @@ func (run *evalRun) eval(q algebra.Query) (*evalResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := urel.Project(in.rel, n.Targets)
+		out := run.exec.Project(in.rel, n.Targets)
 		// (t.Ā, π_Ā(R)) ≺ (t, R): each output tuple accumulates the
 		// bounds of every input tuple projecting onto it (Example 6.5's
 		// fan-in sum). Distinct (D, row) pairs of the input can collapse
@@ -503,7 +518,7 @@ func (run *evalRun) eval(q algebra.Query) (*evalResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		out, err := urel.Product(l.rel, r.rel)
+		out, err := run.exec.Product(l.rel, r.rel)
 		if err != nil {
 			return nil, err
 		}
@@ -520,7 +535,7 @@ func (run *evalRun) eval(q algebra.Query) (*evalResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := urel.Join(l.rel, r.rel)
+		out := run.exec.Join(l.rel, r.rel)
 		lSchema, rSchema := l.rel.Schema(), r.rel.Schema()
 		outSchema := out.Schema()
 		rIdx := make([]int, len(rSchema))
@@ -545,7 +560,7 @@ func (run *evalRun) eval(q algebra.Query) (*evalResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		out, err := urel.Union(l.rel, r.rel)
+		out, err := run.exec.Union(l.rel, r.rel)
 		if err != nil {
 			return nil, err
 		}
@@ -574,7 +589,7 @@ func (run *evalRun) eval(q algebra.Query) (*evalResult, error) {
 		if !l.complete || !r.complete {
 			return nil, fmt.Errorf("core: −c requires inputs complete by c")
 		}
-		out, err := urel.DiffComplete(l.rel, r.rel)
+		out, err := run.exec.DiffComplete(l.rel, r.rel)
 		if err != nil {
 			return nil, err
 		}
@@ -606,7 +621,7 @@ func (run *evalRun) eval(q algebra.Query) (*evalResult, error) {
 			return nil, fmt.Errorf("core: repair-key over unreliable input is not supported (paper footnote 3)")
 		}
 		run.nextRK++
-		rk, err := urel.RepairKey(in.rel, n.Key, n.Weight, run.db.Vars, "rk"+strconv.Itoa(run.nextRK))
+		rk, err := run.exec.RepairKey(in.rel, n.Key, n.Weight, run.db.Vars, "rk"+strconv.Itoa(run.nextRK))
 		if err != nil {
 			return nil, err
 		}
@@ -624,7 +639,7 @@ func (run *evalRun) eval(q algebra.Query) (*evalResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := urel.FromComplete(urel.Poss(in.rel))
+		out := urel.FromComplete(run.exec.Poss(in.rel))
 		return &evalResult{rel: out, complete: true, errs: in.errs.Clone(), singular: in.singular}, nil
 
 	case algebra.Cert:
@@ -634,7 +649,7 @@ func (run *evalRun) eval(q algebra.Query) (*evalResult, error) {
 		}
 		// cert is a conf = 1 test: a singularity for approximation
 		// (Example 5.7). The engine computes it exactly.
-		out := urel.FromComplete(urel.CertExact(in.rel, run.db.Vars))
+		out := urel.FromComplete(run.exec.CertExact(in.rel, run.db.Vars))
 		return &evalResult{rel: out, complete: true, errs: in.errs.Clone(), singular: in.singular}, nil
 
 	case algebra.Let:

@@ -41,15 +41,28 @@ type estimateJob struct {
 	total     int64
 	chunkSize int64
 
-	// Resumed-prefix coverage (zero when starting from scratch).
+	// Resumed-prefix coverage (zero when starting from scratch). When the
+	// previous budget ended mid-chunk, startTrials includes the tail
+	// counts below and the chunk at plan index startChunk is continued
+	// from tailRNG instead of sampled from its seed.
 	startChunk  int
 	startTrials int64
 
+	// Mid-chunk continuation of the previous budget's trailing partial
+	// chunk (karpluby.State's Partial fields): counts already drawn from
+	// chunk startChunk's stream, and the PRNG positioned right after
+	// them.
+	tailHits   int64
+	tailTrials int64
+	tailRNG    *rand.Rand
+
 	mu sync.Mutex
-	// partialHits records the hit count of the budget's trailing partial
-	// chunk (if any), which the cache must exclude from the resumable
-	// prefix; see estimatorCache.
-	partialHits int64
+	// partial* record the budget's trailing partial chunk (if any): its
+	// counts and the PRNG that sampled it, which the cache carries to the
+	// next restart for mid-chunk continuation; see estimatorCache.
+	partialHits   int64
+	partialTrials int64
+	partialRNG    *rand.Rand
 	// remaining counts unmerged chunks; the worker that merges the last
 	// one publishes the job's state to the run's cache.
 	remaining atomic.Int64
@@ -88,6 +101,9 @@ func (run *evalRun) newJob(f dnf.F, key string, trials func(clauses int) int64, 
 			if err := est.Resume(st); err == nil {
 				job.startChunk = st.Chunks
 				job.startTrials = st.Trials
+				job.tailHits = st.PartialHits
+				job.tailTrials = st.PartialTrials
+				job.tailRNG = st.PartialRNG
 				if st.Trials == job.total {
 					// Exact replay: the snapshot already covers the whole
 					// budget (including any trailing partial chunk), so no
@@ -136,26 +152,53 @@ func (run *evalRun) runEstimates(jobs []*estimateJob) error {
 	err := run.engine.pool.ForEachCtx(ctx, len(tasks), func(i int) error {
 		t := tasks[i]
 		j := t.job
-		sh := j.est.Shard(rand.New(rand.NewSource(sched.ChunkSeed(j.seed, t.c.Index))))
-		sh.Add(int(t.c.N))
+		var (
+			sh          *karpluby.Estimator
+			rng         *rand.Rand
+			chunkHits   int64
+			chunkTrials int64
+		)
+		if j.tailRNG != nil && t.c.Index == j.startChunk {
+			// Mid-chunk continuation: the previous budget already drew the
+			// first tailTrials trials of this chunk's stream; continue the
+			// saved PRNG for the remainder. The drawn sequence is
+			// bit-identical to sampling the whole chunk from its seed, at
+			// tailTrials fewer sampled trials (those counts arrived via
+			// the resumed snapshot).
+			sh = j.est.Shard(j.tailRNG)
+			sh.Add(int(t.c.N - j.tailTrials))
+			rng = j.tailRNG
+			chunkHits = j.tailHits + sh.Hits()
+			chunkTrials = t.c.N
+		} else {
+			rng = rand.New(rand.NewSource(sched.ChunkSeed(j.seed, t.c.Index)))
+			sh = j.est.Shard(rng)
+			sh.Add(int(t.c.N))
+			chunkHits = sh.Hits()
+			chunkTrials = t.c.N
+		}
 		j.mu.Lock()
 		j.est.Merge(sh)
 		if t.c.N < j.chunkSize {
 			// Only the plan's trailing chunk can be undersized; its counts
-			// must stay out of the next restart's resumable prefix.
-			j.partialHits = sh.Hits()
+			// stay out of the next restart's resumable prefix, but travel
+			// with their PRNG so the next restart can finish the chunk
+			// mid-stream.
+			j.partialHits = chunkHits
+			j.partialTrials = chunkTrials
+			j.partialRNG = rng
 		}
 		j.mu.Unlock()
 		if j.remaining.Add(-1) == 0 {
 			// Last chunk of this job: all merges happened-before this
 			// atomic observation, so the totals are final. The cursor
 			// marks the resumable boundary — full-size chunks only; a
-			// trailing partial chunk's counts are replay-only (see
-			// estimatorCache) and must stay outside it.
+			// trailing partial chunk's counts live in the partial fields
+			// (see estimatorCache) and stay outside it.
 			j.est.AdvanceTo(sched.FullChunks(j.total, j.chunkSize))
 			if run.cache != nil {
 				run.cache.store(j.key, j.est.ClauseCount(), j.chunkSize,
-					j.total, j.est.Hits(), j.partialHits)
+					j.total, j.est.Hits(), j.partialHits, j.partialTrials, j.partialRNG)
 			}
 		}
 		return nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"strconv"
 	"sync"
 	"testing"
@@ -153,7 +154,7 @@ func TestEstimatorCacheRace(t *testing.T) {
 			for i := 0; i < rounds; i++ {
 				key := "task:" + strconv.Itoa((g+i)%keys)
 				total := int64(4096 * (1 + i%4))
-				c.store(key, 4, 4096, total, total/3, int64(i%7))
+				c.store(key, 4, 4096, total, total/3, int64(i%7), int64(i%7)*3, nil)
 				if st, ok := c.lookup(key, 4, 4096, total*2); ok && !st.Valid() {
 					t.Errorf("cache returned invalid state %+v", st)
 				}
@@ -197,8 +198,8 @@ func TestResumeStressRace(t *testing.T) {
 // must not clobber a cached larger one.
 func TestResumeCacheMonotone(t *testing.T) {
 	c := newEstimatorCache()
-	c.store("k", 4, 4096, 8192, 100, 0)
-	c.store("k", 4, 4096, 4096, 40, 0) // stale: must be dropped
+	c.store("k", 4, 4096, 8192, 100, 0, 0, nil)
+	c.store("k", 4, 4096, 4096, 40, 0, 0, nil) // stale: must be dropped
 	st, ok := c.lookup("k", 4, 4096, 8192)
 	if !ok || st.Trials != 8192 || st.Hits != 100 {
 		t.Fatalf("stale store clobbered cache: got %+v ok=%v", st, ok)
@@ -211,19 +212,43 @@ func TestResumeCacheMonotone(t *testing.T) {
 }
 
 // TestResumeCacheUnalignedBudget pins the partial-chunk bookkeeping: an
-// exact replay of an unaligned budget returns the full counts but keeps
-// the cursor at the full-chunk boundary (the partial chunk's counts are
-// replay-only), and a prefix lookup at a larger budget excludes them.
+// exact replay of an unaligned budget returns the full counts with the
+// cursor at the full-chunk boundary; a prefix lookup at a larger budget
+// excludes the partial counts when no mid-chunk PRNG was stored, and
+// carries them (with the PRNG, for mid-chunk continuation) when one was.
 func TestResumeCacheUnalignedBudget(t *testing.T) {
 	c := newEstimatorCache()
-	c.store("p", 4, 4096, 10000, 77, 5) // 2 full chunks + a 1808-trial partial
+	// 2 full chunks + a 1808-trial partial, no saved PRNG (replay-only tail).
+	c.store("p", 4, 4096, 10000, 77, 5, 1808, nil)
 	st, ok := c.lookup("p", 4, 4096, 10000)
 	if !ok || st.Trials != 10000 || st.Hits != 77 || st.Chunks != 2 {
 		t.Fatalf("exact replay: got %+v ok=%v, want 10000 trials / 77 hits / cursor 2", st, ok)
 	}
 	st, ok = c.lookup("p", 4, 4096, 20000)
-	if !ok || st.Trials != 8192 || st.Hits != 72 || st.Chunks != 2 {
-		t.Fatalf("prefix resume: got %+v ok=%v, want 8192 trials / 72 hits / cursor 2", st, ok)
+	if !ok || st.Trials != 8192 || st.Hits != 72 || st.Chunks != 2 || st.PartialRNG != nil {
+		t.Fatalf("prefix resume: got %+v ok=%v, want 8192 trials / 72 hits / cursor 2, no tail", st, ok)
+	}
+	// Same shape with the partial chunk's PRNG saved: the larger budget
+	// resumes the full counts and receives the tail for continuation.
+	rng := rand.New(rand.NewSource(99))
+	c.store("q", 4, 4096, 10000, 77, 5, 1808, rng)
+	st, ok = c.lookup("q", 4, 4096, 20000)
+	if !ok || st.Trials != 10000 || st.Hits != 77 || st.Chunks != 2 {
+		t.Fatalf("mid-chunk resume: got %+v ok=%v, want full 10000 trials / 77 hits / cursor 2", st, ok)
+	}
+	if st.PartialTrials != 1808 || st.PartialHits != 5 || st.PartialRNG != rng {
+		t.Fatalf("mid-chunk resume tail: got %+v, want 1808 trials / 5 hits / saved rng", st)
+	}
+	if !st.Valid() {
+		t.Fatalf("mid-chunk resume state invalid: %+v", st)
+	}
+	// The tail is handed out with ownership (the scheduler advances the
+	// PRNG in place): a second lookup degrades to the full-chunk prefix,
+	// so an aborted batch can never leave stale counts paired with an
+	// advanced PRNG in the cache.
+	st, ok = c.lookup("q", 4, 4096, 20000)
+	if !ok || st.Trials != 8192 || st.Hits != 72 || st.PartialRNG != nil {
+		t.Fatalf("post-handout lookup: got %+v ok=%v, want prefix-only 8192 trials / 72 hits", st, ok)
 	}
 }
 

@@ -128,20 +128,42 @@ func (e *Estimator) Shard(rng *rand.Rand) *Estimator {
 // nested budgets share their full-size prefix, a chunk-aligned snapshot
 // (Trials == Chunks·chunkSize) can seed a run at any larger budget: only
 // chunks ≥ Chunks need sampling, and the merged counts are bit-identical
-// to a from-scratch run. A snapshot whose Trials exceed the cursor's
-// coverage additionally contains a trailing partial chunk's counts —
-// those sampled a strict prefix of a chunk stream that larger budgets
-// sample further, so such a snapshot is valid only for exact replay at
-// the budget that produced it, never for extension.
+// to a from-scratch run.
+//
+// A budget that is not chunk-aligned ends in a trailing partial chunk,
+// which sampled a strict prefix of the chunk stream at plan index Chunks.
+// The Partial fields snapshot that chunk mid-stream: its counts
+// (PartialHits over PartialTrials, both already included in Hits/Trials)
+// and the live PRNG positioned exactly after trial PartialTrials of the
+// chunk's stream. A resumed run completes the chunk by drawing its
+// remaining trials from PartialRNG — continuing the identical stream the
+// from-scratch run would sample — instead of re-sampling the chunk, so
+// restart-heavy plans replay trailing partial chunks rather than re-spend
+// them. A snapshot with PartialRNG nil and Trials beyond the cursor's
+// coverage (the pre-snapshot format) remains valid only for exact replay
+// at the producing budget.
 type State struct {
 	Hits   int64
 	Trials int64
 	Chunks int
+
+	PartialHits   int64
+	PartialTrials int64
+	PartialRNG    *rand.Rand
 }
 
 // Valid reports whether the snapshot is internally consistent.
 func (s State) Valid() bool {
-	return s.Hits >= 0 && s.Trials >= s.Hits && s.Chunks >= 0
+	if s.Hits < 0 || s.Trials < s.Hits || s.Chunks < 0 {
+		return false
+	}
+	if s.PartialTrials < 0 || s.PartialHits < 0 || s.PartialHits > s.PartialTrials {
+		return false
+	}
+	if s.PartialTrials > 0 && s.PartialRNG == nil {
+		return false
+	}
+	return true
 }
 
 // State returns a snapshot of the estimator's counts and chunk cursor.

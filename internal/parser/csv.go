@@ -10,15 +10,20 @@ import (
 
 // LoadCSV reads a relation from CSV: the first record is the header
 // (attribute names); fields are parsed with rel.Parse (int, float, bool,
-// string; empty → NULL).
+// string; empty → NULL). String fields are canonicalized through a
+// value-interning table, so a categorical column of n rows with k distinct
+// values keeps k string payloads alive instead of n.
 func LoadCSV(r io.Reader) (*rel.Relation, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
+	cr.ReuseRecord = true // rows are parsed to Values immediately; interning copies what survives
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("parser: reading CSV header: %w", err)
 	}
-	out := rel.NewRelation(rel.NewSchema(header...))
+	out := rel.NewRelation(rel.NewSchema(append([]string(nil), header...)...))
+	intern := rel.NewInterner()
+	nFields := len(out.Schema())
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -27,13 +32,13 @@ func LoadCSV(r io.Reader) (*rel.Relation, error) {
 		if err != nil {
 			return nil, fmt.Errorf("parser: reading CSV row: %w", err)
 		}
-		if len(rec) != len(header) {
-			return nil, fmt.Errorf("parser: CSV row has %d fields, header has %d", len(rec), len(header))
+		if len(rec) != nFields {
+			return nil, fmt.Errorf("parser: CSV row has %d fields, header has %d", len(rec), nFields)
 		}
 		row := make(rel.Tuple, len(rec))
 		for i, field := range rec {
-			row[i] = rel.Parse(field)
+			row[i] = intern.ParseInterned(field)
 		}
-		out.Add(row)
+		out.AddOwned(row)
 	}
 }

@@ -139,15 +139,22 @@ func (t Tuple) Compare(u Tuple) int {
 // Relation is a set-semantics relation: a schema plus a set of tuples.
 // Insertion order is preserved for display, but duplicates (under value
 // equality) are collapsed.
+//
+// The dedup index is keyed by 64-bit tuple hashes with chained collision
+// lists (index holds the most recent position per hash, next links earlier
+// ones), so membership tests allocate nothing: candidates filtered by hash
+// are confirmed by value equality, which is deterministic, so the set
+// semantics are exactly those of the canonical Key() strings.
 type Relation struct {
 	schema Schema
 	tuples []Tuple
-	index  map[string]int // tuple key -> position in tuples
+	index  map[uint64]int32 // tuple hash -> most recent position with it
+	next   []int32          // position -> previous position with same hash, -1 ends
 }
 
 // NewRelation creates an empty relation with the given schema.
 func NewRelation(schema Schema) *Relation {
-	return &Relation{schema: schema.Clone(), index: make(map[string]int)}
+	return &Relation{schema: schema.Clone(), index: make(map[uint64]int32)}
 }
 
 // FromRows builds a relation from a schema and rows; duplicates collapse.
@@ -169,6 +176,21 @@ func (r *Relation) Len() int { return len(r.tuples) }
 // slice must not be modified.
 func (r *Relation) Tuples() []Tuple { return r.tuples }
 
+// find returns the position of the stored tuple equal to t under hash h,
+// or -1.
+func (r *Relation) find(h uint64, t Tuple) int32 {
+	head, ok := r.index[h]
+	if !ok {
+		return -1
+	}
+	for i := head; i >= 0; i = r.next[i] {
+		if r.tuples[i].Equal(t) {
+			return i
+		}
+	}
+	return -1
+}
+
 // Add inserts a tuple (set semantics). It reports whether the tuple was
 // new. It panics when the tuple arity does not match the schema, which is
 // always a programming error.
@@ -176,27 +198,56 @@ func (r *Relation) Add(t Tuple) bool {
 	if len(t) != len(r.schema) {
 		panic(fmt.Sprintf("rel: tuple arity %d does not match schema %v", len(t), r.schema))
 	}
-	k := t.Key()
-	if _, ok := r.index[k]; ok {
-		return false
+	return r.addHashed(t.Hash(), t, true)
+}
+
+// addHashed inserts t under its precomputed hash, cloning only when the
+// caller retains ownership. The duplicate probe and the chain link share
+// one index lookup.
+func (r *Relation) addHashed(h uint64, t Tuple, clone bool) bool {
+	head, chained := r.index[h]
+	if chained {
+		for j := head; j >= 0; j = r.next[j] {
+			if r.tuples[j].Equal(t) {
+				return false
+			}
+		}
 	}
-	r.index[k] = len(r.tuples)
-	r.tuples = append(r.tuples, t.Clone())
+	pos := int32(len(r.tuples))
+	if chained {
+		r.next = append(r.next, head)
+	} else {
+		r.next = append(r.next, -1)
+	}
+	r.index[h] = pos
+	if clone {
+		t = t.Clone()
+	}
+	r.tuples = append(r.tuples, t)
 	return true
+}
+
+// AddOwned inserts a tuple the caller relinquishes ownership of: no
+// defensive clone is taken. Operators that construct fresh rows use it to
+// avoid one allocation per emitted tuple.
+func (r *Relation) AddOwned(t Tuple) bool {
+	if len(t) != len(r.schema) {
+		panic(fmt.Sprintf("rel: tuple arity %d does not match schema %v", len(t), r.schema))
+	}
+	return r.addHashed(t.Hash(), t, false)
 }
 
 // Contains reports whether the relation contains the tuple.
 func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.index[t.Key()]
-	return ok
+	return r.find(t.Hash(), t) >= 0
 }
 
 // Lookup returns the stored tuple equal to t, if any. This matters when
 // callers need the canonical instance (e.g. for attached metadata keyed by
 // position).
 func (r *Relation) Lookup(t Tuple) (Tuple, bool) {
-	i, ok := r.index[t.Key()]
-	if !ok {
+	i := r.find(t.Hash(), t)
+	if i < 0 {
 		return nil, false
 	}
 	return r.tuples[i], true
@@ -277,7 +328,7 @@ func (r *Relation) Project(attrs ...string) *Relation {
 		for i, j := range idx {
 			nt[i] = t[j]
 		}
-		out.Add(nt)
+		out.AddOwned(nt)
 	}
 	return out
 }

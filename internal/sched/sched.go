@@ -18,6 +18,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/rel"
 )
 
 // Pool runs independent tasks across a fixed set of worker goroutines.
@@ -186,15 +188,11 @@ func PlanChunks(total, size int64) int {
 	return int((total + size - 1) / size)
 }
 
-// splitmix64 is the SplitMix64 finalizer: a cheap, well-distributed
-// 64-bit mixer (Steele et al., "Fast splittable pseudorandom number
-// generators"). It drives all seed derivation below.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
+// splitmix64 is the SplitMix64 finalizer (Steele et al., "Fast splittable
+// pseudorandom number generators"), shared with the relational hashing
+// layer (rel.Mix64 is the single implementation). It drives all seed
+// derivation below; delegating keeps the derived seed streams unchanged.
+func splitmix64(x uint64) uint64 { return rel.Mix64(x) }
 
 // TaskSeed derives a per-task PRNG seed from a base seed (Options.Seed)
 // and a task key (e.g. an operator index plus a tuple's lineage key). The

@@ -1,0 +1,715 @@
+package urel
+
+import (
+	"fmt"
+	"iter"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/dnf"
+	"repro/internal/expr"
+	"repro/internal/rel"
+	"repro/internal/sched"
+	"repro/internal/vars"
+)
+
+// Exec evaluates the U-relational operators with a fixed degree of
+// parallelism and optional per-operator statistics. The package-level
+// operator functions delegate to a sequential Exec; evaluators that own a
+// sched.Pool build one Exec per evaluation and route every operator
+// through it.
+//
+// Determinism invariant (the exact-algebra mirror of the sampler's): every
+// partitioned operator splits its probe/grouping input into fixed-size
+// ranges whose boundaries depend only on the input length — never on the
+// worker count — and merges per-range outputs in range order. The merged
+// relation is therefore bit-identical for any Workers value, and identical
+// to the classic sequential nested-loop order.
+type Exec struct {
+	pool *sched.Pool
+	ctrs *Counters
+}
+
+// NewExec returns an Exec over the pool (nil selects a one-worker pool)
+// recording operator statistics into ctrs (nil disables recording).
+func NewExec(pool *sched.Pool, ctrs *Counters) *Exec {
+	if pool == nil {
+		pool = sched.New(1)
+	}
+	return &Exec{pool: pool, ctrs: ctrs}
+}
+
+// seqExec backs the package-level operator functions: one worker, no
+// statistics.
+var seqExec = &Exec{pool: sched.New(1)}
+
+// rangeTuples is the partition granularity of the parallel operators:
+// probe/grouping inputs are split into ranges of this many tuples. The
+// value is a constant of the data layout, not of the worker count, so
+// partition boundaries — and hence merged output order — are identical no
+// matter how many workers run the ranges.
+const rangeTuples = 4096
+
+func numRanges(n int) int { return (n + rangeTuples - 1) / rangeTuples }
+
+// forRanges fans fn out over the fixed ranges of [0, n). With one worker
+// the ranges run in order on the calling goroutine.
+func (x *Exec) forRanges(n int, fn func(rg, lo, hi int)) {
+	nr := numRanges(n)
+	if nr == 0 {
+		return
+	}
+	// fn never fails and the context is never cancelled here: operator
+	// granularity cancellation is the evaluator's job.
+	_ = x.pool.ForEach(nr, func(rg int) error {
+		lo := rg * rangeTuples
+		hi := lo + rangeTuples
+		if hi > n {
+			hi = n
+		}
+		fn(rg, lo, hi)
+		return nil
+	})
+}
+
+// Estimated per-tuple memory footprint, used for the Bytes counters.
+const (
+	valueBytes   = int64(unsafe.Sizeof(rel.Value{}))
+	bindingBytes = int64(unsafe.Sizeof(vars.Binding{}))
+	// Two slice headers (row, D) plus the hash/index bookkeeping.
+	pairOverheadBytes = 2*24 + 12
+	// One clause of a lineage group: an Assignment slice header (the
+	// bindings themselves are shared with the relation).
+	clauseHeaderBytes = 24
+)
+
+func pairBytes(d vars.Assignment, row rel.Tuple) int64 {
+	return int64(len(row))*valueBytes + int64(len(d))*bindingBytes + pairOverheadBytes
+}
+
+// record adds one operator application to the statistics (no-op without a
+// collector).
+func (x *Exec) record(op string, tuplesIn, tuplesOut, bytes int64) {
+	if x.ctrs == nil {
+		return
+	}
+	c := x.ctrs.cell(op)
+	c.calls.Add(1)
+	c.in.Add(tuplesIn)
+	c.out.Add(tuplesOut)
+	c.bytes.Add(bytes)
+}
+
+// relBytes reports the relation's footprint estimate, maintained
+// incrementally on insert — O(1), so always-on statistics cost no extra
+// output pass.
+func (x *Exec) relBytes(r *Relation) int64 { return r.bytes }
+
+// Select implements σ_φ: a single pass reusing the input's stored pair
+// hashes, so surviving tuples are re-indexed without hashing or cloning.
+func (x *Exec) Select(r *Relation, pred expr.Pred) *Relation {
+	out := NewRelation(r.schema)
+	for i, t := range r.tuples {
+		if pred.Holds(expr.Env{Schema: r.schema, Tuple: t.Row}) {
+			out.addPair(r.hashes[i], t.D, t.Row, false)
+		}
+	}
+	x.record("select", int64(len(r.tuples)), int64(out.Len()), x.relBytes(out))
+	return out
+}
+
+// Project implements π with expression targets. Output rows are built
+// once and handed to the relation without a defensive clone.
+func (x *Exec) Project(r *Relation, targets []expr.Target) *Relation {
+	schema := make(rel.Schema, len(targets))
+	for i, tg := range targets {
+		schema[i] = tg.As
+	}
+	out := NewRelation(rel.NewSchema(schema...))
+	for _, t := range r.tuples {
+		env := expr.Env{Schema: r.schema, Tuple: t.Row}
+		row := make(rel.Tuple, len(targets))
+		for i, tg := range targets {
+			row[i] = tg.Expr.Eval(env)
+		}
+		out.addPair(utHash(t.D, row), t.D, row, false)
+	}
+	x.record("project", int64(len(r.tuples)), int64(out.Len()), x.relBytes(out))
+	return out
+}
+
+// pairOut is one constructed output pair of a partitioned binary operator,
+// carrying its precomputed dedup hash to the merge phase.
+type pairOut struct {
+	h   uint64
+	d   vars.Assignment
+	row rel.Tuple
+}
+
+// mergeRanges folds per-range outputs into out in range order — the
+// deterministic merge making partitioned results worker-count-independent.
+func (r *Relation) mergeRanges(outs [][]pairOut) {
+	for _, buf := range outs {
+		for _, p := range buf {
+			r.addPair(p.h, p.d, p.row, false)
+		}
+	}
+}
+
+// Product implements [[R × S]] with the pair enumeration partitioned
+// across the pool: each fixed-size range of R's tuples is crossed with all
+// of S by one worker, and per-range outputs merge in range order.
+func (x *Exec) Product(a, b *Relation) (*Relation, error) {
+	for _, attr := range b.schema {
+		if a.schema.Has(attr) {
+			return nil, fmt.Errorf("urel: product schemas share attribute %q; rename first", attr)
+		}
+	}
+	schema := append(a.schema.Clone(), b.schema...)
+	out := NewRelation(rel.NewSchema(schema...))
+	la := len(a.schema)
+	outs := make([][]pairOut, numRanges(len(a.tuples)))
+	x.forRanges(len(a.tuples), func(rg, lo, hi int) {
+		var buf []pairOut
+		for i := lo; i < hi; i++ {
+			ta := a.tuples[i]
+			for _, tb := range b.tuples {
+				d, ok := ta.D.Union(tb.D)
+				if !ok {
+					continue // inconsistent worlds never co-occur
+				}
+				row := make(rel.Tuple, la+len(tb.Row))
+				copy(row, ta.Row)
+				copy(row[la:], tb.Row)
+				buf = append(buf, pairOut{h: utHash(d, row), d: d, row: row})
+			}
+		}
+		outs[rg] = buf
+	})
+	out.mergeRanges(outs)
+	x.record("product", int64(len(a.tuples)+len(b.tuples)), int64(out.Len()), x.relBytes(out))
+	return out, nil
+}
+
+// Join implements the natural join R ⋈ S as a partitioned hash join: the
+// build side's join-column hashes are computed in parallel and chained
+// into buckets in insertion order; the probe side is scanned in fixed
+// ranges, each worker emitting its range's output pairs; ranges merge in
+// order. Bucket candidates filtered by the 64-bit join-key hash are
+// confirmed by value equality on the join columns.
+func (x *Exec) Join(a, b *Relation) *Relation {
+	common := a.schema.Common(b.schema)
+	var bExtra []string
+	for _, attr := range b.schema {
+		if !a.schema.Has(attr) {
+			bExtra = append(bExtra, attr)
+		}
+	}
+	schema := append(a.schema.Clone(), bExtra...)
+	out := NewRelation(rel.NewSchema(schema...))
+
+	aIdx := make([]int, len(common))
+	bIdx := make([]int, len(common))
+	for i, c := range common {
+		aIdx[i] = a.schema.Index(c)
+		bIdx[i] = b.schema.Index(c)
+	}
+	bExtraIdx := make([]int, len(bExtra))
+	for i, c := range bExtra {
+		bExtraIdx[i] = b.schema.Index(c)
+	}
+
+	// Build phase: hash S's join columns in parallel; chain buckets so
+	// traversal visits S in insertion order (reverse construction).
+	bh := make([]uint64, len(b.tuples))
+	x.forRanges(len(b.tuples), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			bh[i] = b.tuples[i].Row.HashAt(bIdx)
+		}
+	})
+	bHead := make(map[uint64]int32, len(b.tuples))
+	bNext := make([]int32, len(b.tuples))
+	for i := len(b.tuples) - 1; i >= 0; i-- {
+		if head, ok := bHead[bh[i]]; ok {
+			bNext[i] = head
+		} else {
+			bNext[i] = -1
+		}
+		bHead[bh[i]] = int32(i)
+	}
+
+	// Probe phase: fixed ranges of R, merged in range order.
+	la := len(a.schema)
+	outs := make([][]pairOut, numRanges(len(a.tuples)))
+	x.forRanges(len(a.tuples), func(rg, lo, hi int) {
+		var buf []pairOut
+		for i := lo; i < hi; i++ {
+			ta := a.tuples[i]
+			head, ok := bHead[ta.Row.HashAt(aIdx)]
+			if !ok {
+				continue
+			}
+			for j := head; j >= 0; j = bNext[j] {
+				tb := b.tuples[j]
+				if !ta.Row.EqualAt(aIdx, tb.Row, bIdx) {
+					continue
+				}
+				d, ok := ta.D.Union(tb.D)
+				if !ok {
+					continue
+				}
+				row := make(rel.Tuple, la+len(bExtraIdx))
+				copy(row, ta.Row)
+				for k, jj := range bExtraIdx {
+					row[la+k] = tb.Row[jj]
+				}
+				buf = append(buf, pairOut{h: utHash(d, row), d: d, row: row})
+			}
+		}
+		outs[rg] = buf
+	})
+	out.mergeRanges(outs)
+	x.record("join", int64(len(a.tuples)+len(b.tuples)), int64(out.Len()), x.relBytes(out))
+	return out
+}
+
+// Union implements [[R ∪ S]], reusing both inputs' stored hashes.
+func (x *Exec) Union(a, b *Relation) (*Relation, error) {
+	if !a.schema.Equal(b.schema) {
+		return nil, fmt.Errorf("urel: union schema mismatch %v vs %v", a.schema, b.schema)
+	}
+	out := a.Clone()
+	for i, t := range b.tuples {
+		out.addPair(b.hashes[i], t.D, t.Row, false)
+	}
+	x.record("union", int64(len(a.tuples)+len(b.tuples)), int64(out.Len()), x.relBytes(out))
+	return out, nil
+}
+
+// DiffComplete implements −c over complete relations. Both sides carry
+// empty D columns, so their stored pair hashes are pure row hashes and the
+// membership probes reuse them unchanged.
+func (x *Exec) DiffComplete(a, b *Relation) (*Relation, error) {
+	if !a.IsComplete() || !b.IsComplete() {
+		return nil, fmt.Errorf("urel: -c requires complete relations")
+	}
+	if !a.schema.Equal(b.schema) {
+		return nil, fmt.Errorf("urel: difference schema mismatch %v vs %v", a.schema, b.schema)
+	}
+	out := NewRelation(a.schema)
+	for i, t := range a.tuples {
+		if b.find(a.hashes[i], t.D, t.Row) < 0 {
+			out.addPair(a.hashes[i], nil, t.Row, false)
+		}
+	}
+	x.record("diffc", int64(len(a.tuples)+len(b.tuples)), int64(out.Len()), x.relBytes(out))
+	return out, nil
+}
+
+// Poss implements poss(R): row-level dedup through the hashed index, with
+// output rows shared with the (immutable) input.
+func (x *Exec) Poss(r *Relation) *rel.Relation {
+	out := rel.NewRelation(r.schema)
+	for _, t := range r.tuples {
+		out.AddOwned(t.Row)
+	}
+	x.record("poss", int64(len(r.tuples)), int64(out.Len()), int64(out.Len())*pairOverheadBytes)
+	return out
+}
+
+// lineageGrouper is the one chained-hash grouping structure behind every
+// lineage path (single-pass, per-range local, and merge): groups keyed by
+// 64-bit row hash with equality confirmation, in first-appearance order.
+// Keeping a single implementation is what guarantees the three paths stay
+// in lock-step — the worker-count bit-identity invariant depends on them
+// producing identical output.
+type lineageGrouper struct {
+	head   map[uint64]int32
+	next   []int32
+	groups []TupleConf
+	hashes []uint64
+	bytes  int64 // running footprint estimate (clause headers + per-group overhead)
+}
+
+func newLineageGrouper(sizeHint int) *lineageGrouper {
+	return &lineageGrouper{head: make(map[uint64]int32, sizeHint)}
+}
+
+// locate returns the group position for (h, row) (or -1) together with
+// the chain head, so callers probe and link with a single index lookup.
+func (g *lineageGrouper) locate(h uint64, row rel.Tuple) (gi, head int32, chained bool) {
+	head, chained = g.head[h]
+	if chained {
+		for j := head; j >= 0; j = g.next[j] {
+			if g.groups[j].Row.Equal(row) {
+				return j, head, true
+			}
+		}
+	}
+	return -1, head, chained
+}
+
+// insert creates a new group for (h, row) in first-appearance order,
+// taking ownership of f. The caller has already established (via locate)
+// that the group is absent and passes the chain head along.
+func (g *lineageGrouper) insert(h uint64, head int32, chained bool, row rel.Tuple, f dnf.F) {
+	pos := int32(len(g.groups))
+	if chained {
+		g.next = append(g.next, head)
+	} else {
+		g.next = append(g.next, -1)
+	}
+	g.head[h] = pos
+	g.groups = append(g.groups, TupleConf{Row: row, F: f})
+	g.hashes = append(g.hashes, h)
+	g.bytes += pairOverheadBytes + int64(len(f))*clauseHeaderBytes
+}
+
+// add appends the clauses to (h, row)'s group, creating it when absent.
+func (g *lineageGrouper) add(h uint64, row rel.Tuple, f dnf.F) {
+	gi, head, chained := g.locate(h, row)
+	if gi >= 0 {
+		g.groups[gi].F = append(g.groups[gi].F, f...)
+		g.bytes += int64(len(f)) * clauseHeaderBytes
+		return
+	}
+	g.insert(h, head, chained, row, f)
+}
+
+// addClause is add for a single clause, avoiding a slice header per tuple
+// on the append path.
+func (g *lineageGrouper) addClause(h uint64, row rel.Tuple, d vars.Assignment) {
+	gi, head, chained := g.locate(h, row)
+	if gi >= 0 {
+		g.groups[gi].F = append(g.groups[gi].F, d)
+		g.bytes += clauseHeaderBytes
+		return
+	}
+	g.insert(h, head, chained, row, dnf.F{d})
+}
+
+// lineage is the grouping core of Lineage/LineageSeq/ConfExact/CertExact:
+// each fixed range of the input groups locally (via lineageGrouper), and
+// the local groups merge in range order, so both group order (first
+// appearance) and each group's clause order (input order) match the
+// sequential scan for any worker count. Rows are shared with the input,
+// clause lists hold the input's assignments — no copies.
+func (x *Exec) lineage(r *Relation) ([]TupleConf, int64) {
+	n := len(r.tuples)
+	if n == 0 {
+		return nil, 0
+	}
+	// One worker (or one range): group in a single pass. The partitioned
+	// path below runs the same grouper per range and re-runs it to merge,
+	// producing the same first-appearance order and per-group clause
+	// order, so the choice of strategy is invisible in the output — it
+	// only avoids the local/merge copy when no parallelism is available
+	// to pay for it.
+	if x.pool.Workers() == 1 || numRanges(n) == 1 {
+		g := newLineageGrouper(n)
+		for _, t := range r.tuples {
+			g.addClause(t.Row.Hash(), t.Row, t.D)
+		}
+		return g.groups, g.bytes
+	}
+	locals := make([]*lineageGrouper, numRanges(n))
+	x.forRanges(n, func(rg, lo, hi int) {
+		g := newLineageGrouper(hi - lo)
+		for i := lo; i < hi; i++ {
+			t := r.tuples[i]
+			g.addClause(t.Row.Hash(), t.Row, t.D)
+		}
+		locals[rg] = g
+	})
+	// Deterministic merge: ranges in order, local groups in local order.
+	merged := newLineageGrouper(n)
+	for _, l := range locals {
+		for gi, grp := range l.groups {
+			merged.add(l.hashes[gi], grp.Row, grp.F)
+		}
+	}
+	return merged.groups, merged.bytes
+}
+
+// Lineage groups the relation by data tuple and returns each possible
+// tuple's clause set, in first-appearance order.
+func (x *Exec) Lineage(r *Relation) []TupleConf {
+	groups, bytes := x.lineage(r)
+	x.record("lineage", int64(len(r.tuples)), int64(len(groups)), bytes)
+	return groups
+}
+
+// LineageSeq streams the lineage groups of Lineage in the same order. The
+// grouping work happens on first iteration; consumers that need only one
+// pass (conf estimation, exact confidence) avoid retaining a second
+// materialized []TupleConf alongside their own per-tuple state.
+func (x *Exec) LineageSeq(r *Relation) iter.Seq[TupleConf] {
+	return func(yield func(TupleConf) bool) {
+		groups, bytes := x.lineage(r)
+		x.record("lineage", int64(len(r.tuples)), int64(len(groups)), bytes)
+		for _, tc := range groups {
+			if !yield(tc) {
+				return
+			}
+		}
+	}
+}
+
+// ConfExact implements conf with exact probabilities; the per-group
+// #P-hard dnf.Confidence computations fan out across the pool (group
+// costs vary wildly, so the pool's work-stealing cursor load-balances).
+func (x *Exec) ConfExact(r *Relation, table *vars.Table, pcol string) (*rel.Relation, error) {
+	if r.schema.Has(pcol) {
+		return nil, fmt.Errorf("urel: conf column %q already in schema %v", pcol, r.schema)
+	}
+	groups, _ := x.lineage(r)
+	probs := make([]float64, len(groups))
+	_ = x.pool.ForEach(len(groups), func(i int) error {
+		probs[i] = dnf.Confidence(groups[i].F, table)
+		return nil
+	})
+	out := rel.NewRelation(rel.NewSchema(append(r.schema.Clone(), pcol)...))
+	for i, tc := range groups {
+		row := make(rel.Tuple, len(tc.Row)+1)
+		copy(row, tc.Row)
+		row[len(tc.Row)] = rel.Float(probs[i])
+		out.AddOwned(row)
+	}
+	// Conf materializes a fresh full-width row per group (input columns
+	// plus the probability), so the estimate counts the whole row payload.
+	x.record("conf", int64(len(r.tuples)), int64(out.Len()),
+		int64(out.Len())*(int64(len(out.Schema()))*valueBytes+pairOverheadBytes))
+	return out, nil
+}
+
+// CertExact implements cert(R) via exact confidences, parallel per group.
+func (x *Exec) CertExact(r *Relation, table *vars.Table) *rel.Relation {
+	groups, _ := x.lineage(r)
+	keep := make([]bool, len(groups))
+	_ = x.pool.ForEach(len(groups), func(i int) error {
+		keep[i] = dnf.Confidence(groups[i].F, table) >= 1-1e-12
+		return nil
+	})
+	out := rel.NewRelation(r.schema)
+	for i, tc := range groups {
+		if keep[i] {
+			out.AddOwned(tc.Row)
+		}
+	}
+	x.record("cert", int64(len(r.tuples)), int64(out.Len()), int64(out.Len())*pairOverheadBytes)
+	return out
+}
+
+// RepairKey implements repair-key (see the package-level wrapper for the
+// full contract). Group and alternative lookup go through hashed chain
+// indexes over the key/residual columns; the display strings the fresh
+// variable names need are built once per group and per alternative, never
+// per tuple.
+func (x *Exec) RepairKey(r *Relation, key []string, weight string, table *vars.Table, prefix string) (*Relation, error) {
+	keyIdx := make([]int, len(key))
+	for i, a := range key {
+		j := r.schema.Index(a)
+		if j < 0 {
+			return nil, fmt.Errorf("urel: repair-key attribute %q not in schema %v", a, r.schema)
+		}
+		keyIdx[i] = j
+	}
+	wIdx := r.schema.Index(weight)
+	if wIdx < 0 {
+		return nil, fmt.Errorf("urel: repair-key weight %q not in schema %v", weight, r.schema)
+	}
+	// Residual attributes: (sch(R) − Ā) − B, the Dom of the fresh variable.
+	var resIdx []int
+	for j := range r.schema {
+		if j == wIdx {
+			continue
+		}
+		isKey := false
+		for _, k := range keyIdx {
+			if j == k {
+				isKey = true
+				break
+			}
+		}
+		if !isKey {
+			resIdx = append(resIdx, j)
+		}
+	}
+
+	type alt struct {
+		weight float64
+		name   string
+		repr   int // first input tuple of this alternative (equality witness)
+	}
+	type group struct {
+		display string
+		repr    int // first input tuple of this group (equality witness)
+		alts    []alt
+		altHead map[uint64]int32
+		altNext []int32
+		total   float64
+		v       vars.Var
+	}
+	gHead := make(map[uint64]int32)
+	var gNext []int32
+	var orderedGroups []*group
+	// tupleAlt[i] is the alternative index of input tuple i in its group.
+	tupleAlt := make([]int, len(r.tuples))
+	tupleGroup := make([]*group, len(r.tuples))
+
+	for i, t := range r.tuples {
+		gh := t.Row.HashAt(keyIdx)
+		var g *group
+		if hd, ok := gHead[gh]; ok {
+			for j := hd; j >= 0; j = gNext[j] {
+				cand := orderedGroups[j]
+				if t.Row.EqualAt(keyIdx, r.tuples[cand.repr].Row, keyIdx) {
+					g = cand
+					break
+				}
+			}
+		}
+		if g == nil {
+			g = &group{display: displayKey(t.Row, keyIdx), repr: i, altHead: make(map[uint64]int32)}
+			pos := int32(len(orderedGroups))
+			if hd, ok := gHead[gh]; ok {
+				gNext = append(gNext, hd)
+			} else {
+				gNext = append(gNext, -1)
+			}
+			gHead[gh] = pos
+			orderedGroups = append(orderedGroups, g)
+		}
+		w := t.Row[wIdx]
+		if !w.IsNumeric() || w.AsFloat() <= 0 {
+			return nil, fmt.Errorf("urel: repair-key weight %v is not a positive number", w)
+		}
+		rh := t.Row.HashAt(resIdx)
+		ai := -1
+		if hd, ok := g.altHead[rh]; ok {
+			for j := hd; j >= 0; j = g.altNext[j] {
+				if t.Row.EqualAt(resIdx, r.tuples[g.alts[j].repr].Row, resIdx) {
+					ai = int(j)
+					break
+				}
+			}
+		}
+		if ai >= 0 {
+			if g.alts[ai].weight != w.AsFloat() {
+				return nil, fmt.Errorf("urel: repair-key group %s has conflicting weights for one alternative", g.display)
+			}
+			tupleAlt[i] = ai
+		} else {
+			ai = len(g.alts)
+			if hd, ok := g.altHead[rh]; ok {
+				g.altNext = append(g.altNext, hd)
+			} else {
+				g.altNext = append(g.altNext, -1)
+			}
+			g.altHead[rh] = int32(ai)
+			g.alts = append(g.alts, alt{weight: w.AsFloat(), name: displayKey(t.Row, resIdx), repr: i})
+			tupleAlt[i] = ai
+		}
+		tupleGroup[i] = g
+	}
+	for _, g := range orderedGroups {
+		g.total = 0
+		for _, a := range g.alts {
+			g.total += a.weight
+		}
+	}
+
+	// Register one fresh variable per group.
+	for _, g := range orderedGroups {
+		probs := make([]float64, len(g.alts))
+		names := make([]string, len(g.alts))
+		for i, a := range g.alts {
+			probs[i] = a.weight / g.total
+			names[i] = a.name
+		}
+		name := prefix
+		if g.display != "" {
+			name = prefix + "[" + g.display + "]"
+		}
+		g.v = table.Add(name, probs, names)
+	}
+
+	out := NewRelation(r.schema)
+	for i, t := range r.tuples {
+		g := tupleGroup[i]
+		d := t.D.With(g.v, int32(tupleAlt[i]))
+		out.addPair(utHash(d, t.Row), d, t.Row, false)
+	}
+	x.record("repairkey", int64(len(r.tuples)), int64(out.Len()), x.relBytes(out))
+	return out, nil
+}
+
+// OpStats aggregates one operator's work across an evaluation: number of
+// applications, input and output tuple counts, and an estimate of the
+// bytes materialized for output tuples (value/assignment payloads plus
+// per-pair bookkeeping; an estimate, not an allocator measurement).
+type OpStats struct {
+	Calls     int64
+	TuplesIn  int64
+	TuplesOut int64
+	Bytes     int64
+}
+
+// StatsMap maps operator names (join, product, select, project, union,
+// diffc, repairkey, lineage, conf, cert, poss) to their aggregated stats.
+type StatsMap map[string]OpStats
+
+// Add folds another snapshot into m (for aggregating across passes).
+func (m StatsMap) Add(o StatsMap) {
+	for op, s := range o {
+		t := m[op]
+		t.Calls += s.Calls
+		t.TuplesIn += s.TuplesIn
+		t.TuplesOut += s.TuplesOut
+		t.Bytes += s.Bytes
+		m[op] = t
+	}
+}
+
+// Counters is a concurrency-safe operator-statistics collector shared by
+// all Execs of one evaluation (partitioned operators record from pool
+// workers).
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]*opCell
+}
+
+type opCell struct {
+	calls, in, out, bytes atomic.Int64
+}
+
+// NewCounters returns an empty collector.
+func NewCounters() *Counters { return &Counters{m: make(map[string]*opCell)} }
+
+func (c *Counters) cell(op string) *opCell {
+	c.mu.Lock()
+	cell, ok := c.m[op]
+	if !ok {
+		cell = &opCell{}
+		c.m[op] = cell
+	}
+	c.mu.Unlock()
+	return cell
+}
+
+// Snapshot returns the current aggregated statistics.
+func (c *Counters) Snapshot() StatsMap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(StatsMap, len(c.m))
+	for op, cell := range c.m {
+		out[op] = OpStats{
+			Calls:     cell.calls.Load(),
+			TuplesIn:  cell.in.Load(),
+			TuplesOut: cell.out.Load(),
+			Bytes:     cell.bytes.Load(),
+		}
+	}
+	return out
+}

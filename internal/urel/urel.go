@@ -15,6 +15,7 @@ package urel
 
 import (
 	"fmt"
+	"iter"
 	"sort"
 
 	"repro/internal/dnf"
@@ -30,20 +31,36 @@ type UTuple struct {
 	Row rel.Tuple
 }
 
-func utKey(d vars.Assignment, row rel.Tuple) string { return d.Key() + "||" + row.Key() }
+// utHash is the 64-bit dedup key of a (D, row) pair. It replaces the old
+// canonical key string on every hot path; collisions are resolved by value
+// equality (see Relation.find), so set semantics match the equality
+// relation of rel.Compare (which, unlike the legacy key strings, also
+// identifies -0.0 with +0.0 — see rel/hash.go).
+func utHash(d vars.Assignment, row rel.Tuple) uint64 {
+	return rel.HashCombine(row.Hash(), d.Hash())
+}
 
 // Relation is a U-relation: a schema and a set of (D, tuple) pairs with
 // set semantics on the pair.
+//
+// The dedup index is keyed by 64-bit pair hashes with chained collision
+// lists (index maps a hash to the most recent position carrying it, next
+// links back to earlier ones), so inserts and membership tests allocate no
+// key strings. Stored pair hashes are kept in hashes so clones, unions and
+// selections never rehash.
 type Relation struct {
 	schema rel.Schema
 	tuples []UTuple
-	index  map[string]struct{}
+	hashes []uint64         // utHash per tuple, aligned with tuples
+	index  map[uint64]int32 // pair hash -> most recent position with it
+	next   []int32          // position -> previous position with same hash, -1 ends
+	bytes  int64            // running footprint estimate, maintained on insert
 }
 
 // NewRelation creates an empty U-relation with the given data schema (the
 // D column is implicit).
 func NewRelation(schema rel.Schema) *Relation {
-	return &Relation{schema: schema.Clone(), index: make(map[string]struct{})}
+	return &Relation{schema: schema.Clone(), index: make(map[uint64]int32)}
 }
 
 // FromComplete lifts a classical complete relation into a U-relation where
@@ -52,7 +69,7 @@ func NewRelation(schema rel.Schema) *Relation {
 func FromComplete(r *rel.Relation) *Relation {
 	out := NewRelation(r.Schema())
 	for _, t := range r.Tuples() {
-		out.Add(nil, t)
+		out.addPair(utHash(nil, t), nil, t, false)
 	}
 	return out
 }
@@ -66,18 +83,68 @@ func (r *Relation) Len() int { return len(r.tuples) }
 // Tuples returns the underlying rows; the slice must not be modified.
 func (r *Relation) Tuples() []UTuple { return r.tuples }
 
+// find returns the position of the stored pair equal to (d, row) under
+// hash h, or -1.
+func (r *Relation) find(h uint64, d vars.Assignment, row rel.Tuple) int32 {
+	head, ok := r.index[h]
+	if !ok {
+		return -1
+	}
+	for i := head; i >= 0; i = r.next[i] {
+		if r.tuples[i].D.Equal(d) && r.tuples[i].Row.Equal(row) {
+			return i
+		}
+	}
+	return -1
+}
+
 // Add inserts a (D, tuple) pair under set semantics and reports whether it
 // was new.
 func (r *Relation) Add(d vars.Assignment, row rel.Tuple) bool {
 	if len(row) != len(r.schema) {
 		panic(fmt.Sprintf("urel: tuple arity %d does not match schema %v", len(row), r.schema))
 	}
-	k := utKey(d, row)
-	if _, ok := r.index[k]; ok {
-		return false
+	return r.addPair(utHash(d, row), d, row, true)
+}
+
+// AddOwned inserts a (D, tuple) pair the caller relinquishes ownership
+// of: no defensive clone is taken. Operators and evaluators that just
+// built the pair use it to avoid two allocations per emitted tuple.
+func (r *Relation) AddOwned(d vars.Assignment, row rel.Tuple) bool {
+	if len(row) != len(r.schema) {
+		panic(fmt.Sprintf("urel: tuple arity %d does not match schema %v", len(row), r.schema))
 	}
-	r.index[k] = struct{}{}
-	r.tuples = append(r.tuples, UTuple{D: d.Clone(), Row: row.Clone()})
+	return r.addPair(utHash(d, row), d, row, false)
+}
+
+// addPair inserts under a precomputed hash. With clone set the pair is
+// defensively copied (the public Add contract); operators inserting rows
+// they own — or rows already owned by another relation, which are never
+// mutated after insertion — pass clone=false and save two allocations per
+// tuple. The duplicate probe and the chain link share one index lookup —
+// this is the hottest insert path in the engine.
+func (r *Relation) addPair(h uint64, d vars.Assignment, row rel.Tuple, clone bool) bool {
+	head, chained := r.index[h]
+	if chained {
+		for j := head; j >= 0; j = r.next[j] {
+			if r.tuples[j].D.Equal(d) && r.tuples[j].Row.Equal(row) {
+				return false
+			}
+		}
+	}
+	pos := int32(len(r.tuples))
+	if chained {
+		r.next = append(r.next, head)
+	} else {
+		r.next = append(r.next, -1)
+	}
+	r.index[h] = pos
+	if clone {
+		d, row = d.Clone(), row.Clone()
+	}
+	r.tuples = append(r.tuples, UTuple{D: d, Row: row})
+	r.hashes = append(r.hashes, h)
+	r.bytes += pairBytes(d, row)
 	return true
 }
 
@@ -92,170 +159,53 @@ func (r *Relation) IsComplete() bool {
 	return true
 }
 
-// Clone returns a deep copy.
+// Clone returns a copy. Stored tuples are immutable once inserted, so the
+// clone shares their backing arrays and only copies the relation's own
+// bookkeeping (tuple list, hashes, dedup index).
 func (r *Relation) Clone() *Relation {
-	out := NewRelation(r.schema)
-	for _, t := range r.tuples {
-		out.Add(t.D, t.Row)
+	out := &Relation{
+		schema: r.schema.Clone(),
+		tuples: append([]UTuple(nil), r.tuples...),
+		hashes: append([]uint64(nil), r.hashes...),
+		next:   append([]int32(nil), r.next...),
+		index:  make(map[uint64]int32, len(r.index)),
+		bytes:  r.bytes,
+	}
+	for h, i := range r.index {
+		out.index[h] = i
 	}
 	return out
 }
 
 // Select implements [[σ_φ R]] := σ_φ(U_R): the condition is evaluated on
 // the data columns only, D is untouched.
-func Select(r *Relation, pred expr.Pred) *Relation {
-	out := NewRelation(r.schema)
-	for _, t := range r.tuples {
-		if pred.Holds(expr.Env{Schema: r.schema, Tuple: t.Row}) {
-			out.Add(t.D, t.Row)
-		}
-	}
-	return out
-}
+func Select(r *Relation, pred expr.Pred) *Relation { return seqExec.Select(r, pred) }
 
 // Project implements [[π_B̄ R]] := π_{D,B̄}(U_R), generalized to the
 // paper's arithmetic/renaming targets (ρ with expressions is a special
 // case of projection with targets).
-func Project(r *Relation, targets []expr.Target) *Relation {
-	schema := make(rel.Schema, len(targets))
-	for i, tg := range targets {
-		schema[i] = tg.As
-	}
-	out := NewRelation(rel.NewSchema(schema...))
-	for _, t := range r.tuples {
-		env := expr.Env{Schema: r.schema, Tuple: t.Row}
-		row := make(rel.Tuple, len(targets))
-		for i, tg := range targets {
-			row[i] = tg.Expr.Eval(env)
-		}
-		out.Add(t.D, row)
-	}
-	return out
-}
+func Project(r *Relation, targets []expr.Target) *Relation { return seqExec.Project(r, targets) }
 
 // Product implements [[R × S]]: pairs of tuples with consistent D columns,
 // merging the assignments. Attribute names must be disjoint; callers
 // rename first otherwise.
-func Product(a, b *Relation) (*Relation, error) {
-	for _, attr := range b.schema {
-		if a.schema.Has(attr) {
-			return nil, fmt.Errorf("urel: product schemas share attribute %q; rename first", attr)
-		}
-	}
-	schema := append(a.schema.Clone(), b.schema...)
-	out := NewRelation(rel.NewSchema(schema...))
-	for _, ta := range a.tuples {
-		for _, tb := range b.tuples {
-			d, ok := ta.D.Union(tb.D)
-			if !ok {
-				continue // inconsistent worlds never co-occur
-			}
-			row := append(ta.Row.Clone(), tb.Row...)
-			out.Add(d, row)
-		}
-	}
-	return out, nil
-}
+func Product(a, b *Relation) (*Relation, error) { return seqExec.Product(a, b) }
 
 // Join implements the natural join R ⋈ S: tuples agreeing on common
 // attributes with consistent D columns. The output schema is sch(R)
 // followed by the non-common attributes of S.
-func Join(a, b *Relation) *Relation {
-	common := a.schema.Common(b.schema)
-	var bExtra []string
-	for _, attr := range b.schema {
-		if !a.schema.Has(attr) {
-			bExtra = append(bExtra, attr)
-		}
-	}
-	schema := append(a.schema.Clone(), bExtra...)
-	out := NewRelation(rel.NewSchema(schema...))
-
-	aIdx := make([]int, len(common))
-	bIdx := make([]int, len(common))
-	for i, c := range common {
-		aIdx[i] = a.schema.Index(c)
-		bIdx[i] = b.schema.Index(c)
-	}
-	bExtraIdx := make([]int, len(bExtra))
-	for i, c := range bExtra {
-		bExtraIdx[i] = b.schema.Index(c)
-	}
-
-	// Hash join on the common attributes.
-	buckets := make(map[string][]UTuple)
-	for _, tb := range b.tuples {
-		key := joinKey(tb.Row, bIdx)
-		buckets[key] = append(buckets[key], tb)
-	}
-	for _, ta := range a.tuples {
-		key := joinKey(ta.Row, aIdx)
-		for _, tb := range buckets[key] {
-			d, ok := ta.D.Union(tb.D)
-			if !ok {
-				continue
-			}
-			row := ta.Row.Clone()
-			for _, j := range bExtraIdx {
-				row = append(row, tb.Row[j])
-			}
-			out.Add(d, row)
-		}
-	}
-	return out
-}
-
-func joinKey(row rel.Tuple, idx []int) string {
-	sub := make(rel.Tuple, len(idx))
-	for i, j := range idx {
-		sub[i] = row[j]
-	}
-	return sub.Key()
-}
+func Join(a, b *Relation) *Relation { return seqExec.Join(a, b) }
 
 // Union implements [[R ∪ S]] := U_R ∪ U_S. Schemas must match.
-func Union(a, b *Relation) (*Relation, error) {
-	if !a.schema.Equal(b.schema) {
-		return nil, fmt.Errorf("urel: union schema mismatch %v vs %v", a.schema, b.schema)
-	}
-	out := a.Clone()
-	for _, t := range b.tuples {
-		out.Add(t.D, t.Row)
-	}
-	return out, nil
-}
+func Union(a, b *Relation) (*Relation, error) { return seqExec.Union(a, b) }
 
 // DiffComplete implements −c, difference applied to relations that are
 // complete by c: both inputs must have empty D columns.
-func DiffComplete(a, b *Relation) (*Relation, error) {
-	if !a.IsComplete() || !b.IsComplete() {
-		return nil, fmt.Errorf("urel: -c requires complete relations")
-	}
-	if !a.schema.Equal(b.schema) {
-		return nil, fmt.Errorf("urel: difference schema mismatch %v vs %v", a.schema, b.schema)
-	}
-	drop := make(map[string]bool, len(b.tuples))
-	for _, t := range b.tuples {
-		drop[t.Row.Key()] = true
-	}
-	out := NewRelation(a.schema)
-	for _, t := range a.tuples {
-		if !drop[t.Row.Key()] {
-			out.Add(nil, t.Row)
-		}
-	}
-	return out, nil
-}
+func DiffComplete(a, b *Relation) (*Relation, error) { return seqExec.DiffComplete(a, b) }
 
 // Poss implements poss(R) = π_{sch(R)}(U_R): the set of tuples appearing
 // in at least one world (every D has positive weight by construction).
-func Poss(r *Relation) *rel.Relation {
-	out := rel.NewRelation(r.schema)
-	for _, t := range r.tuples {
-		out.Add(t.Row)
-	}
-	return out
-}
+func Poss(r *Relation) *rel.Relation { return seqExec.Poss(r) }
 
 // TupleConf pairs a possible tuple with its clause set F = {f | ⟨f,t̄⟩ ∈
 // U_R}, from which confidence is computed exactly (dnf.Confidence) or
@@ -267,46 +217,22 @@ type TupleConf struct {
 
 // Lineage groups the relation by data tuple and returns each possible
 // tuple's clause set, in first-appearance order.
-func Lineage(r *Relation) []TupleConf {
-	order := make(map[string]int)
-	var out []TupleConf
-	for _, t := range r.tuples {
-		k := t.Row.Key()
-		if i, ok := order[k]; ok {
-			out[i].F = append(out[i].F, t.D)
-			continue
-		}
-		order[k] = len(out)
-		out = append(out, TupleConf{Row: t.Row.Clone(), F: dnf.F{t.D}})
-	}
-	return out
-}
+func Lineage(r *Relation) []TupleConf { return seqExec.Lineage(r) }
+
+// LineageSeq is the streaming form of Lineage: it yields the groups in the
+// same first-appearance order without handing the caller an owned slice to
+// keep alive. See Exec.LineageSeq.
+func LineageSeq(r *Relation) iter.Seq[TupleConf] { return seqExec.LineageSeq(r) }
 
 // ConfExact implements the conf operation with exact probabilities: the
 // result is a complete relation with schema sch(R) ∪ {pcol}.
 func ConfExact(r *Relation, table *vars.Table, pcol string) (*rel.Relation, error) {
-	if r.schema.Has(pcol) {
-		return nil, fmt.Errorf("urel: conf column %q already in schema %v", pcol, r.schema)
-	}
-	out := rel.NewRelation(rel.NewSchema(append(r.schema.Clone(), pcol)...))
-	for _, tc := range Lineage(r) {
-		p := dnf.Confidence(tc.F, table)
-		out.Add(append(tc.Row.Clone(), rel.Float(p)))
-	}
-	return out, nil
+	return seqExec.ConfExact(r, table, pcol)
 }
 
 // CertExact implements cert(R) = π_{sch(R)}(σ_{P=1}(conf(R))) using exact
 // confidence with a small numeric tolerance.
-func CertExact(r *Relation, table *vars.Table) *rel.Relation {
-	out := rel.NewRelation(r.schema)
-	for _, tc := range Lineage(r) {
-		if dnf.Confidence(tc.F, table) >= 1-1e-12 {
-			out.Add(tc.Row)
-		}
-	}
-	return out
-}
+func CertExact(r *Relation, table *vars.Table) *rel.Relation { return seqExec.CertExact(r, table) }
 
 // RepairKey implements repair-key_Ā@B(R) by the parsimonious translation
 // of Section 3: one fresh random variable per Ā-group (keyed by the key
@@ -321,110 +247,7 @@ func CertExact(r *Relation, table *vars.Table) *rel.Relation {
 // different weights are rejected: the translated W relation would contain
 // two probabilities for one (Var, Dom) pair.
 func RepairKey(r *Relation, key []string, weight string, table *vars.Table, prefix string) (*Relation, error) {
-	keyIdx := make([]int, len(key))
-	for i, a := range key {
-		j := r.schema.Index(a)
-		if j < 0 {
-			return nil, fmt.Errorf("urel: repair-key attribute %q not in schema %v", a, r.schema)
-		}
-		keyIdx[i] = j
-	}
-	wIdx := r.schema.Index(weight)
-	if wIdx < 0 {
-		return nil, fmt.Errorf("urel: repair-key weight %q not in schema %v", weight, r.schema)
-	}
-	// Residual attributes: (sch(R) − Ā) − B, the Dom of the fresh variable.
-	var resIdx []int
-	for j := range r.schema {
-		if j == wIdx {
-			continue
-		}
-		isKey := false
-		for _, k := range keyIdx {
-			if j == k {
-				isKey = true
-				break
-			}
-		}
-		if !isKey {
-			resIdx = append(resIdx, j)
-		}
-	}
-
-	type alt struct {
-		weight float64
-		name   string
-	}
-	type group struct {
-		key     string
-		display string
-		alts    []alt
-		altIdx  map[string]int
-		total   float64
-	}
-	groups := make(map[string]*group)
-	var orderedGroups []*group
-	// tupleAlt[i] is the alternative index of input tuple i in its group.
-	tupleAlt := make([]int, len(r.tuples))
-	tupleGroup := make([]*group, len(r.tuples))
-
-	for i, t := range r.tuples {
-		gk := joinKey(t.Row, keyIdx)
-		g, ok := groups[gk]
-		if !ok {
-			g = &group{key: gk, display: displayKey(t.Row, keyIdx), altIdx: make(map[string]int)}
-			groups[gk] = g
-			orderedGroups = append(orderedGroups, g)
-		}
-		w := t.Row[wIdx]
-		if !w.IsNumeric() || w.AsFloat() <= 0 {
-			return nil, fmt.Errorf("urel: repair-key weight %v is not a positive number", w)
-		}
-		rk := joinKey(t.Row, resIdx)
-		if ai, ok := g.altIdx[rk]; ok {
-			if g.alts[ai].weight != w.AsFloat() {
-				return nil, fmt.Errorf("urel: repair-key group %s has conflicting weights for one alternative", g.display)
-			}
-			tupleAlt[i] = ai
-		} else {
-			ai := len(g.alts)
-			g.altIdx[rk] = ai
-			g.alts = append(g.alts, alt{weight: w.AsFloat(), name: displayKey(t.Row, resIdx)})
-			tupleAlt[i] = ai
-		}
-		tupleGroup[i] = g
-	}
-	for _, g := range orderedGroups {
-		g.total = 0
-		for _, a := range g.alts {
-			g.total += a.weight
-		}
-	}
-
-	// Register one fresh variable per group.
-	groupVar := make(map[string]vars.Var, len(orderedGroups))
-	for _, g := range orderedGroups {
-		probs := make([]float64, len(g.alts))
-		names := make([]string, len(g.alts))
-		for i, a := range g.alts {
-			probs[i] = a.weight / g.total
-			names[i] = a.name
-		}
-		name := prefix
-		if g.display != "" {
-			name = prefix + "[" + g.display + "]"
-		}
-		groupVar[g.key] = table.Add(name, probs, names)
-	}
-
-	out := NewRelation(r.schema)
-	for i, t := range r.tuples {
-		g := tupleGroup[i]
-		v := groupVar[g.key]
-		d := t.D.With(v, int32(tupleAlt[i]))
-		out.Add(d, t.Row)
-	}
-	return out, nil
+	return seqExec.RepairKey(r, key, weight, table, prefix)
 }
 
 func displayKey(row rel.Tuple, idx []int) string {

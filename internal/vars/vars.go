@@ -14,6 +14,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/rel"
 )
 
 // Var identifies a random variable in a Table.
@@ -282,6 +284,33 @@ func (a Assignment) Vars(dst []Var) []Var {
 		dst = append(dst, b.Var)
 	}
 	return dst
+}
+
+// Hash returns a 64-bit hash of the assignment, consistent with Equal:
+// equal binding lists hash identically. Hot-path grouping and dedup key on
+// it instead of the allocating Key() string. It folds bindings with the
+// same combination primitive as the tuple hashes (rel.HashCombine), so
+// composite pair hashes mix one hash family.
+func (a Assignment) Hash() uint64 {
+	h := rel.HashSeed
+	for _, b := range a {
+		h = rel.HashCombine(h, uint64(uint32(b.Var))<<32|uint64(uint32(b.Alt)))
+	}
+	return h
+}
+
+// Equal reports whether two assignments bind the same variables to the
+// same alternatives (both are sorted by variable, so this is positional).
+func (a Assignment) Equal(b Assignment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Key returns a canonical encoding for use as a map key.

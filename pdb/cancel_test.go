@@ -3,6 +3,7 @@ package pdb
 import (
 	"context"
 	"errors"
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
@@ -132,7 +133,7 @@ func TestEvalAfterCancelBitIdentical(t *testing.T) {
 		t.Errorf("post-cancel run differs from fresh run:\n%s\nvs\n%s",
 			fingerprint(after), fingerprint(fresh))
 	}
-	if after.Stats() != fresh.Stats() {
+	if !reflect.DeepEqual(after.Stats(), fresh.Stats()) {
 		t.Errorf("post-cancel stats differ: %+v vs %+v", after.Stats(), fresh.Stats())
 	}
 }

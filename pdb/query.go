@@ -72,11 +72,22 @@ func (q *Query) Eval(ctx context.Context, opts ...Option) (*Result, error) {
 // EvalExact evaluates the query with exact confidence computation (#P in
 // general — use Eval for large lineages). The context is checked between
 // plan operators.
-func (q *Query) EvalExact(ctx context.Context) (*Result, error) {
+//
+// Exact evaluation honours WithWorkers — partitioned operators, exact
+// per-tuple confidence computations, and independent plan branches run
+// across the worker pool, with results bit-identical for any worker
+// count — and reports per-operator work in Result.Stats().Ops. Accuracy
+// and sampling options (ε, δ, seed, rounds, resume) do not apply to the
+// exact path and are validated but otherwise ignored.
+func (q *Query) EvalExact(ctx context.Context, opts ...Option) (*Result, error) {
+	copts, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	res, err := core.NewEngine(q.db.udb, defaultOptions()).EvalExactContext(ctx, q.plan)
+	res, err := core.NewEngine(q.db.udb, copts).EvalExactContext(ctx, q.plan)
 	if err != nil {
 		return nil, err
 	}

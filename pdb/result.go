@@ -9,9 +9,23 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/core"
 	"repro/internal/rel"
+	"repro/internal/urel"
 )
 
-// Stats reports the work an approximate evaluation did.
+// OpStats reports one relational operator's aggregate work across an
+// evaluation: how many times it ran, how many tuples it consumed and
+// produced, and an estimate of the bytes materialized for its outputs
+// (value and condition payloads plus per-tuple bookkeeping — an estimate
+// of working-set size, not an allocator measurement).
+type OpStats struct {
+	Calls     int64
+	TuplesIn  int64
+	TuplesOut int64
+	Bytes     int64
+}
+
+// Stats reports the work an evaluation did. For approximate evaluation all
+// fields are populated; exact evaluation fills only Ops.
 type Stats struct {
 	// FinalRounds is the round budget l the doubling loop stopped at.
 	FinalRounds int64
@@ -27,6 +41,12 @@ type Stats struct {
 	// SingularDrops counts negative σ̂ decisions flagged as potential
 	// ε₀-singularities (their absence is not covered by the δ guarantee).
 	SingularDrops int
+	// Ops maps operator names (join, product, select, project, union,
+	// diffc, repairkey, lineage, conf, cert, poss) to their aggregate
+	// work, summed over every pass of the evaluation. It makes operator
+	// throughput — and the effect of WithWorkers on the exact-algebra
+	// path — observable from the public API.
+	Ops map[string]OpStats
 }
 
 // Result is the outcome of one evaluation: a deterministic ordered set of
@@ -48,6 +68,19 @@ type Row struct {
 	singular bool
 }
 
+// opStatsFrom converts the engine's operator statistics to the public
+// mirror type.
+func opStatsFrom(m urel.StatsMap) map[string]OpStats {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]OpStats, len(m))
+	for op, s := range m {
+		out[op] = OpStats{Calls: s.Calls, TuplesIn: s.TuplesIn, TuplesOut: s.TuplesOut, Bytes: s.Bytes}
+	}
+	return out
+}
+
 func newApproxResult(r *core.Result) *Result {
 	out := &Result{cols: append([]string(nil), r.Rel.Schema()...), complete: r.Complete}
 	out.stats = Stats{
@@ -57,6 +90,7 @@ func newApproxResult(r *core.Result) *Result {
 		ReusedTrials:  r.Stats.ReusedTrials,
 		Decisions:     r.Stats.Decisions,
 		SingularDrops: r.Stats.SingularDrops,
+		Ops:           opStatsFrom(r.Stats.Ops),
 	}
 	for _, ut := range r.Rel.Tuples() {
 		out.rows = append(out.rows, Row{
@@ -73,6 +107,7 @@ func newApproxResult(r *core.Result) *Result {
 
 func newExactResult(r algebra.URelResult) *Result {
 	out := &Result{cols: append([]string(nil), r.Rel.Schema()...), complete: r.Complete}
+	out.stats = Stats{Ops: opStatsFrom(r.Ops)}
 	for _, ut := range r.Rel.Tuples() {
 		out.rows = append(out.rows, Row{res: out, vals: ut.Row, cond: ut.D.Key()})
 	}
