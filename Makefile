@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fuzz vet fmt-check docs-check examples ci
+.PHONY: build test race bench fuzz vet fmt-check docs-check examples service-smoke ci
 
 build:
 	$(GO) build ./...
@@ -17,15 +17,21 @@ test:
 examples:
 	$(GO) build ./examples/...
 	@set -e; for d in examples/*/; do \
+		[ -f "$$d/main.go" ] || continue; \
 		echo "== running $$d"; \
 		$(GO) run ./$$d > /dev/null; \
 	done
 
-# Race-check the packages with real concurrency (the scheduler, the
-# mergeable estimator, and the parallel engine) plus everything they
-# feed, and the public facade's cancellation paths.
+# Race-check everything: the scheduler, the mergeable estimator, the
+# parallel engine, the shared cross-query engine cache, and the HTTP
+# service (whose tests hammer one engine from many goroutines).
 race:
-	$(GO) test -race ./internal/... ./pdb
+	$(GO) test -race ./...
+
+# Build pdbserve, boot it on the examples/ data, and drive it end to end
+# with curl (JSON rows, cache reuse, limit errors, graceful shutdown).
+service-smoke:
+	./scripts/service-smoke.sh
 
 # One pass over every benchmark — the trajectory baseline CI uploads as an
 # artifact; not a statistically stable measurement. -benchmem puts B/op
@@ -52,4 +58,4 @@ docs-check:
 		echo "packages missing a godoc package comment:"; \
 		echo "$$missing"; exit 1; fi
 
-ci: vet fmt-check docs-check build test race fuzz examples
+ci: vet fmt-check docs-check build test race fuzz examples service-smoke

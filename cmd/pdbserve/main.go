@@ -1,0 +1,132 @@
+// Command pdbserve runs the probabilistic-database query service: an HTTP
+// front-end (see internal/server) over one long-lived pdb.Engine, so all
+// clients share a content-keyed Karp–Luby cache and repeated queries
+// resume each other's estimation work.
+//
+// Relations are loaded from CSV files (header row first), either
+// explicitly or from a directory:
+//
+//	pdbserve -table people=data/people.csv -table obs=data/obs.csv
+//	pdbserve -datadir examples/data            # every *.csv, named by stem
+//
+// Query it:
+//
+//	curl -s localhost:8080/v1/query -d '{"program":"conf (repairkey[id @ w](obs));"}'
+//	curl -s localhost:8080/v1/stats
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get a drain window, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/pdb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pdbserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("pdbserve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	datadir := fs.String("datadir", "", "load every *.csv in this directory as a relation named by its file stem")
+	cacheSize := fs.Int("cache", 4096, "engine estimator-cache entries (LRU beyond)")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request evaluation timeout (0 disables)")
+	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "upper bound on client-requested timeouts (0 disables)")
+	maxTrials := fs.Int64("max-trials", 0, "per-request sampled-trials cap (0 disables)")
+	maxMemory := fs.Int64("max-memory", 0, "per-request materialized-bytes cap (0 disables)")
+	maxWorkers := fs.Int("max-workers", 0, "cap on client-requested workers (0 = GOMAXPROCS, negative disables)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	tables := map[string]string{}
+	fs.Func("table", "relation as name=path.csv (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("-table wants name=path, got %q", v)
+		}
+		tables[name] = path
+		return nil
+	})
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+
+	if *datadir != "" {
+		matches, err := filepath.Glob(filepath.Join(*datadir, "*.csv"))
+		if err != nil {
+			return err
+		}
+		for _, m := range matches {
+			name := strings.TrimSuffix(filepath.Base(m), ".csv")
+			if _, dup := tables[name]; !dup {
+				tables[name] = m
+			}
+		}
+	}
+	if len(tables) == 0 {
+		return errors.New("no relations: pass -table name=path.csv and/or -datadir dir")
+	}
+
+	logger := log.New(os.Stderr, "pdbserve: ", log.LstdFlags)
+	db, err := pdb.Open(tables)
+	if err != nil {
+		return err
+	}
+	eng, err := db.Engine(pdb.WithEngineCacheSize(*cacheSize))
+	if err != nil {
+		return err
+	}
+	handler, err := server.New(server.Config{
+		Engine:         eng,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxTrials:      *maxTrials,
+		MaxMemory:      *maxMemory,
+		MaxWorkers:     *maxWorkers,
+		Logger:         logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("serving %d relation(s) %v on %s", len(tables), db.Relations(), *addr)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down (drain %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	logger.Printf("bye")
+	return nil
+}

@@ -1,0 +1,137 @@
+// Serviceclient: a minimal HTTP client for the pdbserve query service.
+//
+// It speaks the service's wire protocol — POST /v1/query with a JSON
+// request, an NDJSON response streamed back (schema header, one object per
+// row with its error bound, a stats trailer), and GET /v1/stats for the
+// engine's cache effectiveness. To stay runnable without orchestration,
+// the example boots the same handler pdbserve serves in-process on a
+// loopback listener; point baseURL at a real `pdbserve -datadir
+// examples/data` instead and the client code is unchanged.
+//
+// Run with: go run ./examples/serviceclient
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/server"
+	"repro/pdb"
+)
+
+// query is the service's request body (the subset this client uses).
+type query struct {
+	Program string `json:"program"`
+	Seed    int64  `json:"seed,omitempty"`
+	// Per-request guard rails: the service aborts with a typed error
+	// instead of letting one query monopolize the engine.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	MaxTrials int64 `json:"max_trials,omitempty"`
+}
+
+func main() {
+	baseURL := startInProcessService()
+
+	// The posterior probability that each sensor reads ≥ 21 degrees,
+	// with the sensor's reading drawn from its weighted alternatives.
+	program := `conf as P (project[sensor](select[temp >= 21](repairkey[sensor @ w](sensors))));`
+
+	fmt.Println("First request (cold cache):")
+	ask(baseURL, query{Program: program, Seed: 42, TimeoutMS: 10000})
+
+	fmt.Println("\nSecond request (same program — served from the engine's content-keyed cache):")
+	ask(baseURL, query{Program: program, Seed: 42, TimeoutMS: 10000})
+
+	var stats struct {
+		Engine struct {
+			Evals        int64 `json:"evals"`
+			ReusedTrials int64 `json:"reused_trials"`
+			CacheHits    int64 `json:"cache_hits"`
+			CacheEntries int   `json:"cache_entries"`
+		} `json:"engine"`
+	}
+	resp, err := http.Get(baseURL + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nEngine after two requests: %d evals, %d cached tasks, %d hits, %d trials reused\n",
+		stats.Engine.Evals, stats.Engine.CacheEntries, stats.Engine.CacheHits, stats.Engine.ReusedTrials)
+}
+
+// ask posts one query and prints the streamed NDJSON result as it
+// arrives.
+func ask(baseURL string, q query) {
+	body, err := json.Marshal(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/query", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct{ Error, Kind string }
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("query failed (%d, %s): %s", resp.StatusCode, e.Kind, e.Error)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var msg struct {
+			Columns []string       `json:"columns"`
+			Row     map[string]any `json:"row"`
+			Bound   float64        `json:"error_bound"`
+			Stats   *struct {
+				Sampled int64 `json:"sampled_trials"`
+				Reused  int64 `json:"reused_trials"`
+				Hits    int64 `json:"cache_hits"`
+			} `json:"stats"`
+		}
+		if err := json.Unmarshal(line, &msg); err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case msg.Columns != nil:
+			fmt.Printf("  columns: %v\n", msg.Columns)
+		case msg.Stats != nil:
+			fmt.Printf("  stats: sampled=%d reused=%d cache-hits=%d\n",
+				msg.Stats.Sampled, msg.Stats.Reused, msg.Stats.Hits)
+		default:
+			fmt.Printf("  %v=%.4f (±err ≤ %.4g)\n", msg.Row["sensor"], msg.Row["P"], msg.Bound)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// startInProcessService boots the pdbserve handler on a loopback listener
+// — a stand-in for a separately-running `pdbserve -datadir examples/data`.
+func startInProcessService() string {
+	db, err := pdb.Open(map[string]string{
+		"sensors": "examples/data/sensors.csv",
+		"rooms":   "examples/data/rooms.csv",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := db.Engine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := server.New(server.Config{Engine: eng})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return httptest.NewServer(h).URL
+}

@@ -47,6 +47,9 @@ type URelEvaluator struct {
 	// ctx, when non-nil, is checked at every operator so a cancelled
 	// evaluation aborts between nodes with ctx.Err().
 	ctx context.Context
+	// mem, when non-nil, bounds the evaluation's materialized bytes (see
+	// WithBudget); checked next to ctx at every operator.
+	mem *urel.MemBudget
 }
 
 // NewURelEvaluator clones db and returns a sequential evaluator over the
@@ -76,6 +79,16 @@ func NewParallelURelEvaluator(db *urel.Database, pool *sched.Pool) *URelEvaluato
 // grow its variable table.
 func (e *URelEvaluator) DB() *urel.Database { return e.db }
 
+// WithBudget bounds the evaluation's materialized bytes: every operator
+// charges its output's estimated footprint, the partitioned blow-up
+// operators stop producing mid-range once the budget trips, and the
+// evaluation aborts with a *urel.MemLimitError at the next operator
+// boundary. Returns e for chaining; a nil budget disables the checks.
+func (e *URelEvaluator) WithBudget(b *urel.MemBudget) *URelEvaluator {
+	e.mem = b
+	return e
+}
+
 // Eval evaluates the query and returns the result relation.
 func (e *URelEvaluator) Eval(q Query) (URelResult, error) {
 	return e.EvalContext(context.Background(), q)
@@ -93,7 +106,7 @@ func (e *URelEvaluator) EvalContext(ctx context.Context, q Query) (URelResult, e
 	// Fresh statistics per evaluation, so URelResult.Ops reports this
 	// call's work even when the evaluator is reused for several queries.
 	e.ctrs = urel.NewCounters()
-	e.exec = urel.NewExec(e.pool, e.ctrs)
+	e.exec = urel.NewExec(e.pool, e.ctrs).WithBudget(e.mem)
 	e.ctx = ctx
 	res, err := e.eval(q)
 	if err != nil {
@@ -103,12 +116,27 @@ func (e *URelEvaluator) EvalContext(ctx context.Context, q Query) (URelResult, e
 	return res, nil
 }
 
+// eval evaluates one plan node, bracketing it with the cooperative
+// checks: cancellation before the node runs, and the memory limit after —
+// a budget tripped mid-operator must surface before the parent operator
+// (an exact conf's #P computation, say) consumes the partial output.
 func (e *URelEvaluator) eval(q Query) (URelResult, error) {
 	if e.ctx != nil {
 		if err := e.ctx.Err(); err != nil {
 			return URelResult{}, err
 		}
 	}
+	res, err := e.evalNode(q)
+	if err != nil {
+		return URelResult{}, err
+	}
+	if err := e.mem.Err(); err != nil {
+		return URelResult{}, err
+	}
+	return res, nil
+}
+
+func (e *URelEvaluator) evalNode(q Query) (URelResult, error) {
 	switch n := q.(type) {
 	case Base:
 		r, ok := e.db.Rels[n.Name]

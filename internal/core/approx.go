@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"strconv"
 
 	"repro/internal/algebra"
 	"repro/internal/expr"
@@ -25,12 +24,13 @@ func (run *evalRun) approxConf(in *evalResult, pcol string) (*evalResult, error)
 		return nil, fmt.Errorf("core: conf column %q already in schema %v", pcol, in.rel.Schema())
 	}
 	eps, delta := run.engine.opts.confEps(), run.engine.opts.confDelta()
-	run.confOps++
-	keyPrefix := "conf:" + strconv.Itoa(run.confOps) + ":"
 	// Stream the lineage groups: one pass builds the estimation jobs and
 	// keeps only (row, value) per distinct tuple — the clause sets flow
 	// straight into the estimators instead of surviving in a second
-	// materialized []TupleConf.
+	// materialized []TupleConf. Jobs are keyed by lineage content, so
+	// tuples sharing a clause set — within this operator, elsewhere in the
+	// plan, or in an earlier query against a shared engine cache — share
+	// one estimation.
 	type rowConf struct {
 		row rel.Tuple
 		cv  *confValue
@@ -38,12 +38,13 @@ func (run *evalRun) approxConf(in *evalResult, pcol string) (*evalResult, error)
 	var tuples []rowConf
 	var jobs []*estimateJob
 	var jobErr error
+	run.batch = make(map[contentKey]*estimateJob)
 	budget := func(clauses int) int64 { return karpluby.TrialsFor(eps, delta, clauses) }
 	for tc := range run.exec.LineageSeq(in.rel) {
 		// The singleton shortcut is always on here: a single clause's
 		// weight is its exact probability (the estimator would return it
 		// deterministically anyway).
-		cv, job, err := run.newJob(tc.F, keyPrefix+tc.Row.Key(), budget, true)
+		cv, job, err := run.newJob(tc.F, budget, true)
 		if err != nil {
 			jobErr = err
 			break
@@ -112,10 +113,11 @@ func (cv *confValue) delta(eps float64) float64 {
 // membership error of an emitted tuple is bounded per Lemma 6.4(2) by
 // Σᵢ δᵢ(ε) plus the provenance error of the conf inputs.
 func (run *evalRun) approxSelect(in *evalResult, n algebra.ApproxSelect) (*evalResult, error) {
-	run.shatOps++
-	keyPrefix := "shat:" + strconv.Itoa(run.shatOps) + ":"
 	roundBudget := func(clauses int) int64 { return run.rounds * int64(clauses) }
 	var jobs []*estimateJob
+	// One batch spans every argument: content-equal lineages across (and
+	// within) arguments share a single estimation job.
+	run.batch = make(map[contentKey]*estimateJob)
 	// Build each argument's projected lineage with provenance errors.
 	argTuples := make([][]argTuple, len(n.Args))
 	argSchemas := make([]rel.Schema, len(n.Args))
@@ -160,7 +162,7 @@ func (run *evalRun) approxSelect(in *evalResult, n algebra.ApproxSelect) (*evalR
 			// run.rounds rounds of |F| trials each. NoSingletonShortcut
 			// forces even single-clause lineages through the estimator
 			// (ablation knob).
-			cv, job, err := run.newJob(tc.F, keyPrefix+strconv.Itoa(i)+":"+tc.Row.Key(),
+			cv, job, err := run.newJob(tc.F,
 				roundBudget, !run.engine.opts.NoSingletonShortcut)
 			if err != nil {
 				jobErr = err

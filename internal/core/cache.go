@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/list"
 	"math/rand"
 	"sync"
 
@@ -8,45 +9,67 @@ import (
 	"repro/internal/sched"
 )
 
-// estimatorCache carries Karp–Luby estimator state across the restarts of
-// one EvalApprox doubling loop. Entries are keyed by the stable task key
-// (operator evaluation index + lineage row key), which PR 1's determinism
-// contract makes identical from restart to restart: the exact algebra is
-// deterministic, so a task key always names the same clause set, the same
-// task seed, and the same chunk plan family.
+// Cache carries Karp–Luby estimator state across evaluations. Entries are
+// keyed by lineage-content fingerprints (see content.go), which are
+// identical wherever the same canonical clause set is estimated: across
+// the restarts of one doubling loop, across successive EvalApprox calls on
+// a long-lived engine, and across different queries that share lineage.
 //
 // Two reuse modes fall out of the prefix-compatible chunk plans
 // (sched.Chunks):
 //
-//   - exact replay — the cached entry covers exactly the requested budget
-//     (conf operators re-evaluated on a restart re-request the same (ε,δ)
-//     budget): the snapshot IS the final count, nothing is sampled.
-//   - prefix resume — the requested budget grew (σ̂'s round budget
-//     doubles each restart): the snapshot's full-chunk prefix seeds the
-//     estimator and only the delta chunks are sampled.
+//   - exact replay — the cached entry covers exactly the requested budget:
+//     the snapshot IS the final count, nothing is sampled.
+//   - prefix resume — the requested budget grew: the snapshot's full-chunk
+//     prefix seeds the estimator and only the delta chunks are sampled.
 //
 // Full-size chunks enter the resumable prefix unconditionally. A budget's
 // trailing partial chunk samples a strict prefix of its chunk stream;
 // under a larger budget that same chunk index draws more trials from the
 // same stream. Its counts are carried over together with the live PRNG
-// that sampled them (karpluby.State's Partial fields): the next restart
+// that sampled them (karpluby.State's Partial fields): the next run
 // completes the chunk by continuing the saved stream from exactly where
-// it stopped, so no trial of a previous restart is ever re-sampled and
-// the merged counts stay bit-identical to a from-scratch run.
+// it stopped, so no cached trial is ever re-sampled and the merged counts
+// stay bit-identical to a from-scratch run.
 //
-// The cache is written concurrently by pool workers (the worker that
-// merges a task's last chunk publishes the task's new state) and read
-// sequentially during plan construction, so all access goes through a
-// mutex.
-type estimatorCache struct {
-	mu sync.Mutex
-	m  map[string]estCacheEntry
+// Entries are keyed by (content, engine seed): counts sampled under one
+// seed scheme are useless to another, and clients of a shared engine may
+// pick different seeds without evicting each other's snapshots. Guard
+// fields (clause count, chunk size, seed) are additionally cross-checked
+// on every hit: a fingerprint collision must degrade to a miss, never
+// corrupt an estimate.
+//
+// The cache is size-bounded: with maxEntries > 0, least-recently-used
+// entries are evicted once the bound is exceeded. Eviction only ever costs
+// future reuse — a missing entry means sampling from scratch, which is
+// always correct.
+//
+// A Cache is safe for concurrent use: it is written by pool workers (the
+// worker that merges a task's last chunk publishes the task's new state),
+// read during plan construction, and — when owned by a long-lived engine —
+// shared by any number of concurrent evaluations.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	m          map[cacheKey]*list.Element
+	lru        list.List // front = most recently used
+
+	hits, misses, evictions int64
 }
 
-// estCacheEntry is one task's cached estimation state.
-type estCacheEntry struct {
-	clauses   int   // |F| after dedup — sanity check for key stability
+// cacheKey is the cache's map key: the lineage-content fingerprint plus
+// the engine seed the counts were sampled under.
+type cacheKey struct {
+	content contentKey
+	seed    int64
+}
+
+// cacheEntry is one task's cached estimation state.
+type cacheEntry struct {
+	key       cacheKey
+	clauses   int   // |F| after dedup — guard against fingerprint collisions
 	chunkSize int64 // chunk plan granularity (chunkTrials(clauses))
+	seed      int64 // engine seed the counts were sampled under
 
 	// Full coverage of the last completed budget: hits over exactly
 	// total trials.
@@ -66,15 +89,33 @@ type estCacheEntry struct {
 	partialRNG    *rand.Rand
 }
 
-func newEstimatorCache() *estimatorCache {
-	return &estimatorCache{m: map[string]estCacheEntry{}}
+// NewCache returns an empty estimator cache holding at most maxEntries
+// tasks (maxEntries <= 0 means unbounded — the per-call configuration,
+// where the cache lives only as long as one doubling loop).
+func NewCache(maxEntries int) *Cache {
+	return &Cache{maxEntries: maxEntries, m: make(map[cacheKey]*list.Element)}
+}
+
+// CacheStats is a point-in-time snapshot of a cache's effectiveness.
+type CacheStats struct {
+	Entries   int
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Stats returns the cache's current statistics.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: len(c.m), Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
 }
 
 // lookup returns a resumable snapshot for the task, if one exists, along
 // with how many trials of the requested budget it already covers. The
-// clause count and chunk size must match the cached entry exactly — a
-// mismatch means the task key is not stable (a bug elsewhere), and the
-// cache refuses rather than corrupt the estimate.
+// guard fields (clause count, chunk size, seed) must match the cached
+// entry exactly — a mismatch means a fingerprint collision or a different
+// sampling scheme, and the cache refuses rather than corrupt the estimate.
 //
 // A mid-chunk tail is handed out with *ownership*: the entry's partial
 // fields are cleared under the lock, because the scheduler will advance
@@ -83,16 +124,33 @@ func newEstimatorCache() *estimatorCache {
 // full-chunk prefix — still valid — rather than silently pairing stale
 // partial counts with an advanced PRNG. (The normal path re-stores the
 // new tail when the job's last chunk merges.)
-func (c *estimatorCache) lookup(key string, clauses int, chunkSize, total int64) (karpluby.State, bool) {
+func (c *Cache) lookup(key contentKey, clauses int, chunkSize, total, seed int64) (karpluby.State, bool) {
 	c.mu.Lock()
-	e, ok := c.m[key]
-	if ok && e.partialRNG != nil && e.total != total {
-		cleared := e
-		cleared.partialHits, cleared.partialTrials, cleared.partialRNG = 0, 0, nil
-		c.m[key] = cleared
+	var st karpluby.State
+	var ok bool
+	if el, found := c.m[cacheKey{content: key, seed: seed}]; found {
+		e := el.Value.(*cacheEntry)
+		st, ok = resumeState(*e, clauses, chunkSize, total, seed)
+		if st.PartialRNG != nil {
+			// The tail leaves with this caller (who will advance the PRNG
+			// in place); refused or tail-less lookups leave the entry —
+			// and its resumable tail — untouched.
+			e.partialHits, e.partialTrials, e.partialRNG = 0, 0, nil
+		}
+		c.lru.MoveToFront(el)
+	}
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
 	}
 	c.mu.Unlock()
-	if !ok || e.clauses != clauses || e.chunkSize != chunkSize {
+	return st, ok
+}
+
+// resumeState classifies a cached entry against a requested budget.
+func resumeState(e cacheEntry, clauses int, chunkSize, total, seed int64) (karpluby.State, bool) {
+	if e.clauses != clauses || e.chunkSize != chunkSize || e.seed != seed {
 		return karpluby.State{}, false
 	}
 	if e.total == total {
@@ -106,8 +164,10 @@ func (c *estimatorCache) lookup(key string, clauses int, chunkSize, total int64)
 	covered := int64(e.fullChunks) * chunkSize
 	if covered+e.partialTrials > total {
 		// The cached budget overlaps the requested plan's trailing partial
-		// chunk beyond its end — cannot happen for the doubling loop's
-		// growing budgets; refuse rather than mis-resume.
+		// chunk beyond its end (the cached budget is larger and not
+		// chunk-aligned against the request): a bit-identical resume is
+		// impossible without per-chunk counts; refuse rather than
+		// mis-resume.
 		return karpluby.State{}, false
 	}
 	if e.fullChunks == 0 && e.partialRNG == nil {
@@ -134,29 +194,49 @@ func (c *estimatorCache) lookup(key string, clauses int, chunkSize, total int64)
 // subtracting the partial counts yields the full-chunk prefix, and the
 // PRNG lets the next, larger budget continue the partial chunk mid-stream.
 // Entries only ever grow: a stale store (smaller budget than what is
-// cached) is dropped, which keeps the cache monotone even if callers race.
-func (c *estimatorCache) store(key string, clauses int, chunkSize, total, hits, partialHits, partialTrials int64, partialRNG *rand.Rand) {
-	full := sched.FullChunks(total, chunkSize)
-	entry := estCacheEntry{
+// cached) is dropped, which keeps the cache monotone even if callers
+// race. (Stores under different engine seeds land in different entries —
+// the seed is part of the map key.)
+func (c *Cache) store(key contentKey, clauses int, chunkSize, total, hits, partialHits, partialTrials int64, partialRNG *rand.Rand, seed int64) {
+	mk := cacheKey{content: key, seed: seed}
+	entry := &cacheEntry{
+		key:           mk,
 		clauses:       clauses,
 		chunkSize:     chunkSize,
+		seed:          seed,
 		total:         total,
 		hits:          hits,
-		fullChunks:    full,
+		fullChunks:    sched.FullChunks(total, chunkSize),
 		fullHits:      hits - partialHits,
 		partialHits:   partialHits,
 		partialTrials: partialTrials,
 		partialRNG:    partialRNG,
 	}
 	c.mu.Lock()
-	if prev, ok := c.m[key]; !ok || prev.total < total {
-		c.m[key] = entry
+	if el, ok := c.m[mk]; ok {
+		prev := el.Value.(*cacheEntry)
+		if prev.total >= total {
+			// Stale: a larger budget is already cached.
+			c.lru.MoveToFront(el)
+			c.mu.Unlock()
+			return
+		}
+		el.Value = entry
+		c.lru.MoveToFront(el)
+	} else {
+		c.m[mk] = c.lru.PushFront(entry)
+		for c.maxEntries > 0 && len(c.m) > c.maxEntries {
+			back := c.lru.Back()
+			delete(c.m, back.Value.(*cacheEntry).key)
+			c.lru.Remove(back)
+			c.evictions++
+		}
 	}
 	c.mu.Unlock()
 }
 
 // len reports the number of cached tasks (test hook).
-func (c *estimatorCache) len() int {
+func (c *Cache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)

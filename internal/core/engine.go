@@ -14,6 +14,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -64,6 +65,21 @@ type Options struct {
 	// Set NoResume to force every restart to sample from scratch
 	// (ablation / paper-literal mode).
 	NoResume bool
+	// MaxTrials caps the number of Karp–Luby trials one evaluation may
+	// sample, cumulatively across every pass of the doubling loop. The
+	// check is cooperative (pool workers charge each chunk before
+	// sampling it), so an evaluation overshoots by at most the in-flight
+	// chunks. 0 disables the limit. Exceeding it aborts the evaluation
+	// with a *LimitError; trials replayed from estimator snapshots are
+	// free — they were paid for when first sampled.
+	MaxTrials int64
+	// MaxMemory caps the evaluation's estimated bytes materialized by the
+	// exact-algebra operators (the same running estimate Stats.Ops
+	// reports), cumulatively across passes. Enforcement is cooperative:
+	// the partitioned blow-up operators stop producing mid-range once the
+	// budget trips, and the evaluation aborts with a *LimitError at the
+	// next operator boundary. 0 disables the limit.
+	MaxMemory int64
 	// NoSingletonShortcut disables the optimization that treats
 	// single-clause lineages as exact values (δᵢ = 0) in σ̂ decisions:
 	// with it set, every σ̂ confidence goes through the Karp–Luby
@@ -131,6 +147,12 @@ func (o Options) Validate() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("core: Workers must not be negative, got %d", o.Workers)
 	}
+	if o.MaxTrials < 0 {
+		return fmt.Errorf("core: MaxTrials must not be negative, got %d", o.MaxTrials)
+	}
+	if o.MaxMemory < 0 {
+		return fmt.Errorf("core: MaxMemory must not be negative, got %d", o.MaxMemory)
+	}
 	return nil
 }
 
@@ -160,10 +182,17 @@ type Stats struct {
 	// false) this excludes trials replayed from estimator snapshots.
 	EstimatorTrials int64
 	// ReusedTrials is the total number of trials whose counts were
-	// carried over from a previous restart's estimator snapshots instead
-	// of being re-sampled. Zero when Options.NoResume is set (or when no
-	// restart happened).
+	// carried over from estimator snapshots instead of being re-sampled —
+	// snapshots of a previous restart of this evaluation, or, on an
+	// engine with a shared cache, of any earlier evaluation that
+	// estimated the same lineage content. Zero when Options.NoResume is
+	// set (or when nothing was reusable).
 	ReusedTrials int64
+	// CacheHits is the number of estimation tasks that resumed from a
+	// cached snapshot (each hit contributes its snapshot's trials to
+	// ReusedTrials). With a shared engine cache this counts cross-query
+	// reuse as well as cross-restart reuse.
+	CacheHits int64
 	// Decisions is the number of σ̂ predicate decisions taken in the
 	// final evaluation.
 	Decisions int
@@ -224,6 +253,9 @@ type Engine struct {
 	db   *urel.Database
 	opts Options
 	pool *sched.Pool
+	// shared, when non-nil, is an estimator cache that outlives this
+	// engine's evaluations (see SetCache).
+	shared *Cache
 }
 
 // NewEngine builds an engine over db. The database is cloned per
@@ -231,6 +263,14 @@ type Engine struct {
 func NewEngine(db *urel.Database, opts Options) *Engine {
 	return &Engine{db: db, opts: opts, pool: sched.New(opts.Workers)}
 }
+
+// SetCache attaches a long-lived estimator cache: EvalApprox resumes
+// Karp–Luby state from it and publishes new state to it, so estimation
+// work survives across Eval calls — and across engines sharing the cache —
+// for any tasks with equal lineage content under one seed. The cache may
+// be shared by concurrent evaluations. A nil cache (the default) restores
+// the per-call cache that lives only for one doubling loop.
+func (e *Engine) SetCache(c *Cache) { e.shared = c }
 
 // DB returns the engine's database.
 func (e *Engine) DB() *urel.Database { return e.db }
@@ -241,13 +281,23 @@ func (e *Engine) DB() *urel.Database { return e.db }
 // branches — across the engine's worker pool (Options.Workers); results
 // are bit-identical for any worker count.
 func (e *Engine) EvalExact(q algebra.Query) (algebra.URelResult, error) {
-	return algebra.NewParallelURelEvaluator(e.db, e.pool).Eval(q)
+	return e.EvalExactContext(context.Background(), q)
 }
 
 // EvalExactContext is EvalExact with cooperative cancellation between plan
-// operators.
+// operators. Options.MaxMemory bounds the evaluation's materialized bytes
+// exactly like the approximate path (a trip aborts with a *LimitError);
+// Options.MaxTrials does not apply — exact evaluation samples nothing.
 func (e *Engine) EvalExactContext(ctx context.Context, q algebra.Query) (algebra.URelResult, error) {
-	return algebra.NewParallelURelEvaluator(e.db, e.pool).EvalContext(ctx, q)
+	mem := urel.NewMemBudget(e.opts.MaxMemory)
+	res, err := algebra.NewParallelURelEvaluator(e.db, e.pool).WithBudget(mem).EvalContext(ctx, q)
+	if err != nil {
+		var me *urel.MemLimitError
+		if errors.As(err, &me) {
+			return res, &LimitError{Resource: "memory", Limit: me.Limit, Used: me.Used}
+		}
+	}
+	return res, err
 }
 
 // EvalApprox evaluates the query approximately per Theorem 6.7: it runs
@@ -282,16 +332,26 @@ func (e *Engine) EvalApproxContext(ctx context.Context, q algebra.Query) (*Resul
 	if maxL <= 0 {
 		maxL = e.theorem67Cap(q)
 	}
-	var trials, reused int64
+	var trials, reused, cacheHits int64
 	restarts := 0
-	// The estimator cache persists across the loop's restarts (and only
-	// across them — task keys are meaningless outside one evaluation):
-	// each restart resumes the previous restart's per-task snapshots and
-	// samples only the delta chunks of its enlarged budgets.
-	var cache *estimatorCache
+	// The estimator cache persists across the loop's restarts: each
+	// restart resumes the previous restart's per-task snapshots and
+	// samples only the delta chunks of its enlarged budgets. With a
+	// shared cache attached (SetCache), snapshots additionally persist
+	// across Eval calls and across queries — task keys are
+	// lineage-content fingerprints, meaningful wherever the same clause
+	// set is estimated under the same seed.
+	var cache *Cache
 	if !e.opts.NoResume {
-		cache = newEstimatorCache()
+		if e.shared != nil {
+			cache = e.shared
+		} else {
+			cache = NewCache(0)
+		}
 	}
+	// Resource limits span all restarts too: trials and bytes accumulate
+	// over the whole evaluation, not per pass.
+	limits := newEvalLimits(e.opts)
 	// One operator-statistics collector spans all restarts, so Stats.Ops
 	// reports the evaluation's total exact-algebra work.
 	ctrs := urel.NewCounters()
@@ -300,13 +360,17 @@ func (e *Engine) EvalApproxContext(ctx context.Context, q algebra.Query) (*Resul
 			return nil, err
 		}
 		run := &evalRun{engine: e, ctx: ctx, db: e.db.Clone(), rounds: l, cache: cache,
-			exec: urel.NewExec(e.pool, ctrs)}
+			limits: limits, exec: urel.NewExec(e.pool, ctrs)}
+		if limits != nil {
+			run.exec.WithBudget(limits.mem)
+		}
 		res, err := run.eval(q)
 		if err != nil {
 			return nil, err
 		}
 		trials += run.trials
 		reused += run.reused
+		cacheHits += run.cacheHits
 		// Termination criterion of Theorem 6.7: every non-singular
 		// decision (positive or negative) and every non-singular result
 		// tuple's accumulated bound must be ≤ δ. Singular tuples never
@@ -340,6 +404,7 @@ func (e *Engine) EvalApproxContext(ctx context.Context, q algebra.Query) (*Resul
 				Restarts:        restarts,
 				EstimatorTrials: trials,
 				ReusedTrials:    reused,
+				CacheHits:       cacheHits,
 				Decisions:       run.decisions,
 				SingularDrops:   run.singularDrops,
 				Ops:             ctrs.Snapshot(),
@@ -403,23 +468,29 @@ type evalRun struct {
 	db     *urel.Database
 	rounds int64
 	nextRK int
-	// cache, when non-nil, resumes estimation tasks from the snapshots a
-	// previous restart of the same EvalApprox stored under the same task
-	// keys (Options.NoResume disables it).
-	cache *estimatorCache
+	// cache, when non-nil, resumes estimation tasks from snapshots stored
+	// under the same lineage-content keys — by a previous restart of this
+	// EvalApprox, or by any earlier evaluation when the engine carries a
+	// shared cache (Options.NoResume disables it).
+	cache *Cache
+	// limits carries the evaluation's resource accounting (nil when no
+	// limit is configured); see limits.go.
+	limits *evalLimits
 	// exec runs the exact-algebra operators of this pass across the
 	// engine's worker pool, recording per-operator statistics.
 	exec *urel.Exec
+	// fper fingerprints lineage content against this pass's variable
+	// table (lazily built — plan construction is sequential).
+	fper *fingerprinter
+	// batch dedups content-equal estimation tasks within one operator's
+	// job batch; see newJob.
+	batch map[contentKey]*estimateJob
 	// trials counts trials sampled this pass; reused counts trials whose
-	// integer sums were carried over from cache snapshots instead.
-	trials int64
-	reused int64
-	// confOps/shatOps count conf and σ̂ operators in evaluation order;
-	// they prefix estimation task keys so two operators over identical
-	// rows still draw decorrelated PRNG streams. Evaluation order is
-	// deterministic, so the keys are stable across runs and restarts.
-	confOps   int
-	shatOps   int
+	// integer sums were carried over from cache snapshots instead;
+	// cacheHits counts tasks that resumed from a snapshot.
+	trials    int64
+	reused    int64
+	cacheHits int64
 	decisions int
 	// worstDecision is the largest non-singular per-decision error bound
 	// seen, including negative decisions (whose tuples do not appear in
@@ -442,12 +513,28 @@ func reliableResult(r *urel.Relation, complete bool) *evalResult {
 	return &evalResult{rel: r, complete: complete, errs: provenance.Reliable(), singular: map[string]bool{}}
 }
 
+// eval evaluates one plan node, bracketing it with the cooperative
+// checks: cancellation before the node runs, and the memory limit after —
+// a budget tripped mid-operator must surface before the parent operator
+// consumes the (partial) output, so e.g. a conf over a tripped join never
+// spends its estimation budget on a result that would be discarded.
 func (run *evalRun) eval(q algebra.Query) (*evalResult, error) {
 	if run.ctx != nil {
 		if err := run.ctx.Err(); err != nil {
 			return nil, err
 		}
 	}
+	res, err := run.evalNode(q)
+	if err != nil {
+		return nil, err
+	}
+	if err := run.memoryErr(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (run *evalRun) evalNode(q algebra.Query) (*evalResult, error) {
 	switch n := q.(type) {
 	case algebra.Base:
 		r, ok := run.db.Rels[n.Name]

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/urel"
+)
+
+// LimitError reports that an evaluation exceeded one of its per-query
+// resource limits (Options.MaxTrials / Options.MaxMemory). The evaluation
+// is aborted cooperatively — between operators, and between estimation
+// chunks inside the worker pool — so Used may exceed Limit by at most the
+// granularity of one chunk or one operator's output range.
+type LimitError struct {
+	// Resource names the exhausted limit: "trials" or "memory".
+	Resource string
+	// Limit is the configured bound; Used is the consumption observed when
+	// the limit tripped (trials sampled, or estimated bytes materialized).
+	Limit int64
+	Used  int64
+}
+
+// Error implements the error interface.
+func (e *LimitError) Error() string {
+	switch e.Resource {
+	case "trials":
+		return fmt.Sprintf("core: sampled-trials limit exceeded: %d > %d", e.Used, e.Limit)
+	case "memory":
+		return fmt.Sprintf("core: memory limit exceeded: ~%d bytes materialized > %d", e.Used, e.Limit)
+	default:
+		return fmt.Sprintf("core: %s limit exceeded: %d > %d", e.Resource, e.Used, e.Limit)
+	}
+}
+
+// evalLimits carries one evaluation's resource accounting across every pass
+// of the doubling loop. The zero-limit fields disable their checks.
+type evalLimits struct {
+	maxTrials int64
+	sampled   atomic.Int64
+	mem       *urel.MemBudget
+}
+
+func newEvalLimits(opts Options) *evalLimits {
+	if opts.MaxTrials <= 0 && opts.MaxMemory <= 0 {
+		return nil
+	}
+	l := &evalLimits{maxTrials: opts.MaxTrials}
+	if opts.MaxMemory > 0 {
+		l.mem = urel.NewMemBudget(opts.MaxMemory)
+	}
+	return l
+}
+
+// chargeTrials reserves n sampled trials against the evaluation's budget,
+// returning a *LimitError once the cumulative count (across all restarts)
+// would exceed Options.MaxTrials. Called by pool workers immediately
+// before sampling a chunk, so enforcement latency is bounded by the
+// in-flight chunks of the other workers.
+func (run *evalRun) chargeTrials(n int64) error {
+	lim := run.limits
+	if lim == nil || lim.maxTrials <= 0 {
+		return nil
+	}
+	if used := lim.sampled.Add(n); used > lim.maxTrials {
+		return &LimitError{Resource: "trials", Limit: lim.maxTrials, Used: used}
+	}
+	return nil
+}
+
+// memoryErr reports the evaluation's memory limit as a *LimitError once
+// the running bytes estimate trips it; nil otherwise. Checked between
+// operators (the partitioned operators additionally stop producing output
+// mid-range once the budget trips — see urel.MemBudget).
+func (run *evalRun) memoryErr() error {
+	if run.limits == nil || run.limits.mem == nil || !run.limits.mem.Exceeded() {
+		return nil
+	}
+	return &LimitError{
+		Resource: "memory",
+		Limit:    run.limits.mem.Limit(),
+		Used:     run.limits.mem.Used(),
+	}
+}

@@ -30,13 +30,13 @@ func chunkTrials(k int) int64 {
 
 // estimateJob is one pending Karp–Luby estimation: a merge-target
 // estimator, the deterministic per-task seed its chunk streams derive
-// from, and the total trial budget to spend. When the run carries an
-// estimator cache, the job may start from a resumed snapshot covering
-// startChunk plan chunks (startTrials trials), so only the delta chunks
-// are sampled.
+// from (rooted in the task's lineage-content fingerprint), and the total
+// trial budget to spend. When the run carries an estimator cache, the job
+// may start from a resumed snapshot covering startChunk plan chunks
+// (startTrials trials), so only the delta chunks are sampled.
 type estimateJob struct {
 	est       *karpluby.Estimator
-	key       string
+	key       contentKey
 	seed      int64
 	total     int64
 	chunkSize int64
@@ -59,7 +59,7 @@ type estimateJob struct {
 	mu sync.Mutex
 	// partial* record the budget's trailing partial chunk (if any): its
 	// counts and the PRNG that sampled it, which the cache carries to the
-	// next restart for mid-chunk continuation; see estimatorCache.
+	// next run for mid-chunk continuation; see Cache.
 	partialHits   int64
 	partialTrials int64
 	partialRNG    *rand.Rand
@@ -70,12 +70,20 @@ type estimateJob struct {
 
 // newJob classifies one clause set as an exact confidence value (empty,
 // tautological, or — when shortcutSingleton — single-clause lineage) or
-// an estimation job with the trial budget given by trials(|F|). The job's
-// seed is derived from Options.Seed and the caller's task key, so equal
-// seeds give bit-identical estimates for any worker count. When the run
-// has an estimator cache (Options resume, the default), the job resumes
-// from the snapshot a previous restart left under the same task key.
-func (run *evalRun) newJob(f dnf.F, key string, trials func(clauses int) int64, shortcutSingleton bool) (*confValue, *estimateJob, error) {
+// an estimation job with the trial budget given by trials(|F|). The clause
+// set is canonicalized first (content order — see content.go) and the
+// job's seed is derived from Options.Seed and the content fingerprint, so
+// equal seeds give bit-identical estimates for any worker count, and
+// content-equal tasks sample identical streams wherever they appear. When
+// the run has an estimator cache (Options resume, the default), the job
+// resumes from the snapshot left under the same content key — by an
+// earlier restart, an earlier Eval call on a shared engine cache, or a
+// different query over the same lineage.
+//
+// Within one batch (one conf or σ̂ operator), content-equal tasks share a
+// single job: the second and later sightings return a confValue bound to
+// the first job's estimator, so duplicated lineage is estimated once.
+func (run *evalRun) newJob(f dnf.F, trials func(clauses int) int64, shortcutSingleton bool) (*confValue, *estimateJob, error) {
 	f = f.Dedup()
 	switch {
 	case len(f) == 0:
@@ -85,6 +93,16 @@ func (run *evalRun) newJob(f dnf.F, key string, trials func(clauses int) int64, 
 	case len(f) == 1 && shortcutSingleton:
 		return &confValue{exact: true, value: f[0].Weight(run.db.Vars)}, nil, nil
 	}
+	if run.fper == nil {
+		run.fper = newFingerprinter(run.db.Vars)
+	}
+	f, key := run.fper.canonicalF(f)
+	if shared, ok := run.batch[key]; ok {
+		// Content-equal task already scheduled in this batch: share its
+		// estimator (same canonical clause set, same budget function →
+		// same total), estimate once.
+		return &confValue{est: shared.est}, nil, nil
+	}
 	est, err := karpluby.NewEstimator(f, run.db.Vars, nil)
 	if err != nil {
 		return nil, nil, err
@@ -92,13 +110,14 @@ func (run *evalRun) newJob(f dnf.F, key string, trials func(clauses int) int64, 
 	job := &estimateJob{
 		est:       est,
 		key:       key,
-		seed:      sched.TaskSeed(run.engine.opts.Seed, key),
+		seed:      sched.TaskSeedWords(run.engine.opts.Seed, key.hi, key.lo),
 		total:     trials(est.ClauseCount()),
 		chunkSize: chunkTrials(est.ClauseCount()),
 	}
 	if run.cache != nil {
-		if st, ok := run.cache.lookup(key, est.ClauseCount(), job.chunkSize, job.total); ok {
+		if st, ok := run.cache.lookup(key, est.ClauseCount(), job.chunkSize, job.total, run.engine.opts.Seed); ok {
 			if err := est.Resume(st); err == nil {
+				run.cacheHits++
 				job.startChunk = st.Chunks
 				job.startTrials = st.Trials
 				job.tailHits = st.PartialHits
@@ -113,6 +132,9 @@ func (run *evalRun) newJob(f dnf.F, key string, trials func(clauses int) int64, 
 				}
 			}
 		}
+	}
+	if run.batch != nil {
+		run.batch[key] = job
 	}
 	return &confValue{est: est}, job, nil
 }
@@ -129,9 +151,12 @@ func (run *evalRun) newJob(f dnf.F, key string, trials func(clauses int) int64, 
 // Cancelling the run's context aborts the batch between chunks and returns
 // ctx.Err(). An aborted batch never publishes estimator snapshots for
 // unfinished jobs (a job's state is stored only when its last chunk
-// merges), so the cross-restart cache only ever holds complete, valid
-// snapshots.
+// merges), so the cross-run cache only ever holds complete, valid
+// snapshots. The same holds when the run's sampled-trials limit trips:
+// the batch aborts with a *LimitError before the over-budget chunk
+// samples.
 func (run *evalRun) runEstimates(jobs []*estimateJob) error {
+	defer func() { run.batch = nil }()
 	type chunkTask struct {
 		job *estimateJob
 		c   sched.Chunk
@@ -148,7 +173,8 @@ func (run *evalRun) runEstimates(jobs []*estimateJob) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	// fn never fails, so the only possible error is ctx.Err().
+	// fn only fails on a tripped resource limit, so the possible errors are
+	// *LimitError and ctx.Err().
 	err := run.engine.pool.ForEachCtx(ctx, len(tasks), func(i int) error {
 		t := tasks[i]
 		j := t.job
@@ -158,7 +184,15 @@ func (run *evalRun) runEstimates(jobs []*estimateJob) error {
 			chunkHits   int64
 			chunkTrials int64
 		)
-		if j.tailRNG != nil && t.c.Index == j.startChunk {
+		continued := j.tailRNG != nil && t.c.Index == j.startChunk
+		draw := t.c.N
+		if continued {
+			draw -= j.tailTrials
+		}
+		if err := run.chargeTrials(draw); err != nil {
+			return err
+		}
+		if continued {
 			// Mid-chunk continuation: the previous budget already drew the
 			// first tailTrials trials of this chunk's stream; continue the
 			// saved PRNG for the remainder. The drawn sequence is
@@ -166,7 +200,7 @@ func (run *evalRun) runEstimates(jobs []*estimateJob) error {
 			// tailTrials fewer sampled trials (those counts arrived via
 			// the resumed snapshot).
 			sh = j.est.Shard(j.tailRNG)
-			sh.Add(int(t.c.N - j.tailTrials))
+			sh.Add(int(draw))
 			rng = j.tailRNG
 			chunkHits = j.tailHits + sh.Hits()
 			chunkTrials = t.c.N
@@ -181,8 +215,8 @@ func (run *evalRun) runEstimates(jobs []*estimateJob) error {
 		j.est.Merge(sh)
 		if t.c.N < j.chunkSize {
 			// Only the plan's trailing chunk can be undersized; its counts
-			// stay out of the next restart's resumable prefix, but travel
-			// with their PRNG so the next restart can finish the chunk
+			// stay out of the next run's resumable prefix, but travel
+			// with their PRNG so the next run can finish the chunk
 			// mid-stream.
 			j.partialHits = chunkHits
 			j.partialTrials = chunkTrials
@@ -194,11 +228,12 @@ func (run *evalRun) runEstimates(jobs []*estimateJob) error {
 			// atomic observation, so the totals are final. The cursor
 			// marks the resumable boundary — full-size chunks only; a
 			// trailing partial chunk's counts live in the partial fields
-			// (see estimatorCache) and stay outside it.
+			// (see Cache) and stay outside it.
 			j.est.AdvanceTo(sched.FullChunks(j.total, j.chunkSize))
 			if run.cache != nil {
 				run.cache.store(j.key, j.est.ClauseCount(), j.chunkSize,
-					j.total, j.est.Hits(), j.partialHits, j.partialTrials, j.partialRNG)
+					j.total, j.est.Hits(), j.partialHits, j.partialTrials, j.partialRNG,
+					run.engine.opts.Seed)
 			}
 		}
 		return nil

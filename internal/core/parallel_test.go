@@ -104,15 +104,17 @@ func TestSequentialChunkReferenceMatch(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	fper := newFingerprinter(db.Vars)
 	for _, tc := range urel.Lineage(db.Rels["R"]) {
-		f := tc.F.Dedup()
+		f, key := fper.canonicalF(tc.F.Dedup())
 		est, err := karpluby.NewEstimator(f, db.Vars, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		// Reproduce the engine's derivation: first conf operator, task key
-		// "conf:1:<row key>", round-aligned chunks of the FPRAS budget.
-		taskSeed := sched.TaskSeed(seed, "conf:1:"+tc.Row.Key())
+		// Reproduce the engine's derivation: canonical (content-ordered)
+		// clause set, task seed from the content fingerprint,
+		// round-aligned chunks of the FPRAS budget.
+		taskSeed := sched.TaskSeedWords(seed, key.hi, key.lo)
 		total := karpluby.TrialsFor(0.1, 0.1, est.ClauseCount())
 		for _, c := range sched.Chunks(total, chunkTrials(est.ClauseCount())) {
 			sh := est.Shard(rand.New(rand.NewSource(sched.ChunkSeed(taskSeed, c.Index))))

@@ -24,11 +24,11 @@ func partialFixture() (*urel.Database, dnf.F) {
 
 // estimateOnce spends one job's budget through the run machinery and
 // returns the run and the job's estimator value.
-func estimateOnce(t *testing.T, eng *Engine, cache *estimatorCache, budget int64) (*evalRun, float64, int64) {
+func estimateOnce(t *testing.T, eng *Engine, cache *Cache, budget int64) (*evalRun, float64, int64) {
 	t.Helper()
 	_, f := partialFixture()
 	run := &evalRun{engine: eng, db: eng.db.Clone(), rounds: 1, cache: cache}
-	cv, job, err := run.newJob(f, "task", func(int) int64 { return budget }, false)
+	cv, job, err := run.newJob(f, func(int) int64 { return budget }, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestPartialChunkReplay(t *testing.T) {
 		// One cache across the growing budgets: each step must sample
 		// exactly the delta and reuse everything before it.
 		eng := NewEngine(db, Options{Eps0: 0.05, Delta: 0.1, Seed: 42, Workers: workers})
-		cache := newEstimatorCache()
+		cache := NewCache(0)
 		var prev int64
 		for _, b := range budgets {
 			run, est, _ := estimateOnce(t, eng, cache, b)
@@ -96,7 +96,7 @@ func TestPartialChunkReplayMatchesWorkers(t *testing.T) {
 	var wantHits int64 = -1
 	for _, workers := range []int{1, 4, 8} {
 		eng := NewEngine(db, Options{Eps0: 0.05, Delta: 0.1, Seed: 7, Workers: workers})
-		cache := newEstimatorCache()
+		cache := NewCache(0)
 		estimateOnce(t, eng, cache, 3000)
 		_, _, hits := estimateOnce(t, eng, cache, 9000)
 		if wantHits < 0 {

@@ -144,7 +144,7 @@ func TestResumeSavesTrials(t *testing.T) {
 // runEstimates produces — concurrent stores from workers finishing jobs,
 // interleaved with lookups — so the race detector can vet the locking.
 func TestEstimatorCacheRace(t *testing.T) {
-	c := newEstimatorCache()
+	c := NewCache(0)
 	const goroutines, keys, rounds = 8, 16, 200
 	var wg sync.WaitGroup
 	wg.Add(goroutines)
@@ -152,19 +152,22 @@ func TestEstimatorCacheRace(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
-				key := "task:" + strconv.Itoa((g+i)%keys)
+				key := contentKey{hi: uint64((g + i) % keys), lo: 99}
 				total := int64(4096 * (1 + i%4))
-				c.store(key, 4, 4096, total, total/3, int64(i%7), int64(i%7)*3, nil)
-				if st, ok := c.lookup(key, 4, 4096, total*2); ok && !st.Valid() {
+				c.store(key, 4, 4096, total, total/3, int64(i%7), int64(i%7)*3, nil, 1)
+				if st, ok := c.lookup(key, 4, 4096, total*2, 1); ok && !st.Valid() {
 					t.Errorf("cache returned invalid state %+v", st)
 				}
-				// Mismatched clause counts and chunk sizes must never
-				// resolve (key-stability guard).
-				if _, ok := c.lookup(key, 5, 4096, total); ok {
+				// Mismatched clause counts, chunk sizes, and seeds must
+				// never resolve (key-stability guards).
+				if _, ok := c.lookup(key, 5, 4096, total, 1); ok {
 					t.Error("lookup matched across clause-count mismatch")
 				}
-				if _, ok := c.lookup(key, 4, 2048, total); ok {
+				if _, ok := c.lookup(key, 4, 2048, total, 1); ok {
 					t.Error("lookup matched across chunk-size mismatch")
+				}
+				if _, ok := c.lookup(key, 4, 4096, total, 2); ok {
+					t.Error("lookup matched across seed mismatch")
 				}
 			}
 		}(g)
@@ -172,6 +175,56 @@ func TestEstimatorCacheRace(t *testing.T) {
 	wg.Wait()
 	if c.len() == 0 || c.len() > keys {
 		t.Errorf("cache holds %d entries, want 1..%d", c.len(), keys)
+	}
+	if s := c.Stats(); s.Hits == 0 || s.Misses == 0 || s.Entries != c.len() {
+		t.Errorf("implausible cache stats %+v", s)
+	}
+}
+
+// TestCacheLRUEviction pins the size bound: a cache of N entries never
+// holds more than N, evicts in least-recently-used order, and counts
+// evictions. Eviction only costs reuse — a re-store after eviction works.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	k := func(i uint64) contentKey { return contentKey{hi: i, lo: i} }
+	c.store(k(1), 4, 4096, 4096, 10, 0, 0, nil, 1)
+	c.store(k(2), 4, 4096, 4096, 20, 0, 0, nil, 1)
+	// Touch k(1) so k(2) is the LRU victim when k(3) arrives.
+	if _, ok := c.lookup(k(1), 4, 4096, 4096, 1); !ok {
+		t.Fatal("warm entry k(1) missing")
+	}
+	c.store(k(3), 4, 4096, 4096, 30, 0, 0, nil, 1)
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+	if _, ok := c.lookup(k(2), 4, 4096, 4096, 1); ok {
+		t.Error("LRU entry k(2) survived eviction")
+	}
+	for _, key := range []contentKey{k(1), k(3)} {
+		if _, ok := c.lookup(key, 4, 4096, 4096, 1); !ok {
+			t.Errorf("entry %v evicted out of LRU order", key)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	// Updating an existing key must not evict (no growth).
+	c.store(k(1), 4, 4096, 8192, 40, 0, 0, nil, 1)
+	if c.len() != 2 || c.Stats().Evictions != 1 {
+		t.Errorf("in-place update changed size/evictions: len=%d stats=%+v", c.len(), c.Stats())
+	}
+	// A store under a new seed is a separate entry (mixed-seed clients of
+	// one shared cache must not clobber each other); it competes for
+	// space like any other, evicting the LRU entry k(3).
+	c.store(k(1), 4, 4096, 4096, 7, 0, 0, nil, 2)
+	if st, ok := c.lookup(k(1), 4, 4096, 4096, 2); !ok || st.Hits != 7 {
+		t.Errorf("second-seed store not visible: %+v ok=%v", st, ok)
+	}
+	if st, ok := c.lookup(k(1), 4, 4096, 8192, 1); !ok || st.Hits != 40 {
+		t.Errorf("first-seed counts clobbered by a second-seed store: %+v ok=%v", st, ok)
+	}
+	if c.len() != 2 || c.Stats().Evictions != 2 {
+		t.Errorf("after mixed-seed store: len=%d stats=%+v, want 2 entries / 2 evictions", c.len(), c.Stats())
 	}
 }
 
@@ -197,15 +250,16 @@ func TestResumeStressRace(t *testing.T) {
 // TestResumeCacheMonotone checks the stale-store guard: a smaller budget
 // must not clobber a cached larger one.
 func TestResumeCacheMonotone(t *testing.T) {
-	c := newEstimatorCache()
-	c.store("k", 4, 4096, 8192, 100, 0, 0, nil)
-	c.store("k", 4, 4096, 4096, 40, 0, 0, nil) // stale: must be dropped
-	st, ok := c.lookup("k", 4, 4096, 8192)
+	c := NewCache(0)
+	k := contentKey{hi: 11, lo: 13}
+	c.store(k, 4, 4096, 8192, 100, 0, 0, nil, 1)
+	c.store(k, 4, 4096, 4096, 40, 0, 0, nil, 1) // stale: must be dropped
+	st, ok := c.lookup(k, 4, 4096, 8192, 1)
 	if !ok || st.Trials != 8192 || st.Hits != 100 {
 		t.Fatalf("stale store clobbered cache: got %+v ok=%v", st, ok)
 	}
 	// Prefix lookup at a doubled budget resumes the full-chunk prefix.
-	st, ok = c.lookup("k", 4, 4096, 16384)
+	st, ok = c.lookup(k, 4, 4096, 16384, 1)
 	if !ok || st.Trials != 8192 || st.Chunks != 2 {
 		t.Fatalf("prefix lookup: got %+v ok=%v, want 8192 trials over 2 chunks", st, ok)
 	}
@@ -217,22 +271,24 @@ func TestResumeCacheMonotone(t *testing.T) {
 // excludes the partial counts when no mid-chunk PRNG was stored, and
 // carries them (with the PRNG, for mid-chunk continuation) when one was.
 func TestResumeCacheUnalignedBudget(t *testing.T) {
-	c := newEstimatorCache()
+	c := NewCache(0)
+	p := contentKey{hi: 1, lo: 2}
+	q := contentKey{hi: 3, lo: 4}
 	// 2 full chunks + a 1808-trial partial, no saved PRNG (replay-only tail).
-	c.store("p", 4, 4096, 10000, 77, 5, 1808, nil)
-	st, ok := c.lookup("p", 4, 4096, 10000)
+	c.store(p, 4, 4096, 10000, 77, 5, 1808, nil, 1)
+	st, ok := c.lookup(p, 4, 4096, 10000, 1)
 	if !ok || st.Trials != 10000 || st.Hits != 77 || st.Chunks != 2 {
 		t.Fatalf("exact replay: got %+v ok=%v, want 10000 trials / 77 hits / cursor 2", st, ok)
 	}
-	st, ok = c.lookup("p", 4, 4096, 20000)
+	st, ok = c.lookup(p, 4, 4096, 20000, 1)
 	if !ok || st.Trials != 8192 || st.Hits != 72 || st.Chunks != 2 || st.PartialRNG != nil {
 		t.Fatalf("prefix resume: got %+v ok=%v, want 8192 trials / 72 hits / cursor 2, no tail", st, ok)
 	}
 	// Same shape with the partial chunk's PRNG saved: the larger budget
 	// resumes the full counts and receives the tail for continuation.
 	rng := rand.New(rand.NewSource(99))
-	c.store("q", 4, 4096, 10000, 77, 5, 1808, rng)
-	st, ok = c.lookup("q", 4, 4096, 20000)
+	c.store(q, 4, 4096, 10000, 77, 5, 1808, rng, 1)
+	st, ok = c.lookup(q, 4, 4096, 20000, 1)
 	if !ok || st.Trials != 10000 || st.Hits != 77 || st.Chunks != 2 {
 		t.Fatalf("mid-chunk resume: got %+v ok=%v, want full 10000 trials / 77 hits / cursor 2", st, ok)
 	}
@@ -246,9 +302,29 @@ func TestResumeCacheUnalignedBudget(t *testing.T) {
 	// PRNG in place): a second lookup degrades to the full-chunk prefix,
 	// so an aborted batch can never leave stale counts paired with an
 	// advanced PRNG in the cache.
-	st, ok = c.lookup("q", 4, 4096, 20000)
+	st, ok = c.lookup(q, 4, 4096, 20000, 1)
 	if !ok || st.Trials != 8192 || st.Hits != 72 || st.PartialRNG != nil {
 		t.Fatalf("post-handout lookup: got %+v ok=%v, want prefix-only 8192 trials / 72 hits", st, ok)
+	}
+	// Ownership transfers only on an accepted lookup that carries the
+	// tail: refused lookups (wrong seed, clause count, or an overlapping
+	// smaller budget) and exact replays must leave the tail in place for
+	// the next larger budget.
+	r := contentKey{hi: 5, lo: 6}
+	rng2 := rand.New(rand.NewSource(7))
+	c.store(r, 4, 4096, 10000, 77, 5, 1808, rng2, 1)
+	if _, ok := c.lookup(r, 4, 4096, 20000, 99); ok {
+		t.Fatal("seed-mismatch lookup resolved")
+	}
+	if _, ok := c.lookup(r, 4, 4096, 4096, 1); ok {
+		t.Fatal("overlapping smaller-budget lookup resolved")
+	}
+	if st, ok := c.lookup(r, 4, 4096, 10000, 1); !ok || st.Trials != 10000 {
+		t.Fatalf("exact replay after refusals: got %+v ok=%v", st, ok)
+	}
+	st, ok = c.lookup(r, 4, 4096, 20000, 1)
+	if !ok || st.PartialRNG != rng2 || st.PartialTrials != 1808 {
+		t.Fatalf("tail lost to a refused or replay lookup: got %+v ok=%v", st, ok)
 	}
 }
 

@@ -28,11 +28,18 @@ import (
 // derive per-goroutine shards with Shard and fold their counts back with
 // Merge.
 type Estimator struct {
-	f      dnf.F
-	table  *vars.Table
-	vars   []vars.Var // variables mentioned by F, sorted
-	m      float64    // M = Σ p_f
-	cum    []float64  // cumulative clause weights for sampling
+	f     dnf.F
+	table *vars.Table
+	// vars holds the variables mentioned by F in content-canonical order
+	// (sorted by registered name, not by id): world extension consumes the
+	// PRNG in this order, so the trial stream — and hence the estimate —
+	// depends only on the clause-set content and the table's
+	// distributions, never on the order variables happened to be
+	// registered in. This is what lets content-keyed caches share state
+	// across databases built in different orders.
+	vars   []vars.Var
+	m      float64   // M = Σ p_f
+	cum    []float64 // cumulative clause weights for sampling
 	rng    *rand.Rand
 	hits   int64 // Σ X_i
 	trials int64 // m
@@ -73,6 +80,10 @@ func NewEstimator(f dnf.F, table *vars.Table, rng *rand.Rand) (*Estimator, error
 		rng:   rng,
 		world: make(map[vars.Var]int32),
 	}
+	// Content-canonical variable order; see the field comment.
+	sort.Slice(e.vars, func(i, j int) bool {
+		return table.Info(e.vars[i]).Name < table.Info(e.vars[j]).Name
+	})
 	e.cum = make([]float64, len(f))
 	total := 0.0
 	for i, a := range f {

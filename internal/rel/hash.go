@@ -58,6 +58,12 @@ func hashString(h uint64, s string) uint64 {
 	return h
 }
 
+// HashString is the exported form of the FNV-1a string fold, for composite
+// hashes built outside this package (e.g. the engine's lineage-content
+// fingerprints, which fold variable names and probabilities into one hash
+// family with the value/tuple hashes).
+func HashString(h uint64, s string) uint64 { return hashString(h, s) }
+
 // Hash folds the value into a running hash without allocating. Values that
 // are Equal (under Compare) hash identically; see the package comment on
 // numeric widening.

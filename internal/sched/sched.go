@@ -212,6 +212,15 @@ func TaskSeed(base int64, key string) int64 {
 	return int64(splitmix64(uint64(base) ^ h))
 }
 
+// TaskSeedWords is TaskSeed for callers whose task identity is already a
+// hash (two 64-bit words, e.g. the engine's lineage-content fingerprints)
+// rather than a string: it mixes the words into the base seed with the same
+// SplitMix64 finalizer. Equal (base, hi, lo) triples always yield the same
+// stream; distinct fingerprints get decorrelated streams.
+func TaskSeedWords(base int64, hi, lo uint64) int64 {
+	return int64(splitmix64(uint64(base) ^ splitmix64(hi) ^ splitmix64(lo+0x9e3779b97f4a7c15)))
+}
+
 // ChunkSeed derives the PRNG seed of one chunk of a task from the task
 // seed and the chunk's plan index. Because it ignores worker identity,
 // a chunk samples the same stream no matter which worker executes it.

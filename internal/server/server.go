@@ -1,0 +1,423 @@
+// Package server implements the HTTP front-end over the public pdb API:
+// a long-lived query service whose concurrent requests share one
+// pdb.Engine, so the engine's content-keyed estimator cache turns repeated
+// and lineage-sharing queries from different clients into cache hits.
+//
+// Endpoints:
+//
+//	POST /v1/query   evaluate a UA program; streams NDJSON (one JSON object
+//	                 per line: a header with the result schema, one object
+//	                 per row with its error bound, then a stats trailer)
+//	                 via chunked transfer encoding.
+//	GET  /v1/stats   engine + server statistics (cache effectiveness,
+//	                 request counters).
+//	GET  /healthz    liveness probe.
+//
+// Per-request timeouts and resource limits map onto context deadlines and
+// the pdb WithMaxTrials / WithMaxMemory options; server-level caps clamp
+// whatever the client asks for. The handler is safe for concurrent use —
+// graceful shutdown is the listener owner's job (see cmd/pdbserve).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/pdb"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Engine is the shared evaluation engine (required).
+	Engine *pdb.Engine
+	// DefaultTimeout bounds requests that do not set timeout_ms
+	// themselves; 0 means no default bound.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested timeouts; 0 means unclamped.
+	MaxTimeout time.Duration
+	// MaxTrials / MaxMemory cap the per-request resource limits. A
+	// client's tighter limit is honoured; a looser (or missing) one is
+	// clamped to the cap. 0 disables the cap.
+	MaxTrials int64
+	MaxMemory int64
+	// MaxWorkers caps the client-requested per-evaluation worker count
+	// (results never depend on it — only goroutine fan-out does). 0
+	// selects GOMAXPROCS; negative disables the cap.
+	MaxWorkers int
+	// MaxBodyBytes bounds the request body (default 1 MiB).
+	MaxBodyBytes int64
+	// Logger receives one line per failed request; nil disables logging.
+	Logger *log.Logger
+}
+
+// Server is the http.Handler of the query service.
+type Server struct {
+	cfg Config
+	eng *pdb.Engine
+	mux *http.ServeMux
+
+	start time.Time
+
+	requests     atomic.Int64
+	failures     atomic.Int64
+	rowsStreamed atomic.Int64
+
+	// prepared caches parsed+validated programs by source text, so a hot
+	// query skips the parser. Bounded; on overflow an arbitrary entry is
+	// dropped (the cache is an accelerator, not a registry).
+	prepMu   sync.Mutex
+	prepared map[string]*pdb.Query
+}
+
+// maxPreparedQueries bounds the prepared-program cache.
+const maxPreparedQueries = 256
+
+// New builds a Server over cfg.Engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.MaxWorkers == 0 {
+		cfg.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		cfg:      cfg,
+		eng:      cfg.Engine,
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		prepared: make(map[string]*pdb.Query),
+	}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// queryRequest is the body of POST /v1/query. Zero values mean "use the
+// server's defaults".
+type queryRequest struct {
+	// Program is the UA program to evaluate (required).
+	Program string `json:"program"`
+
+	// Accuracy: ε₀/δ for σ̂ decisions, (ε, δ) for standalone conf.
+	Epsilon     float64 `json:"epsilon,omitempty"`
+	Delta       float64 `json:"delta,omitempty"`
+	ConfEpsilon float64 `json:"conf_epsilon,omitempty"`
+	ConfDelta   float64 `json:"conf_delta,omitempty"`
+
+	// Determinism and parallelism.
+	Seed    int64 `json:"seed,omitempty"`
+	Workers int   `json:"workers,omitempty"`
+
+	// Resource limits; the server's caps clamp them.
+	TimeoutMS      int64 `json:"timeout_ms,omitempty"`
+	MaxTrials      int64 `json:"max_trials,omitempty"`
+	MaxMemoryBytes int64 `json:"max_memory_bytes,omitempty"`
+
+	// Exact switches to exact (#P) confidence computation.
+	Exact bool `json:"exact,omitempty"`
+	// NoResume disables estimator reuse for this request (ablation).
+	NoResume bool `json:"no_resume,omitempty"`
+}
+
+// errorResponse is the body of every non-200 response.
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// queryHeader is the first NDJSON line of a streamed result.
+type queryHeader struct {
+	Columns  []string `json:"columns"`
+	Complete bool     `json:"complete"`
+}
+
+// queryRow is one streamed result row.
+type queryRow struct {
+	Row        map[string]any `json:"row"`
+	ErrorBound float64        `json:"error_bound"`
+	Singular   bool           `json:"singular,omitempty"`
+	Condition  string         `json:"condition,omitempty"`
+}
+
+// queryTrailer is the final NDJSON line: evaluation statistics.
+type queryTrailer struct {
+	Stats queryStats `json:"stats"`
+}
+
+type queryStats struct {
+	Rows          int     `json:"rows"`
+	MaxErrorBound float64 `json:"max_error_bound"`
+	FinalRounds   int64   `json:"final_rounds,omitempty"`
+	Restarts      int     `json:"restarts,omitempty"`
+	SampledTrials int64   `json:"sampled_trials"`
+	ReusedTrials  int64   `json:"reused_trials"`
+	CacheHits     int64   `json:"cache_hits"`
+	ElapsedMS     int64   `json:"elapsed_ms"`
+}
+
+// fail writes one JSON error (the response must not have been started).
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, status int, kind string, err error) {
+	s.failures.Add(1)
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("%s %s: %s: %v", r.Method, r.URL.Path, kind, err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error(), Kind: kind})
+}
+
+// clampLimit combines a client limit with a server cap: the tightest
+// positive bound wins.
+func clampLimit(req, cap int64) int64 {
+	switch {
+	case cap <= 0:
+		return req
+	case req <= 0 || req > cap:
+		return cap
+	default:
+		return req
+	}
+}
+
+// prepare parses the program, serving hot programs from the bounded
+// prepared-query cache.
+func (s *Server) prepare(program string) (*pdb.Query, error) {
+	s.prepMu.Lock()
+	q, ok := s.prepared[program]
+	s.prepMu.Unlock()
+	if ok {
+		return q, nil
+	}
+	q, err := s.eng.Prepare(program)
+	if err != nil {
+		return nil, err
+	}
+	s.prepMu.Lock()
+	if len(s.prepared) >= maxPreparedQueries {
+		for k := range s.prepared {
+			delete(s.prepared, k)
+			break
+		}
+	}
+	s.prepared[program] = q
+	s.prepMu.Unlock()
+	return q, nil
+}
+
+// buildOptions maps a request onto pdb options (invalid values surface as
+// *pdb.OptionError when the evaluation applies them).
+func (s *Server) buildOptions(req queryRequest) []pdb.Option {
+	var opts []pdb.Option
+	if req.Epsilon != 0 {
+		opts = append(opts, pdb.WithEpsilon(req.Epsilon))
+	}
+	if req.Delta != 0 {
+		opts = append(opts, pdb.WithDelta(req.Delta))
+	}
+	if req.ConfEpsilon != 0 || req.ConfDelta != 0 {
+		opts = append(opts, pdb.WithConfBudget(req.ConfEpsilon, req.ConfDelta))
+	}
+	if req.Seed != 0 {
+		opts = append(opts, pdb.WithSeed(req.Seed))
+	}
+	if req.Workers > 0 {
+		// Clamp like the other client-controllable resource knobs: a
+		// request may narrow its fan-out but never exceed the server cap
+		// (an unset or non-positive count already means GOMAXPROCS).
+		w := req.Workers
+		if s.cfg.MaxWorkers > 0 && w > s.cfg.MaxWorkers {
+			w = s.cfg.MaxWorkers
+		}
+		opts = append(opts, pdb.WithWorkers(w))
+	}
+	if req.NoResume {
+		opts = append(opts, pdb.WithNoResume())
+	}
+	if n := clampLimit(req.MaxTrials, s.cfg.MaxTrials); n > 0 {
+		opts = append(opts, pdb.WithMaxTrials(n))
+	}
+	if n := clampLimit(req.MaxMemoryBytes, s.cfg.MaxMemory); n > 0 {
+		opts = append(opts, pdb.WithMaxMemory(n))
+	}
+	return opts
+}
+
+// requestTimeout resolves the effective timeout for a request.
+func (s *Server) requestTimeout(req queryRequest) time.Duration {
+	d := time.Duration(req.TimeoutMS) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if s.cfg.MaxTimeout > 0 && (d <= 0 || d > s.cfg.MaxTimeout) {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	start := time.Now()
+
+	var req queryRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.fail(w, r, http.StatusBadRequest, "decode", fmt.Errorf("decoding request body: %w", err))
+		return
+	}
+	if req.Program == "" {
+		s.fail(w, r, http.StatusBadRequest, "decode", errors.New("request has no program"))
+		return
+	}
+
+	q, err := s.prepare(req.Program)
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, "parse", err)
+		return
+	}
+
+	ctx := r.Context()
+	if d := s.requestTimeout(req); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	var res *pdb.Result
+	if req.Exact {
+		res, err = q.EvalExact(ctx, s.buildOptions(req)...)
+	} else {
+		res, err = q.Eval(ctx, s.buildOptions(req)...)
+	}
+	if err != nil {
+		var oe *pdb.OptionError
+		var le *pdb.LimitError
+		switch {
+		case errors.As(err, &oe):
+			s.fail(w, r, http.StatusBadRequest, "option", err)
+		case errors.As(err, &le):
+			s.fail(w, r, http.StatusUnprocessableEntity, "limit", err)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.fail(w, r, http.StatusGatewayTimeout, "timeout", err)
+		case ctx.Err() != nil:
+			// Client went away; nothing useful to write.
+			s.failures.Add(1)
+		default:
+			s.fail(w, r, http.StatusInternalServerError, "internal", err)
+		}
+		return
+	}
+
+	// Stream the rows: one JSON object per line, flushed in batches, so
+	// large results reach the client incrementally over chunked encoding.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(queryHeader{Columns: res.Columns(), Complete: res.Complete()})
+	flush()
+
+	cols := res.Columns()
+	n := 0
+	for row := range res.Rows() {
+		vals := make(map[string]any, len(cols))
+		for _, c := range cols {
+			vals[c] = row.Value(c)
+		}
+		if err := enc.Encode(queryRow{
+			Row:        vals,
+			ErrorBound: row.ErrorBound(),
+			Singular:   row.Singular(),
+			Condition:  row.Condition(),
+		}); err != nil {
+			return // client went away mid-stream
+		}
+		n++
+		s.rowsStreamed.Add(1)
+		if n%64 == 0 {
+			flush()
+		}
+	}
+	st := res.Stats()
+	_ = enc.Encode(queryTrailer{Stats: queryStats{
+		Rows:          res.Len(),
+		MaxErrorBound: res.MaxErrorBound(),
+		FinalRounds:   st.FinalRounds,
+		Restarts:      st.Restarts,
+		SampledTrials: st.SampledTrials,
+		ReusedTrials:  st.ReusedTrials,
+		CacheHits:     st.CacheHits,
+		ElapsedMS:     time.Since(start).Milliseconds(),
+	}})
+	flush()
+}
+
+// statsResponse is the body of GET /v1/stats.
+type statsResponse struct {
+	Engine engineStats `json:"engine"`
+	Server serverStats `json:"server"`
+}
+
+type engineStats struct {
+	Evals          int64 `json:"evals"`
+	SampledTrials  int64 `json:"sampled_trials"`
+	ReusedTrials   int64 `json:"reused_trials"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEntries   int   `json:"cache_entries"`
+	CacheEvictions int64 `json:"cache_evictions"`
+}
+
+type serverStats struct {
+	Requests     int64 `json:"requests"`
+	Failures     int64 `json:"failures"`
+	RowsStreamed int64 `json:"rows_streamed"`
+	UptimeMS     int64 `json:"uptime_ms"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	es := s.eng.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(statsResponse{
+		Engine: engineStats{
+			Evals:          es.Evals,
+			SampledTrials:  es.SampledTrials,
+			ReusedTrials:   es.ReusedTrials,
+			CacheHits:      es.CacheHits,
+			CacheMisses:    es.CacheMisses,
+			CacheEntries:   es.CacheEntries,
+			CacheEvictions: es.CacheEvictions,
+		},
+		Server: serverStats{
+			Requests:     s.requests.Load(),
+			Failures:     s.failures.Load(),
+			RowsStreamed: s.rowsStreamed.Load(),
+			UptimeMS:     time.Since(s.start).Milliseconds(),
+		},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = io.WriteString(w, "{\"ok\":true}\n")
+}

@@ -1,0 +1,322 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pdb"
+)
+
+// testServer builds a server over a small tuple-independent database with
+// multi-clause lineage after projection.
+func testServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	rows := [][]any{}
+	probs := []float64{}
+	for s := 0; s < 4; s++ {
+		for r := 0; r < 4; r++ {
+			rows = append(rows, []any{fmt.Sprintf("s%d", s), r})
+			probs = append(probs, 0.3)
+		}
+	}
+	db, err := pdb.NewBuilder().
+		Independent("Obs", []string{"Sensor", "Reading"}, rows, probs).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := db.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine = eng
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+const testProgram = `conf as P (project[Sensor](Obs));`
+
+// postQuery sends one query and parses the NDJSON stream.
+func postQuery(t *testing.T, ts *httptest.Server, body string) (int, queryHeader, []queryRow, queryTrailer) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hdr queryHeader
+	var rows []queryRow
+	var tr queryTrailer
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, hdr, rows, tr
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	line := 0
+	for sc.Scan() {
+		raw := sc.Bytes()
+		switch {
+		case line == 0:
+			if err := json.Unmarshal(raw, &hdr); err != nil {
+				t.Fatalf("header line: %v", err)
+			}
+		case bytes.Contains(raw, []byte(`"stats"`)):
+			if err := json.Unmarshal(raw, &tr); err != nil {
+				t.Fatalf("trailer line: %v", err)
+			}
+		default:
+			var row queryRow
+			if err := json.Unmarshal(raw, &row); err != nil {
+				t.Fatalf("row line %d: %v", line, err)
+			}
+			rows = append(rows, row)
+		}
+		line++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, hdr, rows, tr
+}
+
+// TestQueryStreamAndCacheReuse drives the service end to end: a query
+// returns schema header, JSON rows with error bounds, and a stats
+// trailer; repeating it through the shared engine replays the cached
+// estimator state (reused trials, zero sampled).
+func TestQueryStreamAndCacheReuse(t *testing.T) {
+	ts := httptest.NewServer(testServer(t, Config{}))
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"program": %q, "seed": 7}`, testProgram)
+	status, hdr, rows, tr := postQuery(t, ts, body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if len(hdr.Columns) != 2 || hdr.Columns[0] != "Sensor" || hdr.Columns[1] != "P" {
+		t.Errorf("header columns = %v", hdr.Columns)
+	}
+	if !hdr.Complete {
+		t.Error("conf result should be complete")
+	}
+	if len(rows) != 4 || tr.Stats.Rows != 4 {
+		t.Fatalf("got %d rows, trailer says %d, want 4", len(rows), tr.Stats.Rows)
+	}
+	for _, row := range rows {
+		p, ok := row.Row["P"].(float64)
+		if !ok || p <= 0 || p >= 1 {
+			t.Errorf("row %v: P not a probability", row.Row)
+		}
+		if row.ErrorBound < 0 || row.ErrorBound > 1 {
+			t.Errorf("row %v: error bound %v", row.Row, row.ErrorBound)
+		}
+	}
+	if tr.Stats.SampledTrials == 0 {
+		t.Error("cold query sampled no trials")
+	}
+
+	status, _, rows2, tr2 := postQuery(t, ts, body)
+	if status != http.StatusOK {
+		t.Fatalf("second status = %d", status)
+	}
+	if tr2.Stats.ReusedTrials == 0 || tr2.Stats.CacheHits == 0 || tr2.Stats.SampledTrials != 0 {
+		t.Errorf("second query: sampled=%d reused=%d hits=%d, want exact replay",
+			tr2.Stats.SampledTrials, tr2.Stats.ReusedTrials, tr2.Stats.CacheHits)
+	}
+	for i := range rows2 {
+		if rows2[i].Row["P"] != rows[i].Row["P"] {
+			t.Errorf("row %d: warm P %v != cold P %v", i, rows2[i].Row["P"], rows[i].Row["P"])
+		}
+	}
+
+	// /v1/stats reflects both requests and the cache hits.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Engine.Evals != 2 || stats.Engine.CacheHits == 0 || stats.Engine.CacheEntries == 0 {
+		t.Errorf("engine stats %+v", stats.Engine)
+	}
+	if stats.Server.Requests != 2 || stats.Server.RowsStreamed != 8 {
+		t.Errorf("server stats %+v", stats.Server)
+	}
+}
+
+// TestQueryErrors maps the failure modes onto status codes and JSON error
+// bodies: malformed body and program (400), invalid option (400),
+// resource limit (422), timeout (504).
+func TestQueryErrors(t *testing.T) {
+	ts := httptest.NewServer(testServer(t, Config{}))
+	defer ts.Close()
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		kind   string
+	}{
+		{"malformed json", `{`, http.StatusBadRequest, "decode"},
+		{"empty program", `{"program": ""}`, http.StatusBadRequest, "decode"},
+		{"parse error", `{"program": "not a query ("}`, http.StatusBadRequest, "parse"},
+		{"unknown relation", `{"program": "conf (Nope);"}`, http.StatusBadRequest, "parse"},
+		{"bad epsilon", fmt.Sprintf(`{"program": %q, "epsilon": 7}`, testProgram), http.StatusBadRequest, "option"},
+		{"trials limit", fmt.Sprintf(`{"program": %q, "max_trials": 50, "conf_epsilon": 0.01, "conf_delta": 0.01}`, testProgram), http.StatusUnprocessableEntity, "limit"},
+		{"timeout", fmt.Sprintf(`{"program": %q, "timeout_ms": 1, "conf_epsilon": 0.002, "conf_delta": 0.002}`, testProgram), http.StatusGatewayTimeout, "timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.status)
+			}
+			var er errorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+				t.Fatal(err)
+			}
+			if er.Kind != tc.kind || er.Error == "" {
+				t.Errorf("error body %+v, want kind %q", er, tc.kind)
+			}
+		})
+	}
+}
+
+// TestServerCaps pins the server-level clamping: a client asking for a
+// looser trial limit than the server cap still trips the cap.
+func TestServerCaps(t *testing.T) {
+	ts := httptest.NewServer(testServer(t, Config{MaxTrials: 50}))
+	defer ts.Close()
+	body := fmt.Sprintf(`{"program": %q, "max_trials": 1000000, "conf_epsilon": 0.01, "conf_delta": 0.01}`, testProgram)
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422 (server cap must clamp the client limit)", resp.StatusCode)
+	}
+}
+
+// TestWorkerClamp pins the worker cap: an absurd client-requested worker
+// count is clamped server-side (results are worker-count-independent, so
+// the query still succeeds with identical rows).
+func TestWorkerClamp(t *testing.T) {
+	srv := testServer(t, Config{MaxWorkers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	status, _, rows, _ := postQuery(t, ts,
+		fmt.Sprintf(`{"program": %q, "seed": 7, "workers": 1000000}`, testProgram))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	statusRef, _, ref, _ := postQuery(t, ts, fmt.Sprintf(`{"program": %q, "seed": 7, "workers": 1}`, testProgram))
+	if statusRef != http.StatusOK || len(rows) != len(ref) {
+		t.Fatalf("reference run: status %d, %d vs %d rows", statusRef, len(ref), len(rows))
+	}
+	for i := range rows {
+		if rows[i].Row["P"] != ref[i].Row["P"] {
+			t.Errorf("row %d: clamped P %v != reference %v", i, rows[i].Row["P"], ref[i].Row["P"])
+		}
+	}
+}
+
+// TestExactQuery exercises the exact (#P) path through the service.
+func TestExactQuery(t *testing.T) {
+	ts := httptest.NewServer(testServer(t, Config{}))
+	defer ts.Close()
+	status, _, rows, _ := postQuery(t, ts, fmt.Sprintf(`{"program": %q, "exact": true}`, testProgram))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	// Exact per-sensor confidence: 1 − 0.7⁴.
+	want := 1 - 0.7*0.7*0.7*0.7
+	for _, row := range rows {
+		if p := row.Row["P"].(float64); p < want-1e-9 || p > want+1e-9 {
+			t.Errorf("exact P = %v, want %v", p, want)
+		}
+		if row.ErrorBound != 0 {
+			t.Errorf("exact row has error bound %v", row.ErrorBound)
+		}
+	}
+}
+
+// TestHealthz covers the liveness probe.
+func TestHealthz(t *testing.T) {
+	ts := httptest.NewServer(testServer(t, Config{}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ok struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ok); err != nil || !ok.OK {
+		t.Fatalf("healthz: %v ok=%v", err, ok.OK)
+	}
+}
+
+// TestConcurrentRequests hammers the handler from many goroutines (run
+// under -race this vets the shared engine + prepared-query cache).
+func TestConcurrentRequests(t *testing.T) {
+	ts := httptest.NewServer(testServer(t, Config{DefaultTimeout: 30 * time.Second}))
+	defer ts.Close()
+	programs := []string{
+		testProgram,
+		`conf as P (project[Sensor](select[Reading >= 0](Obs)));`,
+	}
+	const goroutines, iters = 8, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iters)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				body := fmt.Sprintf(`{"program": %q, "seed": 3}`, programs[(g+i)%len(programs)])
+				resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var buf bytes.Buffer
+				_, err = buf.ReadFrom(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("goroutine %d iter %d: status %d: %s", g, i, resp.StatusCode, buf.String())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -29,6 +29,7 @@ import (
 type Exec struct {
 	pool *sched.Pool
 	ctrs *Counters
+	mem  *MemBudget
 }
 
 // NewExec returns an Exec over the pool (nil selects a one-worker pool)
@@ -38,6 +39,15 @@ func NewExec(pool *sched.Pool, ctrs *Counters) *Exec {
 		pool = sched.New(1)
 	}
 	return &Exec{pool: pool, ctrs: ctrs}
+}
+
+// WithBudget attaches a memory budget: every operator charges its output's
+// estimated footprint against it, and the partitioned blow-up operators
+// (join, product) stop producing mid-range once it trips. Returns x for
+// chaining; a nil budget disables the checks.
+func (x *Exec) WithBudget(b *MemBudget) *Exec {
+	x.mem = b
+	return x
 }
 
 // seqExec backs the package-level operator functions: one worker, no
@@ -89,8 +99,9 @@ func pairBytes(d vars.Assignment, row rel.Tuple) int64 {
 }
 
 // record adds one operator application to the statistics (no-op without a
-// collector).
+// collector) and charges its output footprint against the memory budget.
 func (x *Exec) record(op string, tuplesIn, tuplesOut, bytes int64) {
+	x.mem.Add(bytes)
 	if x.ctrs == nil {
 		return
 	}
@@ -172,7 +183,14 @@ func (x *Exec) Product(a, b *Relation) (*Relation, error) {
 	outs := make([][]pairOut, numRanges(len(a.tuples)))
 	x.forRanges(len(a.tuples), func(rg, lo, hi int) {
 		var buf []pairOut
-		for i := lo; i < hi; i++ {
+		var localBytes int64
+		// Cooperative memory limit: probed once per probe tuple AND every
+		// 1024 emitted pairs (a single probe tuple's fan-out is unbounded,
+		// so per-tuple probes alone could materialize a whole inner
+		// relation between checks). Once the budget trips — possibly on
+		// another worker's range — stop enumerating; the evaluation aborts
+		// between operators and the partial output is discarded.
+		for i := lo; i < hi && !x.mem.Probe(localBytes); i++ {
 			ta := a.tuples[i]
 			for _, tb := range b.tuples {
 				d, ok := ta.D.Union(tb.D)
@@ -183,6 +201,10 @@ func (x *Exec) Product(a, b *Relation) (*Relation, error) {
 				copy(row, ta.Row)
 				copy(row[la:], tb.Row)
 				buf = append(buf, pairOut{h: utHash(d, row), d: d, row: row})
+				localBytes += pairBytes(d, row)
+				if len(buf)&0x3ff == 0 && x.mem.Probe(localBytes) {
+					break
+				}
 			}
 		}
 		outs[rg] = buf
@@ -244,7 +266,10 @@ func (x *Exec) Join(a, b *Relation) *Relation {
 	outs := make([][]pairOut, numRanges(len(a.tuples)))
 	x.forRanges(len(a.tuples), func(rg, lo, hi int) {
 		var buf []pairOut
-		for i := lo; i < hi; i++ {
+		var localBytes int64
+		// Cooperative memory limit, probed per probe tuple and per 1024
+		// emitted pairs (a skewed key's chain is unbounded); see Product.
+		for i := lo; i < hi && !x.mem.Probe(localBytes); i++ {
 			ta := a.tuples[i]
 			head, ok := bHead[ta.Row.HashAt(aIdx)]
 			if !ok {
@@ -265,6 +290,10 @@ func (x *Exec) Join(a, b *Relation) *Relation {
 					row[la+k] = tb.Row[jj]
 				}
 				buf = append(buf, pairOut{h: utHash(d, row), d: d, row: row})
+				localBytes += pairBytes(d, row)
+				if len(buf)&0x3ff == 0 && x.mem.Probe(localBytes) {
+					break
+				}
 			}
 		}
 		outs[rg] = buf

@@ -1,0 +1,107 @@
+package urel
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// MemLimitError reports a tripped memory budget. Evaluators that own a
+// MemBudget surface it between operators (callers typically translate it
+// into their own typed limit error).
+type MemLimitError struct {
+	Limit int64
+	Used  int64
+}
+
+// Error implements the error interface.
+func (e *MemLimitError) Error() string {
+	return fmt.Sprintf("urel: memory limit exceeded: ~%d bytes materialized > %d", e.Used, e.Limit)
+}
+
+// MemBudget bounds the bytes an evaluation materializes, using the same
+// running footprint estimate the operator statistics report (value and
+// condition payloads plus per-tuple bookkeeping — an estimate of bytes
+// built, cumulative across operators and evaluation passes, not an
+// allocator measurement or a peak-RSS bound).
+//
+// Enforcement is cooperative and two-layered: every operator adds its
+// output's estimated footprint when it records statistics, and the
+// partitioned operators with multiplicative blow-up potential (join,
+// product) additionally probe the budget with their in-flight range-local
+// bytes, stopping production mid-range once it trips. A tripped budget
+// never un-trips; the evaluator turns it into a typed limit error between
+// operators, and whatever partial output the aborted operator produced is
+// discarded with the evaluation.
+//
+// A MemBudget is safe for concurrent use (operators record from pool
+// workers). All methods are nil-receiver safe, so call sites need no
+// budget-configured check.
+type MemBudget struct {
+	limit   int64
+	used    atomic.Int64
+	tripped atomic.Bool
+}
+
+// NewMemBudget returns a budget of limit estimated bytes; limit <= 0
+// returns nil (no budget — every method on a nil budget is a no-op).
+func NewMemBudget(limit int64) *MemBudget {
+	if limit <= 0 {
+		return nil
+	}
+	return &MemBudget{limit: limit}
+}
+
+// Add records n estimated bytes as materialized, tripping the budget when
+// the running total exceeds the limit.
+func (b *MemBudget) Add(n int64) {
+	if b == nil {
+		return
+	}
+	if b.used.Add(n) > b.limit {
+		b.tripped.Store(true)
+	}
+}
+
+// Probe reports whether the budget is (or would be) exhausted with
+// inflight additional bytes on top of the recorded total, tripping it if
+// so. Operators call it with range-local byte counts to stop producing
+// output before the overshoot is ever recorded.
+func (b *MemBudget) Probe(inflight int64) bool {
+	if b == nil {
+		return false
+	}
+	if b.tripped.Load() {
+		return true
+	}
+	if b.used.Load()+inflight > b.limit {
+		b.tripped.Store(true)
+	}
+	return b.tripped.Load()
+}
+
+// Exceeded reports whether the budget has tripped.
+func (b *MemBudget) Exceeded() bool { return b != nil && b.tripped.Load() }
+
+// Err returns a *MemLimitError once the budget has tripped, nil before.
+func (b *MemBudget) Err() error {
+	if !b.Exceeded() {
+		return nil
+	}
+	return &MemLimitError{Limit: b.limit, Used: b.Used()}
+}
+
+// Limit returns the configured byte limit (0 for a nil budget).
+func (b *MemBudget) Limit() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.limit
+}
+
+// Used returns the recorded byte total (0 for a nil budget).
+func (b *MemBudget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}

@@ -1,0 +1,135 @@
+package pdb
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Engine is a long-lived evaluation handle over one database. Unlike a
+// bare Query — whose estimator state lives only for a single Eval call —
+// an Engine owns a content-keyed Karp–Luby cache that persists across Eval
+// calls: a repeated query resumes its sampled trials instead of re-drawing
+// them, and *different* queries that share lineage content (the common
+// case for repeated analytics over one uncertain database) reuse each
+// other's estimation work. Results are unaffected: a warm evaluation is
+// bit-identical to a cold one under the same seed, for any worker count.
+//
+// The cache is bounded (least-recently-used eviction, see
+// WithEngineCacheSize) and safe for concurrent use: any number of
+// goroutines may Eval queries prepared on one Engine simultaneously —
+// the intended shape for a network service front-end.
+//
+// An Engine holds no goroutines or file handles; dropping it releases
+// everything.
+type Engine struct {
+	db    *DB
+	cache *core.Cache
+
+	evals         atomic.Int64
+	sampledTrials atomic.Int64
+	reusedTrials  atomic.Int64
+	cacheHits     atomic.Int64
+}
+
+// defaultEngineCacheSize bounds the estimator cache of an Engine built
+// without WithEngineCacheSize. Entries are small (a few hundred bytes of
+// counters plus one PRNG), so the default admits substantial cross-query
+// reuse while keeping the cache's footprint in the low megabytes.
+const defaultEngineCacheSize = 4096
+
+// EngineOption configures an Engine at construction.
+type EngineOption struct {
+	apply func(*Engine) error
+}
+
+// WithEngineCacheSize bounds the engine's estimator cache to n cached
+// tasks (LRU eviction beyond it). n must be positive; eviction only costs
+// future reuse, never correctness. Default 4096.
+func WithEngineCacheSize(n int) EngineOption {
+	return EngineOption{func(e *Engine) error {
+		if n <= 0 {
+			return optionErr("WithEngineCacheSize", n, "cache size must be positive")
+		}
+		e.cache = core.NewCache(n)
+		return nil
+	}}
+}
+
+// Engine builds a long-lived evaluation handle whose estimator cache
+// persists across Eval calls. Queries prepared through Engine.Prepare are
+// bound to it; queries prepared directly on the DB keep the per-call
+// cache.
+func (db *DB) Engine(opts ...EngineOption) (*Engine, error) {
+	e := &Engine{db: db, cache: core.NewCache(defaultEngineCacheSize)}
+	for _, opt := range opts {
+		if opt.apply == nil {
+			continue
+		}
+		if err := opt.apply(e); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// DB returns the engine's database.
+func (e *Engine) DB() *DB { return e.db }
+
+// Prepare parses and validates a UA program like DB.Prepare, binding the
+// resulting query to the engine: its Eval calls resume estimator state
+// from — and publish state to — the engine's cache.
+func (e *Engine) Prepare(src string) (*Query, error) {
+	q, err := e.db.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	q.eng = e
+	return q, nil
+}
+
+// EngineStats is a point-in-time snapshot of an engine's cumulative work
+// and the effectiveness of its cross-query estimator cache.
+type EngineStats struct {
+	// Evals counts completed approximate evaluations (failed or cancelled
+	// evaluations are not counted).
+	Evals int64
+	// SampledTrials and ReusedTrials aggregate the per-evaluation
+	// Stats.SampledTrials / Stats.ReusedTrials over all completed
+	// evaluations: reused trials were served from the engine cache (or
+	// from a restart's own snapshots) instead of being re-sampled.
+	SampledTrials int64
+	ReusedTrials  int64
+	// CacheHits counts estimation tasks (across all evaluations) that
+	// resumed from a cached snapshot.
+	CacheHits int64
+	// CacheEntries / CacheEvictions / CacheMisses describe the engine
+	// cache itself.
+	CacheEntries   int
+	CacheMisses    int64
+	CacheEvictions int64
+}
+
+// Stats returns the engine's cumulative statistics. Safe to call
+// concurrently with evaluations.
+func (e *Engine) Stats() EngineStats {
+	cs := e.cache.Stats()
+	return EngineStats{
+		Evals:          e.evals.Load(),
+		SampledTrials:  e.sampledTrials.Load(),
+		ReusedTrials:   e.reusedTrials.Load(),
+		CacheHits:      e.cacheHits.Load(),
+		CacheEntries:   cs.Entries,
+		CacheMisses:    cs.Misses,
+		CacheEvictions: cs.Evictions,
+	}
+}
+
+// record folds one completed evaluation's statistics into the engine's
+// cumulative counters.
+func (e *Engine) record(s Stats) {
+	e.evals.Add(1)
+	e.sampledTrials.Add(s.SampledTrials)
+	e.reusedTrials.Add(s.ReusedTrials)
+	e.cacheHits.Add(s.CacheHits)
+}

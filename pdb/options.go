@@ -6,6 +6,25 @@ import (
 	"repro/internal/core"
 )
 
+// LimitError reports an evaluation aborted because it exceeded one of its
+// per-query resource limits (WithMaxTrials / WithMaxMemory). Enforcement
+// is cooperative — between operators and between estimation chunks — so
+// Used may exceed Limit by one scheduling granule. An aborted evaluation
+// leaves engines, caches, and queries fully usable.
+type LimitError struct {
+	// Resource names the exhausted limit: "trials" or "memory".
+	Resource string
+	// Limit is the configured bound; Used is the consumption observed
+	// when the limit tripped (sampled trials, or estimated bytes).
+	Limit int64
+	Used  int64
+}
+
+// Error implements the error interface.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("pdb: %s limit exceeded: %d > %d", e.Resource, e.Used, e.Limit)
+}
+
 // OptionError reports an evaluation option that was rejected at
 // construction, before any evaluation work started.
 type OptionError struct {
@@ -118,6 +137,40 @@ func WithWorkers(n int) Option {
 			return optionErr("WithWorkers", n, "worker count must not be negative")
 		}
 		o.Workers = n
+		return nil
+	}}
+}
+
+// WithMaxTrials caps the number of Karp–Luby trials one evaluation may
+// sample, cumulatively across every pass of the doubling loop. Exceeding
+// the cap aborts the evaluation with a typed *LimitError. Must be
+// positive; trials resumed from cached estimator state are free, and the
+// cap does not apply to EvalExact (exact evaluation samples nothing —
+// bound it with WithMaxMemory and the context deadline instead).
+// Default: unlimited.
+func WithMaxTrials(n int64) Option {
+	return Option{func(o *core.Options) error {
+		if n <= 0 {
+			return optionErr("WithMaxTrials", n, "trial limit must be positive")
+		}
+		o.MaxTrials = n
+		return nil
+	}}
+}
+
+// WithMaxMemory caps the evaluation's estimated working-set growth: the
+// running bytes estimate the engine keeps for materialized operator
+// outputs (the same estimate Stats.Ops reports, cumulative across
+// evaluation passes — not an allocator measurement). Exceeding the cap
+// aborts the evaluation with a typed *LimitError; the partitioned
+// operators stop producing mid-range once it trips. Applies to Eval and
+// EvalExact alike. Must be positive. Default: unlimited.
+func WithMaxMemory(bytes int64) Option {
+	return Option{func(o *core.Options) error {
+		if bytes <= 0 {
+			return optionErr("WithMaxMemory", bytes, "memory limit must be positive")
+		}
+		o.MaxMemory = bytes
 		return nil
 	}}
 }

@@ -2,6 +2,7 @@ package pdb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/algebra"
@@ -16,6 +17,9 @@ type Query struct {
 	db   *DB
 	plan algebra.Query
 	src  string
+	// eng, when non-nil, is the long-lived Engine the query was prepared
+	// on: Eval resumes estimator state from its cross-query cache.
+	eng *Engine
 }
 
 // Prepare parses a UA program (zero or more `Name := query;` bindings and
@@ -54,6 +58,13 @@ func (q *Query) Explain() string { return algebra.Explain(q.plan, q.db.udb) }
 // ctx.Err(). A cancelled evaluation leaves no goroutines behind, and a
 // later Eval on the same Query is bit-identical to one on a fresh
 // database.
+//
+// A query prepared through Engine.Prepare evaluates against the engine's
+// persistent content-keyed estimator cache: repeated or lineage-sharing
+// evaluations resume sampled trials (visible as Stats.ReusedTrials /
+// Stats.CacheHits) with results bit-identical to a cold run. Resource
+// limits (WithMaxTrials, WithMaxMemory) abort the evaluation with a
+// typed *LimitError.
 func (q *Query) Eval(ctx context.Context, opts ...Option) (*Result, error) {
 	copts, err := buildOptions(opts)
 	if err != nil {
@@ -62,11 +73,19 @@ func (q *Query) Eval(ctx context.Context, opts ...Option) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	res, err := core.NewEngine(q.db.udb, copts).EvalApproxContext(ctx, q.plan)
-	if err != nil {
-		return nil, err
+	eng := core.NewEngine(q.db.udb, copts)
+	if q.eng != nil {
+		eng.SetCache(q.eng.cache)
 	}
-	return newApproxResult(res), nil
+	res, err := eng.EvalApproxContext(ctx, q.plan)
+	if err != nil {
+		return nil, translateLimitError(err)
+	}
+	out := newApproxResult(res)
+	if q.eng != nil {
+		q.eng.record(out.stats)
+	}
+	return out, nil
 }
 
 // EvalExact evaluates the query with exact confidence computation (#P in
@@ -76,9 +95,12 @@ func (q *Query) Eval(ctx context.Context, opts ...Option) (*Result, error) {
 // Exact evaluation honours WithWorkers — partitioned operators, exact
 // per-tuple confidence computations, and independent plan branches run
 // across the worker pool, with results bit-identical for any worker
-// count — and reports per-operator work in Result.Stats().Ops. Accuracy
-// and sampling options (ε, δ, seed, rounds, resume) do not apply to the
-// exact path and are validated but otherwise ignored.
+// count — and reports per-operator work in Result.Stats().Ops. It also
+// honours WithMaxMemory (a tripped budget aborts with a typed
+// *LimitError, exactly like Eval). Accuracy and sampling options (ε, δ,
+// seed, rounds, resume, WithMaxTrials — exact evaluation samples
+// nothing) do not apply to the exact path and are validated but
+// otherwise ignored.
 func (q *Query) EvalExact(ctx context.Context, opts ...Option) (*Result, error) {
 	copts, err := buildOptions(opts)
 	if err != nil {
@@ -89,7 +111,17 @@ func (q *Query) EvalExact(ctx context.Context, opts ...Option) (*Result, error) 
 	}
 	res, err := core.NewEngine(q.db.udb, copts).EvalExactContext(ctx, q.plan)
 	if err != nil {
-		return nil, err
+		return nil, translateLimitError(err)
 	}
 	return newExactResult(res), nil
+}
+
+// translateLimitError maps the engine's limit error to the public typed
+// *LimitError; any other error passes through unchanged.
+func translateLimitError(err error) error {
+	var le *core.LimitError
+	if errors.As(err, &le) {
+		return &LimitError{Resource: le.Resource, Limit: le.Limit, Used: le.Used}
+	}
+	return err
 }

@@ -32,10 +32,14 @@ type Stats struct {
 	// Restarts is the number of doubling restarts.
 	Restarts int
 	// SampledTrials is the number of Karp–Luby trials actually sampled;
-	// ReusedTrials counts trials resumed from earlier restarts' estimator
-	// snapshots instead.
+	// ReusedTrials counts trials resumed from estimator snapshots instead
+	// — snapshots of this evaluation's earlier restarts, or of earlier
+	// evaluations when the query is bound to an Engine cache.
 	SampledTrials int64
 	ReusedTrials  int64
+	// CacheHits is the number of estimation tasks that resumed from a
+	// cached snapshot (cross-restart, and cross-query on an Engine).
+	CacheHits int64
 	// Decisions is the number of σ̂ predicate decisions in the final pass.
 	Decisions int
 	// SingularDrops counts negative σ̂ decisions flagged as potential
@@ -88,6 +92,7 @@ func newApproxResult(r *core.Result) *Result {
 		Restarts:      r.Stats.Restarts,
 		SampledTrials: r.Stats.EstimatorTrials,
 		ReusedTrials:  r.Stats.ReusedTrials,
+		CacheHits:     r.Stats.CacheHits,
 		Decisions:     r.Stats.Decisions,
 		SingularDrops: r.Stats.SingularDrops,
 		Ops:           opStatsFrom(r.Stats.Ops),

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the pdbserve query service: build the binary, boot
+# it against the examples/ CSV data, drive it with curl — JSON rows, a
+# stats trailer, cross-request estimator-cache reuse, the typed limit
+# error — and assert a graceful SIGTERM shutdown exits 0. CI's `service`
+# job runs exactly this script (via `make service-smoke`), so a local pass
+# means a green job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr=127.0.0.1:18097
+bin="$(mktemp -d)/pdbserve"
+go build -o "$bin" ./cmd/pdbserve
+
+"$bin" -addr "$addr" -datadir examples/data &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+# Wait for the listener.
+for _ in $(seq 1 50); do
+  curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sf "http://$addr/healthz" | grep -q '"ok":true'
+
+req='{"program":"conf as P (project[sensor](select[temp >= 21](repairkey[sensor @ w](sensors))));","seed":7}'
+
+echo "== cold query"
+out1="$(curl -sf "http://$addr/v1/query" -d "$req")"
+echo "$out1"
+echo "$out1" | grep -q '"columns":\["sensor","P"\]'
+echo "$out1" | grep -q '"row":{.*"sensor":"s1"'
+echo "$out1" | grep -q '"stats":{'
+echo "$out1" | grep -qE '"sampled_trials":[1-9]'
+
+echo "== warm query (content-keyed cache must replay, sampling nothing)"
+out2="$(curl -sf "http://$addr/v1/query" -d "$req")"
+echo "$out2"
+echo "$out2" | grep -q '"sampled_trials":0'
+echo "$out2" | grep -qE '"reused_trials":[1-9]'
+echo "$out2" | grep -qE '"cache_hits":[1-9]'
+# The rows themselves must be identical to the cold run.
+[ "$(echo "$out1" | grep '"row"')" = "$(echo "$out2" | grep '"row"')" ]
+
+echo "== stats endpoint"
+stats="$(curl -sf "http://$addr/v1/stats")"
+echo "$stats"
+echo "$stats" | grep -qE '"cache_hits":[1-9]'
+echo "$stats" | grep -q '"requests":2'
+
+echo "== per-request trial limit maps to 422"
+code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/query" \
+  -d '{"program":"conf as P (project[sensor](repairkey[sensor @ w](sensors)));","max_trials":10,"conf_epsilon":0.01,"conf_delta":0.01}')"
+[ "$code" = "422" ]
+
+echo "== graceful shutdown exits 0"
+kill -TERM "$pid"
+wait "$pid"
+trap - EXIT
+echo "service smoke OK"
