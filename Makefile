@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fuzz vet fmt-check docs-check examples service-smoke ci
+.PHONY: build test race bench fuzz vet fmt-check docs-check links-check examples service-smoke ci
 
 build:
 	$(GO) build ./...
@@ -58,4 +58,9 @@ docs-check:
 		echo "packages missing a godoc package comment:"; \
 		echo "$$missing"; exit 1; fi
 
-ci: vet fmt-check docs-check build test race fuzz examples service-smoke
+# Every relative Markdown link must resolve to an existing file, so the
+# docs set (README, docs/*, examples/README) cannot silently rot.
+links-check:
+	./scripts/check-links.sh
+
+ci: vet fmt-check docs-check links-check build test race fuzz examples service-smoke

@@ -13,6 +13,19 @@
 //
 //	curl -s localhost:8080/v1/query -d '{"program":"conf (repairkey[id @ w](obs));"}'
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics      # Prometheus text exposition
+//
+// Multi-tenant fleets name tenants via a request header and bound each
+// with a quota; global admission control caps concurrent evaluations:
+//
+//	pdbserve -datadir data -tenant-header X-Pdb-Tenant \
+//	    -tenant team-a=max_concurrent:4,trials_per_sec:200000 \
+//	    -default-quota max_concurrent:2 \
+//	    -max-inflight 8 -admission-queue 16 -admission-wait 2s
+//
+// Over-quota and shed requests get 429 with a Retry-After header; see
+// docs/OPERATIONS.md for the full flag, quota, and metrics reference and
+// docs/API.md for the wire protocol.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get a drain window, then the process exits 0.
@@ -54,6 +67,34 @@ func run() error {
 	maxMemory := fs.Int64("max-memory", 0, "per-request materialized-bytes cap (0 disables)")
 	maxWorkers := fs.Int("max-workers", 0, "cap on client-requested workers (0 = GOMAXPROCS, negative disables)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	tenantHeader := fs.String("tenant-header", "", "request header naming the tenant (e.g. X-Pdb-Tenant); empty disables tenant scoping")
+	requireTenant := fs.Bool("require-tenant", false, "reject requests without the tenant header (403)")
+	strictTenants := fs.Bool("strict-tenants", false, "reject tenants without a -tenant entry (403, allowlist mode)")
+	maxInFlight := fs.Int("max-inflight", 0, "global cap on concurrent evaluations (0 disables admission control)")
+	admissionQueue := fs.Int("admission-queue", 0, "requests that may wait for an evaluation slot before new arrivals get 429")
+	admissionWait := fs.Duration("admission-wait", time.Second, "longest one request waits in the admission queue")
+	quotas := map[string]server.Quota{}
+	fs.Func("tenant", "tenant quota as name="+quotaSpecSyntax+" (repeatable)", func(v string) error {
+		name, spec, ok := strings.Cut(v, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("-tenant wants name=spec, got %q", v)
+		}
+		q, err := parseQuota(spec)
+		if err != nil {
+			return fmt.Errorf("-tenant %s: %w", name, err)
+		}
+		quotas[name] = q
+		return nil
+	})
+	var defaultQuota server.Quota
+	fs.Func("default-quota", "quota for tenants without a -tenant entry, as "+quotaSpecSyntax, func(v string) error {
+		q, err := parseQuota(v)
+		if err != nil {
+			return fmt.Errorf("-default-quota: %w", err)
+		}
+		defaultQuota = q
+		return nil
+	})
 	tables := map[string]string{}
 	fs.Func("table", "relation as name=path.csv (repeatable)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
@@ -99,6 +140,14 @@ func run() error {
 		MaxTrials:      *maxTrials,
 		MaxMemory:      *maxMemory,
 		MaxWorkers:     *maxWorkers,
+		TenantHeader:   *tenantHeader,
+		RequireTenant:  *requireTenant,
+		StrictTenants:  *strictTenants,
+		Quotas:         quotas,
+		DefaultQuota:   defaultQuota,
+		MaxInFlight:    *maxInFlight,
+		AdmissionQueue: *admissionQueue,
+		AdmissionWait:  *admissionWait,
 		Logger:         logger,
 	})
 	if err != nil {

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/server"
+)
+
+// quotaSpecSyntax documents the -tenant / -default-quota value format.
+const quotaSpecSyntax = "max_concurrent:N,trials_per_sec:N,burst:N,max_trials:N,max_memory:N"
+
+// parseQuota parses a comma-separated list of key:value pairs into a
+// server.Quota. Every key is optional; an empty spec is the unlimited
+// quota (useful to allowlist a tenant under -strict-tenants without
+// bounding it).
+func parseQuota(spec string) (server.Quota, error) {
+	var q server.Quota
+	if strings.TrimSpace(spec) == "" {
+		return q, nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(pair), ":")
+		if !ok {
+			return q, fmt.Errorf("quota field %q wants key:value (syntax: %s)", pair, quotaSpecSyntax)
+		}
+		switch key {
+		case "max_concurrent":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return q, fmt.Errorf("max_concurrent %q: want a non-negative integer", val)
+			}
+			q.MaxConcurrent = n
+		case "trials_per_sec":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return q, fmt.Errorf("trials_per_sec %q: want a non-negative number", val)
+			}
+			q.TrialsPerSec = f
+		case "burst":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return q, fmt.Errorf("burst %q: want a non-negative integer", val)
+			}
+			q.TrialsBurst = n
+		case "max_trials":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return q, fmt.Errorf("max_trials %q: want a non-negative integer", val)
+			}
+			q.MaxTrials = n
+		case "max_memory":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return q, fmt.Errorf("max_memory %q: want a non-negative integer", val)
+			}
+			q.MaxMemory = n
+		default:
+			return q, fmt.Errorf("unknown quota field %q (syntax: %s)", key, quotaSpecSyntax)
+		}
+	}
+	return q, nil
+}

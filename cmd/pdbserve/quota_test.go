@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/server"
+)
+
+func TestParseQuota(t *testing.T) {
+	cases := []struct {
+		spec string
+		want server.Quota
+	}{
+		{"", server.Quota{}},
+		{"max_concurrent:4", server.Quota{MaxConcurrent: 4}},
+		{"trials_per_sec:1000,burst:5000", server.Quota{TrialsPerSec: 1000, TrialsBurst: 5000}},
+		{
+			"max_concurrent:2, trials_per_sec:0.5, burst:1, max_trials:100000, max_memory:1048576",
+			server.Quota{MaxConcurrent: 2, TrialsPerSec: 0.5, TrialsBurst: 1, MaxTrials: 100000, MaxMemory: 1 << 20},
+		},
+	}
+	for _, tc := range cases {
+		got, err := parseQuota(tc.spec)
+		if err != nil {
+			t.Errorf("parseQuota(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseQuota(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestParseQuotaErrors(t *testing.T) {
+	for _, spec := range []string{
+		"max_concurrent",        // no value
+		"max_concurrent:-1",     // negative
+		"trials_per_sec:fast",   // not a number
+		"concurrency:3",         // unknown key
+		"max_trials:1e6",        // integers only
+		"max_concurrent:2;ok:1", // wrong separator
+	} {
+		if _, err := parseQuota(spec); err == nil {
+			t.Errorf("parseQuota(%q) accepted", spec)
+		}
+	}
+}

@@ -68,7 +68,18 @@ func main() {
 }
 
 // ask posts one query and prints the streamed NDJSON result as it
-// arrives.
+// arrives. The stream is framed as one JSON object per line (see
+// docs/API.md):
+//
+//	{"columns":[...],"complete":true}            — schema header, first line
+//	{"row":{...},"error_bound":0.003,...}        — one line per result row
+//	{"stats":{"rows":3,"max_error_bound":...,    — trailer, last line:
+//	          "sampled_trials":N,"reused_trials":N,
+//	          "cache_hits":N,"elapsed_ms":N}}      evaluation accounting
+//
+// A warm request shows up in the trailer as sampled_trials=0 with
+// reused_trials>0 and cache_hits>0: the engine replayed its cached
+// estimator state instead of re-sampling.
 func ask(baseURL string, q query) {
 	body, err := json.Marshal(q)
 	if err != nil {
@@ -80,8 +91,13 @@ func ask(baseURL string, q query) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		// Non-200 responses carry one JSON error object; 429s also set a
+		// Retry-After header telling the client when to come back.
 		var e struct{ Error, Kind string }
 		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			log.Fatalf("query rejected (%d, %s, retry after %ss): %s", resp.StatusCode, e.Kind, ra, e.Error)
+		}
 		log.Fatalf("query failed (%d, %s): %s", resp.StatusCode, e.Kind, e.Error)
 	}
 	sc := bufio.NewScanner(resp.Body)
@@ -92,9 +108,12 @@ func ask(baseURL string, q query) {
 			Row     map[string]any `json:"row"`
 			Bound   float64        `json:"error_bound"`
 			Stats   *struct {
-				Sampled int64 `json:"sampled_trials"`
-				Reused  int64 `json:"reused_trials"`
-				Hits    int64 `json:"cache_hits"`
+				Rows     int     `json:"rows"`
+				MaxBound float64 `json:"max_error_bound"`
+				Sampled  int64   `json:"sampled_trials"`
+				Reused   int64   `json:"reused_trials"`
+				Hits     int64   `json:"cache_hits"`
+				Elapsed  int64   `json:"elapsed_ms"`
 			} `json:"stats"`
 		}
 		if err := json.Unmarshal(line, &msg); err != nil {
@@ -104,8 +123,9 @@ func ask(baseURL string, q query) {
 		case msg.Columns != nil:
 			fmt.Printf("  columns: %v\n", msg.Columns)
 		case msg.Stats != nil:
-			fmt.Printf("  stats: sampled=%d reused=%d cache-hits=%d\n",
-				msg.Stats.Sampled, msg.Stats.Reused, msg.Stats.Hits)
+			fmt.Printf("  stats: rows=%d max-err=%.4g sampled=%d reused=%d cache-hits=%d elapsed=%dms\n",
+				msg.Stats.Rows, msg.Stats.MaxBound, msg.Stats.Sampled, msg.Stats.Reused,
+				msg.Stats.Hits, msg.Stats.Elapsed)
 		default:
 			fmt.Printf("  %v=%.4f (±err ≤ %.4g)\n", msg.Row["sensor"], msg.Row["P"], msg.Bound)
 		}

@@ -104,6 +104,11 @@ type CacheStats struct {
 	Evictions int64
 }
 
+// Cap returns the configured entry bound (0 means unbounded). It lets
+// operators alert on cache pressure: Entries at Cap with a rising
+// eviction count means the working set no longer fits.
+func (c *Cache) Cap() int { return c.maxEntries }
+
 // Stats returns the cache's current statistics.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()

@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sampleRe matches one exposition sample line:
+// name{label="value",...} number — the grammar a Prometheus scraper
+// accepts for version 0.0.4 text format.
+var sampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?[0-9.e+-]+|\+Inf|-Inf|NaN)$`)
+
+// parseExposition validates every line of an exposition page and returns
+// the sample lines by metric name+labels.
+func parseExposition(t *testing.T, page string) map[string]string {
+	t.Helper()
+	samples := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(page))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !sampleRe.MatchString(line) {
+			t.Fatalf("invalid exposition line: %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		samples[line[:sp]] = line[sp+1:]
+	}
+	return samples
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "Events seen.")
+	g := r.Gauge("test_depth", "Current depth.")
+	r.GaugeFunc("test_pulled", "Pulled at scrape.", func() float64 { return 7 })
+	r.CounterFunc("test_pulled_total", "Pulled counter.", func() float64 { return 9 })
+	c.Add(41)
+	c.Inc()
+	g.Set(5)
+	g.Dec()
+
+	var sb strings.Builder
+	r.Expose(&sb)
+	page := sb.String()
+	samples := parseExposition(t, page)
+	for name, want := range map[string]string{
+		"test_events_total": "42",
+		"test_depth":        "4",
+		"test_pulled":       "7",
+		"test_pulled_total": "9",
+	} {
+		if samples[name] != want {
+			t.Errorf("%s = %q, want %q", name, samples[name], want)
+		}
+	}
+	for _, header := range []string{
+		"# HELP test_events_total Events seen.",
+		"# TYPE test_events_total counter",
+		"# TYPE test_depth gauge",
+	} {
+		if !strings.Contains(page, header+"\n") {
+			t.Errorf("missing header %q in:\n%s", header, page)
+		}
+	}
+}
+
+func TestVecLabelsAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_requests_total", "Requests.", "route", "status")
+	v.With("/v1/query", "200").Add(3)
+	v.With("/v1/query", "429").Inc()
+	v.With(`we"ird\label`+"\n", "200").Inc()
+
+	var sb strings.Builder
+	r.Expose(&sb)
+	samples := parseExposition(t, sb.String())
+	if samples[`test_requests_total{route="/v1/query",status="200"}`] != "3" {
+		t.Errorf("labelled sample missing: %v", samples)
+	}
+	if samples[`test_requests_total{route="/v1/query",status="429"}`] != "1" {
+		t.Errorf("second label set missing: %v", samples)
+	}
+	if samples[`test_requests_total{route="we\"ird\\label\n",status="200"}`] != "1" {
+		t.Errorf("escaped label set missing: %v", samples)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	r.Expose(&sb)
+	samples := parseExposition(t, sb.String())
+	for key, want := range map[string]string{
+		`test_latency_seconds_bucket{le="0.1"}`:  "1",
+		`test_latency_seconds_bucket{le="1"}`:    "3",
+		`test_latency_seconds_bucket{le="10"}`:   "4",
+		`test_latency_seconds_bucket{le="+Inf"}`: "5",
+		"test_latency_seconds_count":             "5",
+		"test_latency_seconds_sum":               "56.05",
+	} {
+		if samples[key] != want {
+			t.Errorf("%s = %q, want %q", key, samples[key], want)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("test_dur_seconds", "Durations.", []float64{1}, "route")
+	v.With("/a").Observe(0.5)
+	v.With("/a").Observe(2)
+	v.With("/b").Observe(0.1)
+	var sb strings.Builder
+	r.Expose(&sb)
+	samples := parseExposition(t, sb.String())
+	if samples[`test_dur_seconds_bucket{route="/a",le="1"}`] != "1" ||
+		samples[`test_dur_seconds_bucket{route="/a",le="+Inf"}`] != "2" ||
+		samples[`test_dur_seconds_count{route="/b"}`] != "1" {
+		t.Errorf("histogram vec samples wrong: %v", samples)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("ok_total", "fine")
+	mustPanic("duplicate name", func() { r.Gauge("ok_total", "dup") })
+	mustPanic("bad name", func() { r.Counter("0bad", "x") })
+	mustPanic("bad label", func() { r.CounterVec("ok2_total", "x", "0bad") })
+	mustPanic("negative counter add", func() { r.Counter("ok3_total", "x").Add(-1) })
+	mustPanic("bad buckets", func() { r.Histogram("ok4", "x", []float64{2, 1}) })
+	v := r.CounterVec("ok5_total", "x", "a", "b")
+	mustPanic("label arity", func() { v.With("only-one") })
+}
+
+// TestConcurrentUse hammers one registry from many goroutines while
+// scraping it — run under -race this vets the whole write path.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_c_total", "c")
+	g := r.Gauge("test_g", "g")
+	v := r.CounterVec("test_v_total", "v", "k")
+	h := r.Histogram("test_h", "h", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				v.With(fmt.Sprintf("k%d", i%3)).Inc()
+				h.Observe(float64(j) / 1000)
+				if j%100 == 0 {
+					var sb strings.Builder
+					r.Expose(&sb)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("counts: c=%d g=%d h=%d", c.Value(), g.Value(), h.Count())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "t").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_total 1\n") {
+		t.Errorf("body:\n%s", rec.Body.String())
+	}
+}

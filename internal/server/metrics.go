@@ -1,0 +1,97 @@
+package server
+
+import (
+	"repro/internal/metrics"
+	"repro/pdb"
+)
+
+// serverMetrics holds every instrument the service exports on /metrics.
+// HTTP- and quota-level series are pushed from the handlers; engine-level
+// series are pulled from pdb.Engine.Stats at scrape time, so the scrape
+// always reflects the engine's own cumulative accounting (including work
+// done before the metrics endpoint was first hit).
+//
+// The full series reference — names, types, labels, meanings, suggested
+// alerts — lives in docs/OPERATIONS.md; keep the two in sync.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	requests     *metrics.CounterVec   // pdb_http_requests_total{route,status}
+	duration     *metrics.HistogramVec // pdb_http_request_duration_seconds{route}
+	httpInFlight *metrics.Gauge        // pdb_http_in_flight_requests
+	rowsStreamed *metrics.Counter      // pdb_http_rows_streamed_total
+
+	limitErrors      *metrics.CounterVec // pdb_limit_errors_total{resource}
+	tenantRequests   *metrics.CounterVec // pdb_tenant_requests_total{tenant}
+	tenantRejections *metrics.CounterVec // pdb_tenant_rejections_total{tenant,reason}
+	admissionRejects *metrics.CounterVec // pdb_admission_rejected_total{reason}
+	admissionWait    *metrics.Histogram  // pdb_admission_wait_seconds
+}
+
+// newServerMetrics registers the service's metric families on reg and
+// binds the pull-style engine/admission gauges.
+func newServerMetrics(reg *metrics.Registry, eng *pdb.Engine, adm *admission) *serverMetrics {
+	m := &serverMetrics{
+		reg: reg,
+		requests: reg.CounterVec("pdb_http_requests_total",
+			"HTTP requests served, by route and status code.", "route", "status"),
+		duration: reg.HistogramVec("pdb_http_request_duration_seconds",
+			"HTTP request latency, by route.", nil, "route"),
+		httpInFlight: reg.Gauge("pdb_http_in_flight_requests",
+			"HTTP requests currently being served."),
+		rowsStreamed: reg.Counter("pdb_http_rows_streamed_total",
+			"Result rows streamed to clients."),
+		limitErrors: reg.CounterVec("pdb_limit_errors_total",
+			"Evaluations aborted by a per-request resource limit, by resource (trials, memory).", "resource"),
+		tenantRequests: reg.CounterVec("pdb_tenant_requests_total",
+			"Query requests per tenant (configured tenants by name; others as \"other\", the empty tenant as \"default\").", "tenant"),
+		tenantRejections: reg.CounterVec("pdb_tenant_rejections_total",
+			"Requests rejected by tenant scoping or quotas, by reason (forbidden, concurrency, rate).", "tenant", "reason"),
+		admissionRejects: reg.CounterVec("pdb_admission_rejected_total",
+			"Evaluations shed by global admission control, by reason (queue_full, wait_timeout, canceled).", "reason"),
+		admissionWait: reg.Histogram("pdb_admission_wait_seconds",
+			"Time evaluations spent queued in admission control before starting.", nil),
+	}
+
+	// Engine counters pulled at scrape time from the engine's cumulative
+	// stats (one Stats snapshot per family keeps each sample internally
+	// consistent; cross-family skew within one scrape is harmless).
+	reg.CounterFunc("pdb_engine_evals_total",
+		"Completed evaluations on the shared engine.",
+		func() float64 { return float64(eng.Stats().Evals) })
+	reg.CounterFunc("pdb_engine_sampled_trials_total",
+		"Karp-Luby trials actually sampled across all evaluations.",
+		func() float64 { return float64(eng.Stats().SampledTrials) })
+	reg.CounterFunc("pdb_engine_reused_trials_total",
+		"Trials served from cached estimator snapshots instead of being re-sampled.",
+		func() float64 { return float64(eng.Stats().ReusedTrials) })
+	reg.CounterFunc("pdb_engine_cache_hits_total",
+		"Estimation tasks resumed from the content-keyed estimator cache.",
+		func() float64 { return float64(eng.Stats().CacheHits) })
+	reg.CounterFunc("pdb_engine_cache_misses_total",
+		"Estimator-cache lookups that found nothing resumable.",
+		func() float64 { return float64(eng.Stats().CacheMisses) })
+	reg.CounterFunc("pdb_engine_cache_evictions_total",
+		"Estimator-cache entries evicted by the LRU bound.",
+		func() float64 { return float64(eng.Stats().CacheEvictions) })
+	reg.CounterFunc("pdb_engine_limit_trips_total",
+		"Evaluations aborted by a per-query resource limit, as counted by the engine.",
+		func() float64 { return float64(eng.Stats().LimitTrips) })
+	reg.GaugeFunc("pdb_engine_cache_entries",
+		"Estimator-cache entries currently held.",
+		func() float64 { return float64(eng.Stats().CacheEntries) })
+	reg.GaugeFunc("pdb_engine_cache_capacity",
+		"Configured estimator-cache entry bound (0 = unbounded).",
+		func() float64 { return float64(eng.Stats().CacheCapacity) })
+	reg.GaugeFunc("pdb_engine_in_flight_evaluations",
+		"Evaluations currently running on the engine.",
+		func() float64 { return float64(eng.Stats().InFlight) })
+
+	reg.GaugeFunc("pdb_admission_in_flight",
+		"Evaluations currently holding an admission slot (0 when admission control is disabled).",
+		func() float64 { return float64(adm.inFlight()) })
+	reg.GaugeFunc("pdb_admission_waiting",
+		"Requests currently queued in admission control.",
+		func() float64 { return float64(adm.waitingNow()) })
+	return m
+}

@@ -10,13 +10,23 @@
 //	                 per row with its error bound, then a stats trailer)
 //	                 via chunked transfer encoding.
 //	GET  /v1/stats   engine + server statistics (cache effectiveness,
-//	                 request counters).
+//	                 request counters, admission state).
+//	GET  /metrics    Prometheus text exposition (internal/metrics) —
+//	                 request, latency, quota, admission, and engine series.
 //	GET  /healthz    liveness probe.
 //
 // Per-request timeouts and resource limits map onto context deadlines and
 // the pdb WithMaxTrials / WithMaxMemory options; server-level caps clamp
-// whatever the client asks for. The handler is safe for concurrent use —
+// whatever the client asks for. Multi-tenant deployments name tenants via
+// a configurable request header and bound each tenant with a Quota
+// (concurrent queries, sampled-trials rate, per-request caps); a global
+// admission controller bounds in-flight evaluations behind a small wait
+// queue, so saturation degrades into 429 + Retry-After instead of
+// unbounded memory growth. The handler is safe for concurrent use —
 // graceful shutdown is the listener owner's job (see cmd/pdbserve).
+//
+// The wire protocol is documented in docs/API.md and the operational
+// surface (flags, metrics, alerting) in docs/OPERATIONS.md.
 package server
 
 import (
@@ -28,10 +38,12 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/pdb"
 )
 
@@ -55,6 +67,40 @@ type Config struct {
 	MaxWorkers int
 	// MaxBodyBytes bounds the request body (default 1 MiB).
 	MaxBodyBytes int64
+
+	// TenantHeader names the request header carrying the tenant name
+	// (e.g. "X-Pdb-Tenant"). Empty disables tenant scoping: every request
+	// shares the DefaultQuota bucket (if any).
+	TenantHeader string
+	// RequireTenant rejects requests without the tenant header with 403
+	// when TenantHeader is set.
+	RequireTenant bool
+	// StrictTenants rejects tenants that have no entry in Quotas with
+	// 403 — the allowlist mode. Without it, unknown tenants fall back to
+	// DefaultQuota.
+	StrictTenants bool
+	// Quotas maps tenant names to their quotas.
+	Quotas map[string]Quota
+	// DefaultQuota applies to tenants without a Quotas entry (and, when
+	// TenantHeader is empty, to all traffic). The zero value is
+	// unlimited.
+	DefaultQuota Quota
+
+	// MaxInFlight bounds globally concurrent evaluations; 0 disables
+	// admission control.
+	MaxInFlight int
+	// AdmissionQueue is how many requests may wait for a slot beyond
+	// MaxInFlight before new arrivals are shed immediately (default 0:
+	// no queue).
+	AdmissionQueue int
+	// AdmissionWait bounds the time one request waits in the admission
+	// queue (default 1s).
+	AdmissionWait time.Duration
+
+	// Registry receives the server's metric families; nil builds a
+	// private registry (exposed on /metrics either way).
+	Registry *metrics.Registry
+
 	// Logger receives one line per failed request; nil disables logging.
 	Logger *log.Logger
 }
@@ -64,6 +110,11 @@ type Server struct {
 	cfg Config
 	eng *pdb.Engine
 	mux *http.ServeMux
+
+	met     *serverMetrics
+	adm     *admission // nil when admission control is disabled
+	tenants *tenantSet
+	now     func() time.Time // injectable clock for quota tests
 
 	start time.Time
 
@@ -92,21 +143,94 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxWorkers == 0 {
 		cfg.MaxWorkers = runtime.GOMAXPROCS(0)
 	}
+	if err := validateQuotas(cfg); err != nil {
+		return nil, err
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
 	s := &Server{
 		cfg:      cfg,
 		eng:      cfg.Engine,
 		mux:      http.NewServeMux(),
+		tenants:  newTenantSet(),
+		now:      time.Now,
 		start:    time.Now(),
 		prepared: make(map[string]*pdb.Query),
 	}
-	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.MaxInFlight > 0 {
+		s.adm = newAdmission(cfg.MaxInFlight, cfg.AdmissionQueue, cfg.AdmissionWait)
+	}
+	s.met = newServerMetrics(cfg.Registry, s.eng, s.adm)
+	s.mux.HandleFunc("POST /v1/query", s.instrument("/v1/query", s.handleQuery))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.instrumentHandler("/metrics", cfg.Registry.Handler()))
 	return s, nil
+}
+
+// validateQuotas rejects nonsense quota configuration at construction.
+func validateQuotas(cfg Config) error {
+	check := func(name string, q Quota) error {
+		if q.MaxConcurrent < 0 || q.TrialsPerSec < 0 || q.TrialsBurst < 0 ||
+			q.MaxTrials < 0 || q.MaxMemory < 0 {
+			return fmt.Errorf("server: quota %q has negative bounds: %+v", name, q)
+		}
+		return nil
+	}
+	if err := check("(default)", cfg.DefaultQuota); err != nil {
+		return err
+	}
+	for name, q := range cfg.Quotas {
+		if err := check(name, q); err != nil {
+			return err
+		}
+	}
+	if (cfg.RequireTenant || cfg.StrictTenants || len(cfg.Quotas) > 0) && cfg.TenantHeader == "" {
+		return errors.New("server: tenant quotas configured but Config.TenantHeader is empty")
+	}
+	return nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// statusWriter records the response status for instrumentation while
+// passing Flush through to the underlying writer (the query stream needs
+// it).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with the per-route request counter, latency
+// histogram, and in-flight gauge.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.met.httpInFlight.Inc()
+		defer s.met.httpInFlight.Dec()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.met.requests.With(route, strconv.Itoa(sw.status)).Inc()
+		s.met.duration.With(route).Observe(time.Since(start).Seconds())
+	}
+}
+
+func (s *Server) instrumentHandler(route string, h http.Handler) http.Handler {
+	return s.instrument(route, h.ServeHTTP)
+}
 
 // queryRequest is the body of POST /v1/query. Zero values mean "use the
 // server's defaults".
@@ -124,7 +248,7 @@ type queryRequest struct {
 	Seed    int64 `json:"seed,omitempty"`
 	Workers int   `json:"workers,omitempty"`
 
-	// Resource limits; the server's caps clamp them.
+	// Resource limits; the server's (and the tenant's) caps clamp them.
 	TimeoutMS      int64 `json:"timeout_ms,omitempty"`
 	MaxTrials      int64 `json:"max_trials,omitempty"`
 	MaxMemoryBytes int64 `json:"max_memory_bytes,omitempty"`
@@ -139,6 +263,8 @@ type queryRequest struct {
 type errorResponse struct {
 	Error string `json:"error"`
 	Kind  string `json:"kind"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429 responses.
+	RetryAfterSeconds int64 `json:"retry_after_seconds,omitempty"`
 }
 
 // queryHeader is the first NDJSON line of a streamed result.
@@ -173,13 +299,25 @@ type queryStats struct {
 
 // fail writes one JSON error (the response must not have been started).
 func (s *Server) fail(w http.ResponseWriter, r *http.Request, status int, kind string, err error) {
+	s.failWith(w, r, status, kind, err, 0)
+}
+
+// failRetry writes a 429-style JSON error with a Retry-After header.
+func (s *Server) failRetry(w http.ResponseWriter, r *http.Request, status int, kind string, err error, retryAfter time.Duration) {
+	s.failWith(w, r, status, kind, err, retryAfterSeconds(retryAfter))
+}
+
+func (s *Server) failWith(w http.ResponseWriter, r *http.Request, status int, kind string, err error, retryAfter int64) {
 	s.failures.Add(1)
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Printf("%s %s: %s: %v", r.Method, r.URL.Path, kind, err)
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt(retryAfter, 10))
+	}
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error(), Kind: kind})
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error(), Kind: kind, RetryAfterSeconds: retryAfter})
 }
 
 // clampLimit combines a client limit with a server cap: the tightest
@@ -193,6 +331,53 @@ func clampLimit(req, cap int64) int64 {
 	default:
 		return req
 	}
+}
+
+// tightestCap combines the server-wide cap with a tenant cap.
+func tightestCap(server, tenant int64) int64 {
+	switch {
+	case server <= 0:
+		return tenant
+	case tenant <= 0:
+		return server
+	case tenant < server:
+		return tenant
+	default:
+		return server
+	}
+}
+
+// resolveTenant maps a request onto (tenant name, quota). ok=false means
+// the request is out of scope and must be rejected with 403.
+func (s *Server) resolveTenant(r *http.Request) (name string, q Quota, err error) {
+	if s.cfg.TenantHeader == "" {
+		return "", s.cfg.DefaultQuota, nil
+	}
+	name = r.Header.Get(s.cfg.TenantHeader)
+	if name == "" && s.cfg.RequireTenant {
+		return "", Quota{}, fmt.Errorf("missing required tenant header %s", s.cfg.TenantHeader)
+	}
+	if q, ok := s.cfg.Quotas[name]; ok {
+		return name, q, nil
+	}
+	if s.cfg.StrictTenants {
+		return name, Quota{}, fmt.Errorf("unknown tenant %q", name)
+	}
+	return name, s.cfg.DefaultQuota, nil
+}
+
+// tenantLabel maps a tenant name onto a bounded metric label: configured
+// tenants keep their name, the empty tenant is "default", anything else
+// is "other" (so arbitrary header values cannot explode series
+// cardinality).
+func (s *Server) tenantLabel(name string) string {
+	if _, ok := s.cfg.Quotas[name]; ok {
+		return name
+	}
+	if name == "" {
+		return "default"
+	}
+	return "other"
 }
 
 // prepare parses the program, serving hot programs from the bounded
@@ -221,8 +406,10 @@ func (s *Server) prepare(program string) (*pdb.Query, error) {
 }
 
 // buildOptions maps a request onto pdb options (invalid values surface as
-// *pdb.OptionError when the evaluation applies them).
-func (s *Server) buildOptions(req queryRequest) []pdb.Option {
+// *pdb.OptionError when the evaluation applies them). Resource limits are
+// clamped by the tightest of the client's ask, the tenant's quota, and
+// the server-wide cap.
+func (s *Server) buildOptions(req queryRequest, q Quota) []pdb.Option {
 	var opts []pdb.Option
 	if req.Epsilon != 0 {
 		opts = append(opts, pdb.WithEpsilon(req.Epsilon))
@@ -249,10 +436,10 @@ func (s *Server) buildOptions(req queryRequest) []pdb.Option {
 	if req.NoResume {
 		opts = append(opts, pdb.WithNoResume())
 	}
-	if n := clampLimit(req.MaxTrials, s.cfg.MaxTrials); n > 0 {
+	if n := clampLimit(req.MaxTrials, tightestCap(s.cfg.MaxTrials, q.MaxTrials)); n > 0 {
 		opts = append(opts, pdb.WithMaxTrials(n))
 	}
-	if n := clampLimit(req.MaxMemoryBytes, s.cfg.MaxMemory); n > 0 {
+	if n := clampLimit(req.MaxMemoryBytes, tightestCap(s.cfg.MaxMemory, q.MaxMemory)); n > 0 {
 		opts = append(opts, pdb.WithMaxMemory(n))
 	}
 	return opts
@@ -273,6 +460,25 @@ func (s *Server) requestTimeout(req queryRequest) time.Duration {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	start := time.Now()
+
+	// Tenant scoping first: it needs only headers, so out-of-scope and
+	// over-quota requests are shed before any body parsing or engine work.
+	tenant, quota, terr := s.resolveTenant(r)
+	tlabel := s.tenantLabel(tenant)
+	s.met.tenantRequests.With(tlabel).Inc()
+	if terr != nil {
+		s.met.tenantRejections.With(tlabel, "forbidden").Inc()
+		s.fail(w, r, http.StatusForbidden, "forbidden", terr)
+		return
+	}
+	releaseTenant, reason, retryAfter, ok := s.tenants.acquire(tenant, quota, s.now())
+	if !ok {
+		s.met.tenantRejections.With(tlabel, reason).Inc()
+		s.failRetry(w, r, http.StatusTooManyRequests, "overloaded",
+			fmt.Errorf("tenant %q over %s quota", tenant, reason), retryAfter)
+		return
+	}
+	defer releaseTenant()
 
 	var req queryRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -298,11 +504,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Global admission: bound in-flight evaluations, queue briefly, shed
+	// the rest — a saturated engine must degrade with 429, not OOM.
+	releaseSlot, reason, waited, ok := s.adm.acquire(ctx)
+	if waited > 0 || !ok {
+		s.met.admissionWait.Observe(waited.Seconds())
+	}
+	if !ok {
+		s.met.admissionRejects.With(reason).Inc()
+		if reason == "canceled" {
+			// Client went away while queued; nothing useful to write.
+			s.failures.Add(1)
+			return
+		}
+		s.failRetry(w, r, http.StatusTooManyRequests, "overloaded",
+			fmt.Errorf("server saturated (admission %s)", reason), s.cfg.AdmissionWait)
+		return
+	}
+	defer releaseSlot()
+
 	var res *pdb.Result
 	if req.Exact {
-		res, err = q.EvalExact(ctx, s.buildOptions(req)...)
+		res, err = q.EvalExact(ctx, s.buildOptions(req, quota)...)
 	} else {
-		res, err = q.Eval(ctx, s.buildOptions(req)...)
+		res, err = q.Eval(ctx, s.buildOptions(req, quota)...)
 	}
 	if err != nil {
 		var oe *pdb.OptionError
@@ -311,6 +536,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		case errors.As(err, &oe):
 			s.fail(w, r, http.StatusBadRequest, "option", err)
 		case errors.As(err, &le):
+			s.met.limitErrors.With(le.Resource).Inc()
 			s.fail(w, r, http.StatusUnprocessableEntity, "limit", err)
 		case errors.Is(err, context.DeadlineExceeded):
 			s.fail(w, r, http.StatusGatewayTimeout, "timeout", err)
@@ -322,6 +548,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	st := res.Stats()
+	s.tenants.charge(tenant, quota, st.SampledTrials, s.now())
 
 	// Stream the rows: one JSON object per line, flushed in batches, so
 	// large results reach the client incrementally over chunked encoding.
@@ -354,11 +582,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		n++
 		s.rowsStreamed.Add(1)
+		s.met.rowsStreamed.Inc()
 		if n%64 == 0 {
 			flush()
 		}
 	}
-	st := res.Stats()
 	_ = enc.Encode(queryTrailer{Stats: queryStats{
 		Rows:          res.Len(),
 		MaxErrorBound: res.MaxErrorBound(),
@@ -374,18 +602,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the body of GET /v1/stats.
 type statsResponse struct {
-	Engine engineStats `json:"engine"`
-	Server serverStats `json:"server"`
+	Engine    engineStats    `json:"engine"`
+	Server    serverStats    `json:"server"`
+	Admission admissionStats `json:"admission"`
 }
 
 type engineStats struct {
 	Evals          int64 `json:"evals"`
+	InFlight       int64 `json:"in_flight"`
 	SampledTrials  int64 `json:"sampled_trials"`
 	ReusedTrials   int64 `json:"reused_trials"`
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`
 	CacheEntries   int   `json:"cache_entries"`
+	CacheCapacity  int   `json:"cache_capacity"`
 	CacheEvictions int64 `json:"cache_evictions"`
+	LimitTrips     int64 `json:"limit_trips"`
 }
 
 type serverStats struct {
@@ -395,24 +627,40 @@ type serverStats struct {
 	UptimeMS     int64 `json:"uptime_ms"`
 }
 
+type admissionStats struct {
+	Enabled     bool `json:"enabled"`
+	MaxInFlight int  `json:"max_in_flight,omitempty"`
+	InFlight    int  `json:"in_flight"`
+	Waiting     int  `json:"waiting"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	es := s.eng.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(statsResponse{
 		Engine: engineStats{
 			Evals:          es.Evals,
+			InFlight:       es.InFlight,
 			SampledTrials:  es.SampledTrials,
 			ReusedTrials:   es.ReusedTrials,
 			CacheHits:      es.CacheHits,
 			CacheMisses:    es.CacheMisses,
 			CacheEntries:   es.CacheEntries,
+			CacheCapacity:  es.CacheCapacity,
 			CacheEvictions: es.CacheEvictions,
+			LimitTrips:     es.LimitTrips,
 		},
 		Server: serverStats{
 			Requests:     s.requests.Load(),
 			Failures:     s.failures.Load(),
 			RowsStreamed: s.rowsStreamed.Load(),
 			UptimeMS:     time.Since(s.start).Milliseconds(),
+		},
+		Admission: admissionStats{
+			Enabled:     s.adm != nil,
+			MaxInFlight: s.cfg.MaxInFlight,
+			InFlight:    s.adm.inFlight(),
+			Waiting:     s.adm.waitingNow(),
 		},
 	})
 }

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// Quota bounds what one tenant may do concurrently and over time. The
+// zero value means "unlimited" for every dimension.
+type Quota struct {
+	// MaxConcurrent caps the tenant's simultaneously running queries;
+	// excess requests are rejected with 429 (0 = unlimited).
+	MaxConcurrent int
+	// TrialsPerSec is the tenant's sustained sampled-trials budget,
+	// enforced as a token bucket charged *after* each evaluation with the
+	// trials it actually sampled (cached/reused trials are free). A
+	// tenant may overdraw on one query; while the bucket is in debt,
+	// further queries get 429 with a Retry-After for the refill time
+	// (0 = unlimited).
+	TrialsPerSec float64
+	// TrialsBurst is the bucket capacity — how many trials a tenant can
+	// spend at once after idling. Defaults to TrialsPerSec (1 second of
+	// budget) when 0.
+	TrialsBurst int64
+	// MaxTrials / MaxMemory cap a single request's resource limits,
+	// layered on the server-wide caps: the tightest positive bound wins
+	// (0 = no tenant-specific cap).
+	MaxTrials int64
+	MaxMemory int64
+}
+
+// unlimited reports whether the quota constrains nothing.
+func (q Quota) unlimited() bool { return q == Quota{} }
+
+// burst returns the effective bucket capacity.
+func (q Quota) burst() float64 {
+	if q.TrialsBurst > 0 {
+		return float64(q.TrialsBurst)
+	}
+	if q.TrialsPerSec > 0 {
+		return q.TrialsPerSec
+	}
+	return 0
+}
+
+// tenantState is one tenant's live accounting: in-flight queries and the
+// trials token bucket (tokens may go negative — debt — because trials are
+// charged after the fact).
+type tenantState struct {
+	inFlight int
+	tokens   float64
+	last     time.Time
+}
+
+// tenantSet tracks per-tenant state. One mutex guards all tenants: the
+// operations are a few comparisons and the tenant count is
+// configuration-bounded, so contention is negligible next to evaluation.
+type tenantSet struct {
+	mu     sync.Mutex
+	states map[string]*tenantState
+}
+
+func newTenantSet() *tenantSet {
+	return &tenantSet{states: make(map[string]*tenantState)}
+}
+
+func (t *tenantSet) state(name string, now time.Time) *tenantState {
+	st, ok := t.states[name]
+	if !ok {
+		st = &tenantState{last: now}
+		t.states[name] = st
+	}
+	return st
+}
+
+// refill advances the token bucket to now, clamped at the burst capacity.
+func (st *tenantState) refill(q Quota, now time.Time) {
+	if q.TrialsPerSec <= 0 {
+		return
+	}
+	if dt := now.Sub(st.last).Seconds(); dt > 0 {
+		st.tokens = math.Min(st.tokens+dt*q.TrialsPerSec, q.burst())
+	}
+	st.last = now
+}
+
+// acquire admits one query for the tenant, or rejects it with a reason
+// ("concurrency" or "rate") and a Retry-After hint. The returned release
+// must be called exactly once when the query finishes.
+func (t *tenantSet) acquire(name string, q Quota, now time.Time) (release func(), reason string, retryAfter time.Duration, ok bool) {
+	if q.unlimited() {
+		return func() {}, "", 0, true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.state(name, now)
+	st.refill(q, now)
+	if q.MaxConcurrent > 0 && st.inFlight >= q.MaxConcurrent {
+		return nil, "concurrency", time.Second, false
+	}
+	if q.TrialsPerSec > 0 && st.tokens < 0 {
+		// In debt from earlier queries: the client should come back once
+		// the bucket refills to zero.
+		wait := time.Duration(math.Ceil(-st.tokens/q.TrialsPerSec)) * time.Second
+		if wait < time.Second {
+			wait = time.Second
+		}
+		return nil, "rate", wait, false
+	}
+	st.inFlight++
+	return func() {
+		t.mu.Lock()
+		st.inFlight--
+		t.mu.Unlock()
+	}, "", 0, true
+}
+
+// charge debits the tenant's bucket with the trials an evaluation
+// actually sampled.
+func (t *tenantSet) charge(name string, q Quota, trials int64, now time.Time) {
+	if q.TrialsPerSec <= 0 || trials <= 0 {
+		return
+	}
+	t.mu.Lock()
+	st := t.state(name, now)
+	st.refill(q, now)
+	st.tokens -= float64(trials)
+	t.mu.Unlock()
+}
+
+// admission is the global back-stop behind the per-tenant quotas: a
+// bounded pool of evaluation slots plus a small wait queue, so a
+// saturated engine queues briefly and then sheds load with 429 instead of
+// accumulating unbounded concurrent evaluations.
+type admission struct {
+	slots   chan struct{}
+	queue   int
+	maxWait time.Duration
+
+	mu      sync.Mutex
+	waiting int
+}
+
+// newAdmission builds a controller admitting maxInFlight concurrent
+// evaluations with up to queue waiters, each waiting at most maxWait.
+func newAdmission(maxInFlight, queue int, maxWait time.Duration) *admission {
+	if maxWait <= 0 {
+		maxWait = time.Second
+	}
+	return &admission{
+		slots:   make(chan struct{}, maxInFlight),
+		queue:   queue,
+		maxWait: maxWait,
+	}
+}
+
+// inFlight reports the number of admitted evaluations (metrics gauge).
+func (a *admission) inFlight() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.slots)
+}
+
+// waitingNow reports the current queue depth (metrics gauge).
+func (a *admission) waitingNow() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waiting
+}
+
+// acquire admits one evaluation, waiting in the bounded queue if the
+// slots are full. On rejection, reason is "queue_full" or "wait_timeout"
+// ("canceled" when the client went away first); waited reports the queue
+// time either way. A nil admission admits everything.
+func (a *admission) acquire(ctx context.Context) (release func(), reason string, waited time.Duration, ok bool) {
+	if a == nil {
+		return func() {}, "", 0, true
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, "", 0, true
+	default:
+	}
+	a.mu.Lock()
+	if a.waiting >= a.queue {
+		a.mu.Unlock()
+		return nil, "queue_full", 0, false
+	}
+	a.waiting++
+	a.mu.Unlock()
+	start := time.Now()
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	defer func() {
+		a.mu.Lock()
+		a.waiting--
+		a.mu.Unlock()
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, "", time.Since(start), true
+	case <-timer.C:
+		return nil, "wait_timeout", time.Since(start), false
+	case <-ctx.Done():
+		return nil, "canceled", time.Since(start), false
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// retryAfterSeconds renders a Retry-After duration as whole seconds,
+// rounded up with a floor of 1 (Retry-After: 0 invites an immediate
+// hammer).
+func retryAfterSeconds(d time.Duration) int64 {
+	s := int64(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

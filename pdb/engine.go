@@ -1,6 +1,7 @@
 package pdb
 
 import (
+	"errors"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -30,6 +31,8 @@ type Engine struct {
 	sampledTrials atomic.Int64
 	reusedTrials  atomic.Int64
 	cacheHits     atomic.Int64
+	inFlight      atomic.Int64
+	limitTrips    atomic.Int64
 }
 
 // defaultEngineCacheSize bounds the estimator cache of an Engine built
@@ -104,10 +107,19 @@ type EngineStats struct {
 	// resumed from a cached snapshot.
 	CacheHits int64
 	// CacheEntries / CacheEvictions / CacheMisses describe the engine
-	// cache itself.
+	// cache itself; CacheCapacity is its configured entry bound (entries
+	// pinned at capacity with rising evictions means the working set no
+	// longer fits).
 	CacheEntries   int
+	CacheCapacity  int
 	CacheMisses    int64
 	CacheEvictions int64
+	// InFlight is the number of evaluations running on the engine right
+	// now (admitted but not yet completed, failed, or cancelled).
+	InFlight int64
+	// LimitTrips counts evaluations aborted by a per-query resource limit
+	// (WithMaxTrials / WithMaxMemory) — the service's 422/overload signal.
+	LimitTrips int64
 }
 
 // Stats returns the engine's cumulative statistics. Safe to call
@@ -120,8 +132,11 @@ func (e *Engine) Stats() EngineStats {
 		ReusedTrials:   e.reusedTrials.Load(),
 		CacheHits:      e.cacheHits.Load(),
 		CacheEntries:   cs.Entries,
+		CacheCapacity:  e.cache.Cap(),
 		CacheMisses:    cs.Misses,
 		CacheEvictions: cs.Evictions,
+		InFlight:       e.inFlight.Load(),
+		LimitTrips:     e.limitTrips.Load(),
 	}
 }
 
@@ -132,4 +147,20 @@ func (e *Engine) record(s Stats) {
 	e.sampledTrials.Add(s.SampledTrials)
 	e.reusedTrials.Add(s.ReusedTrials)
 	e.cacheHits.Add(s.CacheHits)
+}
+
+// beginEval marks an evaluation in flight on the engine; the returned
+// function ends it. Stats().InFlight is the live gauge a service exports.
+func (e *Engine) beginEval() func() {
+	e.inFlight.Add(1)
+	return func() { e.inFlight.Add(-1) }
+}
+
+// recordFailure classifies a failed evaluation (currently: count limit
+// aborts, the signal admission control and alerting key on).
+func (e *Engine) recordFailure(err error) {
+	var le *LimitError
+	if errors.As(err, &le) {
+		e.limitTrips.Add(1)
+	}
 }

@@ -277,3 +277,44 @@ func TestEngineConcurrentEvalRace(t *testing.T) {
 		t.Errorf("engine stats after hammer: %+v", es)
 	}
 }
+
+// TestEngineOperabilityStats covers the stats a service exports for
+// operations: the in-flight gauge (observed mid-evaluation through the
+// progress hook), the cache capacity, and the limit-trip counter.
+func TestEngineOperabilityStats(t *testing.T) {
+	db := engineDB(t)
+	eng, err := db.Engine(pdb.WithEngineCacheSize(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es := eng.Stats(); es.CacheCapacity != 128 || es.InFlight != 0 || es.LimitTrips != 0 {
+		t.Fatalf("fresh engine stats: %+v", es)
+	}
+	q, err := eng.Prepare(sensorConfProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var during int64
+	_, err = q.Eval(context.Background(), pdb.WithSeed(5),
+		pdb.WithProgress(func(pdb.ProgressEvent) { during = eng.Stats().InFlight }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if during != 1 {
+		t.Errorf("InFlight during evaluation = %d, want 1", during)
+	}
+	if es := eng.Stats(); es.InFlight != 0 {
+		t.Errorf("InFlight after evaluation = %d, want 0", es.InFlight)
+	}
+
+	// A limit abort increments LimitTrips and surfaces as *LimitError.
+	_, err = q.Eval(context.Background(), pdb.WithSeed(6),
+		pdb.WithMaxTrials(10), pdb.WithConfBudget(0.01, 0.01))
+	var le *pdb.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("expected LimitError, got %v", err)
+	}
+	if es := eng.Stats(); es.LimitTrips != 1 || es.InFlight != 0 {
+		t.Errorf("stats after limit trip: %+v", es)
+	}
+}

@@ -76,10 +76,15 @@ func (q *Query) Eval(ctx context.Context, opts ...Option) (*Result, error) {
 	eng := core.NewEngine(q.db.udb, copts)
 	if q.eng != nil {
 		eng.SetCache(q.eng.cache)
+		defer q.eng.beginEval()()
 	}
 	res, err := eng.EvalApproxContext(ctx, q.plan)
 	if err != nil {
-		return nil, translateLimitError(err)
+		err = translateLimitError(err)
+		if q.eng != nil {
+			q.eng.recordFailure(err)
+		}
+		return nil, err
 	}
 	out := newApproxResult(res)
 	if q.eng != nil {
@@ -109,9 +114,16 @@ func (q *Query) EvalExact(ctx context.Context, opts ...Option) (*Result, error) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if q.eng != nil {
+		defer q.eng.beginEval()()
+	}
 	res, err := core.NewEngine(q.db.udb, copts).EvalExactContext(ctx, q.plan)
 	if err != nil {
-		return nil, translateLimitError(err)
+		err = translateLimitError(err)
+		if q.eng != nil {
+			q.eng.recordFailure(err)
+		}
+		return nil, err
 	}
 	return newExactResult(res), nil
 }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Check that every relative Markdown link in the repo's docs resolves to
+# an existing file. External (http/https/mailto) and pure-anchor links
+# are skipped; a `path#anchor` link is checked for the path part only.
+# Run by `make links-check` (part of `make ci`), so a renamed or deleted
+# doc breaks the build instead of silently 404ing readers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS= read -r file; do
+  # Pull out every (target) of an inline [text](target) link, after
+  # dropping fenced code blocks and inline code spans — UA query syntax
+  # like `repairkey[@Count](Coins)` would otherwise read as a link.
+  prose="$(awk '/^[[:space:]]*```/ {fence = !fence; next} !fence' "$file" | sed -E 's/`[^`]*`//g')"
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*|'') continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$(dirname "$file")/$path" ]; then
+      echo "$file: broken link: $target"
+      fail=1
+    fi
+  done < <(grep -oE '\[[^][]*\]\([^()[:space:]]+\)' <<<"$prose" | sed -E 's/^\[[^][]*\]\(([^()]+)\)$/\1/')
+done < <(git ls-files '*.md' ':!:.claude/**')
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs link check failed"
+  exit 1
+fi
+echo "docs link check OK"

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the pdbserve query service: build the binary, boot
-# it against the examples/ CSV data, drive it with curl — JSON rows, a
-# stats trailer, cross-request estimator-cache reuse, the typed limit
-# error — and assert a graceful SIGTERM shutdown exits 0. CI's `service`
-# job runs exactly this script (via `make service-smoke`), so a local pass
-# means a green job.
+# it against the examples/ CSV data with tenant quotas configured, drive
+# it with curl — JSON rows, a stats trailer, cross-request
+# estimator-cache reuse, the /metrics exposition, an over-quota tenant's
+# 429 + Retry-After, the typed limit error — and assert a graceful
+# SIGTERM shutdown exits 0. CI's `service` job runs exactly this script
+# (via `make service-smoke`), so a local pass means a green job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,7 +13,12 @@ addr=127.0.0.1:18097
 bin="$(mktemp -d)/pdbserve"
 go build -o "$bin" ./cmd/pdbserve
 
-"$bin" -addr "$addr" -datadir examples/data &
+# Tenant scoping on (header X-Pdb-Tenant), one deliberately tiny quota
+# for the 429 assertion; untenanted requests fall back to the unlimited
+# default quota, so the protocol assertions below are unaffected.
+"$bin" -addr "$addr" -datadir examples/data \
+  -tenant-header X-Pdb-Tenant \
+  -tenant bursty=trials_per_sec:1,burst:1 &
 pid=$!
 trap 'kill "$pid" 2>/dev/null || true' EXIT
 
@@ -47,6 +53,34 @@ stats="$(curl -sf "http://$addr/v1/stats")"
 echo "$stats"
 echo "$stats" | grep -qE '"cache_hits":[1-9]'
 echo "$stats" | grep -q '"requests":2'
+
+echo "== /metrics serves Prometheus text exposition with moving counters"
+ctype="$(curl -sf -o /dev/null -w '%{content_type}' "http://$addr/metrics")"
+case "$ctype" in text/plain*version=0.0.4*) ;; *) echo "bad content type: $ctype"; exit 1;; esac
+metrics="$(curl -sf "http://$addr/metrics")"
+echo "$metrics" | grep -q '^# TYPE pdb_http_requests_total counter$'
+echo "$metrics" | grep -q '^pdb_http_requests_total{route="/v1/query",status="200"} 2$'
+echo "$metrics" | grep -qE '^pdb_engine_sampled_trials_total [1-9]'
+echo "$metrics" | grep -qE '^pdb_engine_reused_trials_total [1-9]'
+echo "$metrics" | grep -qE '^pdb_engine_cache_hits_total [1-9]'
+echo "$metrics" | grep -qE '^pdb_http_request_duration_seconds_count\{route="/v1/query"\} 2$'
+
+echo "== over-quota tenant gets 429 + Retry-After; other traffic unaffected"
+# A fresh seed: cached estimator state is seed-guarded, so the bursty
+# tenant's first query re-samples every trial (reused trials are free
+# and would not overdraw the 1-trial/sec bucket). The second query must
+# then be rejected while untenanted requests keep succeeding.
+treq='{"program":"conf as P (project[sensor](select[temp >= 21](repairkey[sensor @ w](sensors))));","seed":11}'
+code="$(curl -s -o /dev/null -w '%{http_code}' -H 'X-Pdb-Tenant: bursty' "http://$addr/v1/query" -d "$treq")"
+[ "$code" = "200" ]
+hdrs="$(mktemp)"
+body="$(curl -s -D "$hdrs" -H 'X-Pdb-Tenant: bursty' "http://$addr/v1/query" -d "$treq")"
+echo "$body"
+grep -i '^HTTP/' "$hdrs" | grep -q 429
+grep -iqE '^Retry-After: [1-9]' "$hdrs"
+echo "$body" | grep -q '"kind":"overloaded"'
+curl -sf "http://$addr/v1/query" -d "$req" >/dev/null   # untenanted: still 200
+curl -sf "http://$addr/metrics" | grep -q '^pdb_tenant_rejections_total{tenant="bursty",reason="rate"} 1$'
 
 echo "== per-request trial limit maps to 422"
 code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/query" \
