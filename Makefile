@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fuzz vet fmt-check docs-check links-check examples service-smoke ci
+.PHONY: build test race bench bench-json conformance fuzz vet fmt-check docs-check links-check examples service-smoke ci
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,21 @@ service-smoke:
 # allocation regressions on the exact-algebra hot path, not just time.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
+
+# Render the full benchmark sweep as BENCH_koch08.json — the committed
+# structured snapshot (and a CI artifact). Includes the stratified
+# Karp-Luby trial-savings numbers reported via b.ReportMetric.
+bench-json:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./... > bench-json.tmp
+	$(GO) run ./scripts/benchjson < bench-json.tmp > BENCH_koch08.json
+	@rm -f bench-json.tmp
+
+# Exhaustive statistical conformance sweep: many seeds through the
+# workload corpus on both estimation paths, asserting empirical (ε, δ)
+# coverage. The quick form already runs inside `make test`; this form is
+# behind a build tag purely for time.
+conformance:
+	$(GO) test -tags conformance -v ./internal/conformance/
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/parser

@@ -20,6 +20,9 @@ import (
 // row, so its PRNG streams — and hence its estimate — depend only on
 // Options.Seed, not on the worker count or on other tuples.
 func (run *evalRun) approxConf(in *evalResult, pcol string) (*evalResult, error) {
+	if run.engine.opts.stratifiedConf() {
+		return run.approxConfStrat(in, pcol)
+	}
 	if in.rel.Schema().Has(pcol) {
 		return nil, fmt.Errorf("core: conf column %q already in schema %v", pcol, in.rel.Schema())
 	}
@@ -81,29 +84,56 @@ func (run *evalRun) approxConf(in *evalResult, pcol string) (*evalResult, error)
 }
 
 // confValue is one approximable conf[Āᵢ] term of a σ̂ group: either an
-// exact probability (empty or singleton lineage) or a live Karp–Luby
-// estimator refined for the run's round budget.
+// exact probability (empty or singleton lineage), a live flat Karp–Luby
+// estimator, or — on the stratified path — a stratified estimator over
+// the factored residue plus the exactly-computed part of the lineage
+// (combined as p = exactPart + (1−exactPart)·p_R, see dnf.Factor).
 type confValue struct {
-	exact    bool
-	value    float64
-	est      *karpluby.Estimator
-	provErr  float64 // Σ µ over the input tuples in this term's provenance
-	singular bool
+	exact     bool
+	value     float64
+	est       *karpluby.Estimator
+	strat     *karpluby.Stratified
+	exactPart float64 // exact factored part, stratified path only
+	provErr   float64 // Σ µ over the input tuples in this term's provenance
+	singular  bool
 }
 
 func (cv *confValue) estimate() float64 {
 	if cv.exact {
 		return cv.value
 	}
+	if cv.strat != nil {
+		r := math.Min(1, math.Max(0, cv.strat.Estimate()))
+		return cv.exactPart + (1-cv.exactPart)*r
+	}
 	return cv.est.Estimate()
 }
 
 // delta returns the per-value error bound δᵢ(ε) after the run's rounds.
+// On the stratified path the residue's relative-error bound carries to
+// the combined value unchanged (factor.go), so no adjustment is needed.
 func (cv *confValue) delta(eps float64) float64 {
 	if cv.exact {
 		return 0
 	}
+	if cv.strat != nil {
+		return cv.strat.Delta(eps)
+	}
 	return cv.est.Delta(eps)
+}
+
+// bounds returns a 1−delta confidence interval for the combined value,
+// used by threshold/top-k early stopping.
+func (cv *confValue) bounds(delta float64) (lo, hi float64) {
+	if cv.exact {
+		return cv.value, cv.value
+	}
+	if cv.strat != nil {
+		lo, hi = cv.strat.Bounds(delta)
+		e := cv.exactPart
+		return e + (1-e)*lo, e + (1-e)*hi
+	}
+	return cv.est.Bounds(delta)
 }
 
 // approxSelect implements σ̂ under approximation (Definition 6.2): for
@@ -115,9 +145,17 @@ func (cv *confValue) delta(eps float64) float64 {
 func (run *evalRun) approxSelect(in *evalResult, n algebra.ApproxSelect) (*evalResult, error) {
 	roundBudget := func(clauses int) int64 { return run.rounds * int64(clauses) }
 	var jobs []*estimateJob
+	var sjobs []*stratJob
 	// One batch spans every argument: content-equal lineages across (and
-	// within) arguments share a single estimation job.
-	run.batch = make(map[contentKey]*estimateJob)
+	// within) arguments share a single estimation job. With Strata set,
+	// σ̂ estimations run on the stratified path (factoring pre-pass +
+	// Neyman allocation of the same per-pass trial budget).
+	strat := run.engine.opts.Strata > 0
+	if strat {
+		run.sbatch = make(map[contentKey]*stratJob)
+	} else {
+		run.batch = make(map[contentKey]*estimateJob)
+	}
 	// Build each argument's projected lineage with provenance errors.
 	argTuples := make([][]argTuple, len(n.Args))
 	argSchemas := make([]rel.Schema, len(n.Args))
@@ -162,14 +200,26 @@ func (run *evalRun) approxSelect(in *evalResult, n algebra.ApproxSelect) (*evalR
 			// run.rounds rounds of |F| trials each. NoSingletonShortcut
 			// forces even single-clause lineages through the estimator
 			// (ablation knob).
-			cv, job, err := run.newJob(tc.F,
-				roundBudget, !run.engine.opts.NoSingletonShortcut)
+			var cv *confValue
+			var err error
+			if strat {
+				var sj *stratJob
+				cv, sj, err = run.newStratJob(tc.F,
+					roundBudget, !run.engine.opts.NoSingletonShortcut)
+				if sj != nil {
+					sjobs = append(sjobs, sj)
+				}
+			} else {
+				var job *estimateJob
+				cv, job, err = run.newJob(tc.F,
+					roundBudget, !run.engine.opts.NoSingletonShortcut)
+				if job != nil {
+					jobs = append(jobs, job)
+				}
+			}
 			if err != nil {
 				jobErr = err
 				break
-			}
-			if job != nil {
-				jobs = append(jobs, job)
 			}
 			cv.provErr = provErr[tc.Row.Key()]
 			cv.singular = provSing[tc.Row.Key()]
@@ -184,7 +234,11 @@ func (run *evalRun) approxSelect(in *evalResult, n algebra.ApproxSelect) (*evalR
 	// Spend every argument tuple's trial budget in one pooled batch: the
 	// scheduler sees all (tuple, chunk) tasks at once and keeps every
 	// worker busy across argument boundaries.
-	if err := run.runEstimates(jobs); err != nil {
+	if strat {
+		if err := run.runStratEstimates(sjobs, stratTarget{adaptive: false}); err != nil {
+			return nil, err
+		}
+	} else if err := run.runEstimates(jobs); err != nil {
 		return nil, err
 	}
 

@@ -87,6 +87,29 @@ type Options struct {
 	// (the estimator would return the clause weight deterministically
 	// anyway). Ablation knob for the benchmark suite.
 	NoSingletonShortcut bool
+	// Strata enables clause-stratified Karp–Luby estimation with at most
+	// Strata weight bands per clause set (see karpluby.PlanStrata): conf
+	// operators switch to the adaptive loop — Neyman allocation of
+	// sampling waves across strata, empirical-Bernstein stopping, and a
+	// factoring pre-pass that computes independent easy subformulas
+	// exactly — and σ̂ operators Neyman-allocate each pass's round budget
+	// across strata. 0 (the default) keeps the flat estimator. Results
+	// remain bit-identical for any Workers value under one seed;
+	// stratified estimates differ numerically from flat ones (different
+	// trial streams) while carrying the same (ε,δ) target.
+	Strata int
+	// ConfThreshold, when in (0,1), lets conf operators stop sampling a
+	// tuple as soon as its confidence interval clears the threshold from
+	// either side (the tuple's P column then carries the cruder estimate
+	// at that stopping point). It implies the stratified conf path even
+	// when Strata is 0 (using a default band count). 0 disables.
+	ConfThreshold float64
+	// ConfTopK, when > 0, lets conf operators stop sampling a tuple as
+	// soon as its membership in the top-K confidences is decided either
+	// way (interval separation against the other tuples of the same
+	// operator). Like ConfThreshold it implies the stratified conf path.
+	// 0 disables.
+	ConfTopK int
 	// IndependentBounds combines per-decision error bounds with the
 	// independence form 1 − Π(1−δᵢ) of Lemma 5.1 instead of the union
 	// bound Σδᵢ. Valid because the estimators of one decision are
@@ -153,7 +176,34 @@ func (o Options) Validate() error {
 	if o.MaxMemory < 0 {
 		return fmt.Errorf("core: MaxMemory must not be negative, got %d", o.MaxMemory)
 	}
+	if o.Strata < 0 || o.Strata > 4096 {
+		return fmt.Errorf("core: Strata must be in [0, 4096], got %d", o.Strata)
+	}
+	if o.ConfThreshold < 0 || o.ConfThreshold >= 1 {
+		return fmt.Errorf("core: ConfThreshold must be in [0,1), got %v", o.ConfThreshold)
+	}
+	if o.ConfTopK < 0 {
+		return fmt.Errorf("core: ConfTopK must not be negative, got %d", o.ConfTopK)
+	}
 	return nil
+}
+
+// defaultStrata is the band count used when a threshold/top-k option
+// forces the stratified conf path but Options.Strata was left 0.
+const defaultStrata = 4
+
+// stratifiedConf reports whether conf operators take the stratified
+// adaptive path.
+func (o Options) stratifiedConf() bool {
+	return o.Strata > 0 || o.ConfThreshold > 0 || o.ConfTopK > 0
+}
+
+// strataCount returns the effective band bound for stratification plans.
+func (o Options) strataCount() int {
+	if o.Strata > 0 {
+		return o.Strata
+	}
+	return defaultStrata
 }
 
 func (o Options) confEps() float64 {
@@ -200,6 +250,19 @@ type Stats struct {
 	// flagged as potential ε₀-singularities: the dropped tuple's absence
 	// is not covered by the δ guarantee.
 	SingularDrops int
+	// Strata is the total number of clause strata across the stratified
+	// estimation tasks of the final pass (0 on the unstratified path).
+	Strata int64
+	// EarlyStops counts stratified estimation tasks of the final pass
+	// that stopped before spending their trial cap — a threshold/top-k
+	// decision settled, or the empirical-Bernstein bound converged below
+	// δ ahead of the Chernoff budget.
+	EarlyStops int64
+	// ExactFactored counts independent lineage subformulas the factoring
+	// pre-pass of the final pass computed exactly instead of sampling
+	// (the distinction between sampled and exact-factored confidence
+	// mass).
+	ExactFactored int64
 	// Ops aggregates per-operator work (tuple counts, estimated bytes
 	// materialized) across every pass of the evaluation, including
 	// restarted passes.
@@ -407,6 +470,9 @@ func (e *Engine) EvalApproxContext(ctx context.Context, q algebra.Query) (*Resul
 				CacheHits:       cacheHits,
 				Decisions:       run.decisions,
 				SingularDrops:   run.singularDrops,
+				Strata:          run.strata,
+				EarlyStops:      run.earlyStops,
+				ExactFactored:   run.exactFactored,
 				Ops:             ctrs.Snapshot(),
 			}
 			return finishResult(res, stats), nil
@@ -485,6 +551,8 @@ type evalRun struct {
 	// batch dedups content-equal estimation tasks within one operator's
 	// job batch; see newJob.
 	batch map[contentKey]*estimateJob
+	// sbatch is batch's counterpart for stratified jobs; see newStratJob.
+	sbatch map[contentKey]*stratJob
 	// trials counts trials sampled this pass; reused counts trials whose
 	// integer sums were carried over from cache snapshots instead;
 	// cacheHits counts tasks that resumed from a snapshot.
@@ -492,6 +560,11 @@ type evalRun struct {
 	reused    int64
 	cacheHits int64
 	decisions int
+	// strata / earlyStops / exactFactored feed the Stats fields of the
+	// same names (final-pass values, like decisions); see stratified.go.
+	strata        int64
+	earlyStops    int64
+	exactFactored int64
 	// worstDecision is the largest non-singular per-decision error bound
 	// seen, including negative decisions (whose tuples do not appear in
 	// the result and so carry no entry in the error map). The doubling

@@ -20,6 +20,16 @@ type Approximable interface {
 	Delta(eps float64) float64
 }
 
+// Bounded is an optional extension of Approximable for estimators that
+// can produce two-sided confidence intervals (karpluby.Estimator via
+// Chernoff inversion, karpluby.Stratified via empirical-Bernstein
+// widths). DecideThreshold uses it to stop refining as soon as the whole
+// interval clears the decision threshold.
+type Bounded interface {
+	// Bounds returns lo ≤ p ≤ hi with probability ≥ 1−delta.
+	Bounds(delta float64) (lo, hi float64)
+}
+
 // Exact wraps a value known exactly (δᵢ ≡ 0); the paper: "exact attribute
 // values from the database can be viewed as constants".
 type Exact float64
@@ -32,6 +42,9 @@ func (e Exact) Estimate() float64 { return float64(e) }
 
 // Delta returns 0: exact values carry no error.
 func (Exact) Delta(float64) float64 { return 0 }
+
+// Bounds returns the degenerate interval [v, v].
+func (e Exact) Bounds(float64) (float64, float64) { return float64(e), float64(e) }
 
 // Decision is the outcome of the predicate-approximation algorithm.
 type Decision struct {
@@ -49,6 +62,11 @@ type Decision struct {
 	// the point may be (near) an ε₀-singularity and the decision relies
 	// on the non-singularity assumption of Theorem 5.8.
 	HitEpsilonFloor bool
+	// EarlySettled counts the approximable values the loop marked settled
+	// (δᵢ(ε₀)·k ≤ δ): from the round after settling they are no longer
+	// refined, since their contribution to the stopping rule is already
+	// below its even share for every ε ≥ ε₀ the loop may use.
+	EarlySettled int
 }
 
 // Options configures Decide.
@@ -118,10 +136,22 @@ func Decide(pred Pred, apx []Approximable, opts Options) (Decision, error) {
 	deltas := make([]float64, k)
 	maxRounds := opts.maxRounds(k)
 
+	// settled[i] marks values whose bound can no longer dominate the
+	// stopping rule: once δᵢ(ε₀) ≤ δ/k, value i's contribution stays
+	// below its even share of the budget for every ε ≥ ε₀ the loop may
+	// use (Delta is non-increasing in ε), so refining it further only
+	// burns trials the other values need. Skipping its Step keeps the
+	// loop sound — its last estimate and bound remain valid — and
+	// focuses every subsequent round on the unsettled values.
+	settled := make([]bool, k)
+	nSettled := 0
+
 	var d Decision
 	for round := 1; ; round++ {
 		for i, a := range apx {
-			a.Step()
+			if !settled[i] {
+				a.Step()
+			}
 			est[i] = a.Estimate()
 		}
 		// Margin already computes ε for φ when φ(p̂) holds and for ¬φ
@@ -130,6 +160,10 @@ func Decide(pred Pred, apx []Approximable, opts Options) (Decision, error) {
 		eps := math.Max(opts.Eps0, margin)
 		for i, a := range apx {
 			deltas[i] = a.Delta(eps)
+			if !settled[i] && a.Delta(opts.Eps0)*float64(k) <= opts.Delta {
+				settled[i] = true
+				nSettled++
+			}
 		}
 		bound := opts.combine(deltas)
 		d = Decision{
@@ -139,6 +173,7 @@ func Decide(pred Pred, apx []Approximable, opts Options) (Decision, error) {
 			Rounds:          round,
 			Estimates:       append([]float64(nil), est...),
 			HitEpsilonFloor: margin < opts.Eps0,
+			EarlySettled:    nSettled,
 		}
 		if bound <= opts.Delta {
 			return d, nil
@@ -184,6 +219,65 @@ func DecideNaive(pred Pred, apx []Approximable, opts Options) (Decision, error) 
 		Estimates:       append([]float64(nil), est...),
 		HitEpsilonFloor: margin < opts.Eps0,
 	}, nil
+}
+
+// ThresholdDecision is the outcome of DecideThreshold.
+type ThresholdDecision struct {
+	// Value is the decided comparison p > tau (meaningful when Decided).
+	Value bool
+	// Decided reports whether the interval separated from the threshold
+	// before the round cap; when false, Value is the best guess p̂ > tau.
+	Decided bool
+	// Rounds is the number of refinement rounds executed.
+	Rounds int
+	// Lo, Hi are the final confidence interval and Estimate the final p̂.
+	Lo, Hi, Estimate float64
+}
+
+// DecideThreshold refines a single Bounded approximable value only until
+// its confidence interval clears the threshold tau from either side:
+// lo > tau decides p > tau, hi < tau decides p ≤ tau, each holding with
+// probability ≥ 1−delta. This is the early-stopping primitive behind
+// threshold and top-k queries — a tuple whose confidence is far from tau
+// stops after a handful of rounds instead of converging to full (ε,δ)
+// accuracy. maxRounds caps the loop for values too close to tau to
+// separate (a threshold singularity); 0 selects 64 rounds.
+func DecideThreshold(a interface {
+	Approximable
+	Bounded
+}, tau, delta float64, maxRounds int) (ThresholdDecision, error) {
+	if tau <= 0 || tau >= 1 {
+		return ThresholdDecision{}, fmt.Errorf("predapprox: threshold must be in (0,1), got %v", tau)
+	}
+	if delta <= 0 || delta >= 1 {
+		return ThresholdDecision{}, fmt.Errorf("predapprox: δ must be in (0,1), got %v", delta)
+	}
+	if maxRounds <= 0 {
+		maxRounds = 64
+	}
+	var d ThresholdDecision
+	for round := 1; ; round++ {
+		a.Step()
+		lo, hi := a.Bounds(delta)
+		d = ThresholdDecision{
+			Value:    a.Estimate() > tau,
+			Rounds:   round,
+			Lo:       lo,
+			Hi:       hi,
+			Estimate: a.Estimate(),
+		}
+		switch {
+		case lo > tau:
+			d.Value, d.Decided = true, true
+			return d, nil
+		case hi < tau:
+			d.Value, d.Decided = false, true
+			return d, nil
+		}
+		if round >= maxRounds {
+			return d, nil
+		}
+	}
 }
 
 // IsSingular conservatively decides whether p is an ε₀-singularity

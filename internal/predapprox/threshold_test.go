@@ -1,0 +1,98 @@
+package predapprox
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vars"
+)
+
+// DecideThreshold must separate quickly when the true value is far from
+// the threshold, and report the correct side. Seed 10's fixture has a
+// moderate exact confidence (≈ 0.59), so thresholds at ±50% relative
+// distance sit well outside the 64-round Chernoff convergence margin.
+func TestDecideThresholdSeparates(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tab := vars.NewTable()
+	est, exact := makeEstimator(rng, tab, 4)
+	if exact < 0.3 || exact > 0.7 {
+		t.Fatalf("fixture drifted: exact = %v, want a moderate value in [0.3, 0.7]", exact)
+	}
+	for _, tau := range []float64{exact * 0.5, exact * 1.5} {
+		if d, err := DecideThreshold(est, tau, 0.05, 0); err != nil {
+			t.Fatal(err)
+		} else {
+			if !d.Decided {
+				t.Errorf("τ=%v: interval never separated (exact %v, final [%v,%v])", tau, exact, d.Lo, d.Hi)
+				continue
+			}
+			if d.Value != (exact > tau) {
+				t.Errorf("τ=%v: decided %v, exact %v", tau, d.Value, exact)
+			}
+			if d.Rounds >= 64 {
+				t.Errorf("τ=%v: wide margin took %d rounds", tau, d.Rounds)
+			}
+		}
+	}
+}
+
+// A value pinned exactly on the threshold can never separate: the loop
+// must give up at the round cap with Decided == false.
+func TestDecideThresholdSingularity(t *testing.T) {
+	d, err := DecideThreshold(Exact(0.5), 0.5, 0.05, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Decided {
+		t.Errorf("point mass on τ decided: %+v", d)
+	}
+	if d.Rounds != 8 {
+		t.Errorf("gave up after %d rounds, cap was 8", d.Rounds)
+	}
+}
+
+func TestDecideThresholdValidation(t *testing.T) {
+	for _, c := range []struct{ tau, delta float64 }{
+		{0, 0.05}, {1, 0.05}, {-0.3, 0.05}, {0.5, 0}, {0.5, 1},
+	} {
+		if _, err := DecideThreshold(Exact(0.4), c.tau, c.delta, 0); err == nil {
+			t.Errorf("DecideThreshold(τ=%v, δ=%v) should be rejected", c.tau, c.delta)
+		}
+	}
+}
+
+// Exact values have zero-width bounds, so any off-threshold exact value
+// decides in one round.
+func TestDecideThresholdExactImmediate(t *testing.T) {
+	d, err := DecideThreshold(Exact(0.9), 0.5, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Decided || !d.Value || d.Rounds != 1 {
+		t.Errorf("exact 0.9 vs τ=0.5: %+v", d)
+	}
+}
+
+// When one conf term converges faster than another — here an exact value
+// (zero error from round 1) against a live estimator on a tight margin —
+// the loop must settle the finished term early and keep refining only
+// the live one, reporting the count in EarlySettled.
+func TestDecideEarlySettledSkipsConverged(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	tab := vars.NewTable()
+	est, exact := makeEstimator(rng, tab, 4)
+	// Compare the estimator against an exact value a few percent below its
+	// own confidence: the margin stays near the ε₀ floor, so the loop runs
+	// several rounds after the exact term has settled.
+	phi := Linear([]float64{1, -1}, 0) // p₁ ≥ p₂
+	d, err := Decide(phi, []Approximable{est, Exact(exact * 0.97)}, Options{Eps0: 0.05, Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.EarlySettled < 1 {
+		t.Errorf("EarlySettled = %d, want ≥ 1 (the exact term settles in round 1)", d.EarlySettled)
+	}
+	if d.Rounds < 2 {
+		t.Errorf("loop stopped after %d rounds; the live estimator should have kept refining", d.Rounds)
+	}
+}

@@ -77,6 +77,12 @@ func newServerMetrics(reg *metrics.Registry, eng *pdb.Engine, adm *admission) *s
 	reg.CounterFunc("pdb_engine_limit_trips_total",
 		"Evaluations aborted by a per-query resource limit, as counted by the engine.",
 		func() float64 { return float64(eng.Stats().LimitTrips) })
+	reg.CounterFunc("pdb_engine_early_stops_total",
+		"Estimation tasks settled before their full trial budget (threshold/top-k decisions or empirical-Bernstein convergence).",
+		func() float64 { return float64(eng.Stats().EarlyStops) })
+	reg.CounterFunc("pdb_engine_exact_factored_total",
+		"Independent lineage subformulas computed exactly by the factoring pre-pass instead of sampled.",
+		func() float64 { return float64(eng.Stats().ExactFactored) })
 	reg.GaugeFunc("pdb_engine_cache_entries",
 		"Estimator-cache entries currently held.",
 		func() float64 { return float64(eng.Stats().CacheEntries) })

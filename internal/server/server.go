@@ -257,6 +257,18 @@ type queryRequest struct {
 	Exact bool `json:"exact,omitempty"`
 	// NoResume disables estimator reuse for this request (ablation).
 	NoResume bool `json:"no_resume,omitempty"`
+
+	// Strata enables stratified Karp-Luby estimation with at most this
+	// many clause-weight strata (pdb.WithStrata).
+	Strata int `json:"strata,omitempty"`
+	// Threshold stops sampling a conf tuple once its confidence interval
+	// clears this value either way (pdb.WithThreshold) — an effort knob,
+	// not a filter. Implies stratified estimation.
+	Threshold float64 `json:"threshold,omitempty"`
+	// TopK stops sampling a conf tuple once its membership in the k
+	// highest-confidence tuples is settled (pdb.WithTopK). Implies
+	// stratified estimation.
+	TopK int `json:"top_k,omitempty"`
 }
 
 // errorResponse is the body of every non-200 response.
@@ -294,6 +306,9 @@ type queryStats struct {
 	SampledTrials int64   `json:"sampled_trials"`
 	ReusedTrials  int64   `json:"reused_trials"`
 	CacheHits     int64   `json:"cache_hits"`
+	Strata        int64   `json:"strata,omitempty"`
+	EarlyStops    int64   `json:"early_stops,omitempty"`
+	ExactFactored int64   `json:"exact_factored,omitempty"`
 	ElapsedMS     int64   `json:"elapsed_ms"`
 }
 
@@ -435,6 +450,15 @@ func (s *Server) buildOptions(req queryRequest, q Quota) []pdb.Option {
 	}
 	if req.NoResume {
 		opts = append(opts, pdb.WithNoResume())
+	}
+	if req.Strata > 0 {
+		opts = append(opts, pdb.WithStrata(req.Strata))
+	}
+	if req.Threshold > 0 {
+		opts = append(opts, pdb.WithThreshold(req.Threshold))
+	}
+	if req.TopK > 0 {
+		opts = append(opts, pdb.WithTopK(req.TopK))
 	}
 	if n := clampLimit(req.MaxTrials, tightestCap(s.cfg.MaxTrials, q.MaxTrials)); n > 0 {
 		opts = append(opts, pdb.WithMaxTrials(n))
@@ -595,6 +619,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		SampledTrials: st.SampledTrials,
 		ReusedTrials:  st.ReusedTrials,
 		CacheHits:     st.CacheHits,
+		Strata:        st.Strata,
+		EarlyStops:    st.EarlyStops,
+		ExactFactored: st.ExactFactored,
 		ElapsedMS:     time.Since(start).Milliseconds(),
 	}})
 	flush()
@@ -618,6 +645,8 @@ type engineStats struct {
 	CacheCapacity  int   `json:"cache_capacity"`
 	CacheEvictions int64 `json:"cache_evictions"`
 	LimitTrips     int64 `json:"limit_trips"`
+	EarlyStops     int64 `json:"early_stops"`
+	ExactFactored  int64 `json:"exact_factored"`
 }
 
 type serverStats struct {
@@ -649,6 +678,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			CacheCapacity:  es.CacheCapacity,
 			CacheEvictions: es.CacheEvictions,
 			LimitTrips:     es.LimitTrips,
+			EarlyStops:     es.EarlyStops,
+			ExactFactored:  es.ExactFactored,
 		},
 		Server: serverStats{
 			Requests:     s.requests.Load(),

@@ -33,6 +33,8 @@ type Engine struct {
 	cacheHits     atomic.Int64
 	inFlight      atomic.Int64
 	limitTrips    atomic.Int64
+	earlyStops    atomic.Int64
+	exactFactored atomic.Int64
 }
 
 // defaultEngineCacheSize bounds the estimator cache of an Engine built
@@ -120,6 +122,14 @@ type EngineStats struct {
 	// LimitTrips counts evaluations aborted by a per-query resource limit
 	// (WithMaxTrials / WithMaxMemory) — the service's 422/overload signal.
 	LimitTrips int64
+	// EarlyStops aggregates Stats.EarlyStops over completed evaluations:
+	// estimation tasks settled before their full trial budget by
+	// threshold/top-k decisions or empirical-Bernstein convergence.
+	EarlyStops int64
+	// ExactFactored aggregates Stats.ExactFactored: independent lineage
+	// subformulas the factoring pre-pass computed exactly instead of
+	// sampling.
+	ExactFactored int64
 }
 
 // Stats returns the engine's cumulative statistics. Safe to call
@@ -137,6 +147,8 @@ func (e *Engine) Stats() EngineStats {
 		CacheEvictions: cs.Evictions,
 		InFlight:       e.inFlight.Load(),
 		LimitTrips:     e.limitTrips.Load(),
+		EarlyStops:     e.earlyStops.Load(),
+		ExactFactored:  e.exactFactored.Load(),
 	}
 }
 
@@ -147,6 +159,8 @@ func (e *Engine) record(s Stats) {
 	e.sampledTrials.Add(s.SampledTrials)
 	e.reusedTrials.Add(s.ReusedTrials)
 	e.cacheHits.Add(s.CacheHits)
+	e.earlyStops.Add(s.EarlyStops)
+	e.exactFactored.Add(s.ExactFactored)
 }
 
 // beginEval marks an evaluation in flight on the engine; the returned

@@ -45,6 +45,17 @@ type Stats struct {
 	// SingularDrops counts negative σ̂ decisions flagged as potential
 	// ε₀-singularities (their absence is not covered by the δ guarantee).
 	SingularDrops int
+	// Strata is the number of sampling strata active in the final pass
+	// (0 unless stratified estimation — WithStrata / WithThreshold /
+	// WithTopK — was used).
+	Strata int64
+	// EarlyStops counts estimation tasks of the final pass that settled
+	// before spending their full trial budget (threshold/top-k decisions
+	// or empirical-Bernstein convergence).
+	EarlyStops int64
+	// ExactFactored counts independent lineage subformulas the factoring
+	// pre-pass computed exactly instead of sampling (final pass).
+	ExactFactored int64
 	// Ops maps operator names (join, product, select, project, union,
 	// diffc, repairkey, lineage, conf, cert, poss) to their aggregate
 	// work, summed over every pass of the evaluation. It makes operator
@@ -95,6 +106,9 @@ func newApproxResult(r *core.Result) *Result {
 		CacheHits:     r.Stats.CacheHits,
 		Decisions:     r.Stats.Decisions,
 		SingularDrops: r.Stats.SingularDrops,
+		Strata:        r.Stats.Strata,
+		EarlyStops:    r.Stats.EarlyStops,
+		ExactFactored: r.Stats.ExactFactored,
 		Ops:           opStatsFrom(r.Stats.Ops),
 	}
 	for _, ut := range r.Rel.Tuples() {
