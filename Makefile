@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json conformance fuzz vet fmt-check docs-check links-check examples service-smoke ci
+.PHONY: build test race bench bench-json conformance fuzz vet fmt-check docs-check links-check examples service-smoke cluster-smoke ci
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,12 @@ race:
 # with curl (JSON rows, cache reuse, limit errors, graceful shutdown).
 service-smoke:
 	./scripts/service-smoke.sh
+
+# Boot two shard processes and a coordinator, assert the coordinator's
+# query output is byte-identical to a single-node server's, reload quotas
+# via SIGHUP, kill a shard and require a fast typed error.
+cluster-smoke:
+	./scripts/cluster-smoke.sh
 
 # One pass over every benchmark — the trajectory baseline CI uploads as an
 # artifact; not a statistically stable measurement. -benchmem puts B/op
@@ -78,4 +84,4 @@ docs-check:
 links-check:
 	./scripts/check-links.sh
 
-ci: vet fmt-check docs-check links-check build test race fuzz examples service-smoke
+ci: vet fmt-check docs-check links-check build test race fuzz examples service-smoke cluster-smoke

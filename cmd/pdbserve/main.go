@@ -27,6 +27,19 @@
 // docs/OPERATIONS.md for the full flag, quota, and metrics reference and
 // docs/API.md for the wire protocol.
 //
+// Horizontal sharding splits one service across processes. Shard servers
+// hold no data and speak a binary TCP protocol, the coordinator keeps the
+// whole HTTP surface (tenancy, quotas, admission) and scatters sampling
+// work to them — results are bit-identical to a single-node run:
+//
+//	pdbserve -shard -addr :9101
+//	pdbserve -shard -addr :9102
+//	pdbserve -datadir data -coordinator -peers localhost:9101,localhost:9102
+//
+// Quotas can be reloaded at runtime without a restart: put name=spec
+// lines in a file (tenant "default" sets the default quota), point
+// -quota-file at it, and send SIGHUP or POST /v1/admin/reload.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get a drain window, then the process exits 0.
 package main
@@ -37,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/pdb"
 )
@@ -70,6 +85,14 @@ func run() error {
 	tenantHeader := fs.String("tenant-header", "", "request header naming the tenant (e.g. X-Pdb-Tenant); empty disables tenant scoping")
 	requireTenant := fs.Bool("require-tenant", false, "reject requests without the tenant header (403)")
 	strictTenants := fs.Bool("strict-tenants", false, "reject tenants without a -tenant entry (403, allowlist mode)")
+	shard := fs.Bool("shard", false, "run as a cluster shard server (binary TCP protocol on -addr; no relations loaded)")
+	shardWorkers := fs.Int("shard-workers", 0, "shard sampling workers (0 = GOMAXPROCS)")
+	shardCache := fs.Int("shard-cache", 0, "shard chunk-count cache entries (0 = default, negative disables)")
+	coordinator := fs.Bool("coordinator", false, "scatter sampling work across the -peers shard servers")
+	peersFlag := fs.String("peers", "", "comma-separated shard addresses (host:port); implies -coordinator")
+	clusterTimeout := fs.Duration("cluster-timeout", 0, "per-shard, per-attempt RPC deadline (0 = 2m)")
+	clusterRetries := fs.Int("cluster-retries", 2, "retries per failed shard RPC before the evaluation fails")
+	quotaFile := fs.String("quota-file", "", "file of name=quota-spec lines (tenant \"default\" sets the default quota); reloaded on SIGHUP or POST /v1/admin/reload")
 	maxInFlight := fs.Int("max-inflight", 0, "global cap on concurrent evaluations (0 disables admission control)")
 	admissionQueue := fs.Int("admission-queue", 0, "requests that may wait for an evaluation slot before new arrivals get 429")
 	admissionWait := fs.Duration("admission-wait", time.Second, "longest one request waits in the admission queue")
@@ -108,6 +131,15 @@ func run() error {
 		return err
 	}
 
+	logger := log.New(os.Stderr, "pdbserve: ", log.LstdFlags)
+	if *shard {
+		return runShard(*addr, *shardWorkers, *shardCache, logger)
+	}
+	peers := splitPeers(*peersFlag)
+	if *coordinator && len(peers) == 0 {
+		return errors.New("-coordinator needs -peers host:port[,host:port...]")
+	}
+
 	if *datadir != "" {
 		matches, err := filepath.Glob(filepath.Join(*datadir, "*.csv"))
 		if err != nil {
@@ -124,14 +156,47 @@ func run() error {
 		return errors.New("no relations: pass -table name=path.csv and/or -datadir dir")
 	}
 
-	logger := log.New(os.Stderr, "pdbserve: ", log.LstdFlags)
+	// -quota-file supersedes any -tenant/-default-quota flags and becomes
+	// the reload source.
+	var reloader func() (map[string]server.Quota, server.Quota, error)
+	if *quotaFile != "" {
+		reloader = func() (map[string]server.Quota, server.Quota, error) {
+			return parseQuotaFile(*quotaFile)
+		}
+		q, dq, err := reloader()
+		if err != nil {
+			return err
+		}
+		quotas, defaultQuota = q, dq
+	}
+
 	db, err := pdb.Open(tables)
 	if err != nil {
 		return err
 	}
-	eng, err := db.Engine(pdb.WithEngineCacheSize(*cacheSize))
+	engOpts := []pdb.EngineOption{pdb.WithEngineCacheSize(*cacheSize)}
+	if len(peers) > 0 {
+		engOpts = append(engOpts, pdb.WithEngineCluster(pdb.ClusterOptions{
+			Peers:          peers,
+			RequestTimeout: *clusterTimeout,
+			Retries:        *clusterRetries,
+		}))
+	}
+	eng, err := db.Engine(engOpts...)
 	if err != nil {
 		return err
+	}
+	defer eng.Close()
+	if len(peers) > 0 {
+		// Fail fast on an unreachable peer set rather than on the first
+		// query.
+		pingCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := eng.PingCluster(pingCtx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("cluster ping: %w", err)
+		}
+		logger.Printf("coordinating %d shard(s): %s", len(peers), strings.Join(peers, ", "))
 	}
 	handler, err := server.New(server.Config{
 		Engine:         eng,
@@ -148,10 +213,28 @@ func run() error {
 		MaxInFlight:    *maxInFlight,
 		AdmissionQueue: *admissionQueue,
 		AdmissionWait:  *admissionWait,
+		QuotaReloader:  reloader,
 		Logger:         logger,
 	})
 	if err != nil {
 		return err
+	}
+
+	if reloader != nil {
+		// SIGHUP re-reads the quota file; a bad file logs and keeps the
+		// previous quotas.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				if err := handler.ReloadQuotas(); err != nil {
+					logger.Printf("quota reload failed: %v", err)
+				} else {
+					logger.Printf("quotas reloaded from %s", *quotaFile)
+				}
+			}
+		}()
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: handler}
@@ -178,4 +261,50 @@ func run() error {
 	}
 	logger.Printf("bye")
 	return nil
+}
+
+// runShard serves the binary shard protocol until SIGINT/SIGTERM. A
+// shard holds no relations — tasks arrive self-contained over the wire —
+// so it needs no -table/-datadir.
+func runShard(addr string, workers, cacheChunks int, logger *log.Logger) error {
+	sh := cluster.NewShard(cluster.ShardConfig{
+		Workers:     workers,
+		CacheChunks: cacheChunks,
+		Logger:      logger,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("shard serving on %s", ln.Addr())
+		errc <- sh.Serve(ln)
+	}()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shard shutting down")
+	if err := sh.Close(); err != nil {
+		return err
+	}
+	st := sh.Stats()
+	logger.Printf("shard bye (%d requests, %d trials sampled, %d reused)",
+		st.Requests, st.TrialsSampled, st.TrialsReused)
+	return nil
+}
+
+// splitPeers parses the -peers flag.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }

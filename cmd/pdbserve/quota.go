@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bufio"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 
@@ -61,4 +63,48 @@ func parseQuota(spec string) (server.Quota, error) {
 		}
 	}
 	return q, nil
+}
+
+// parseQuotaFile reads a -quota-file: one name=spec per line (same spec
+// syntax as -tenant), blank lines and #-comments ignored. The reserved
+// tenant name "default" sets the default quota. The whole file must
+// parse for any of it to take effect — a reload never half-applies.
+func parseQuotaFile(path string) (map[string]server.Quota, server.Quota, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, server.Quota{}, err
+	}
+	defer f.Close()
+	quotas := map[string]server.Quota{}
+	var def server.Quota
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, spec, ok := strings.Cut(line, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, server.Quota{}, fmt.Errorf("%s:%d: want name=%s", path, lineNo, quotaSpecSyntax)
+		}
+		q, err := parseQuota(strings.TrimSpace(spec))
+		if err != nil {
+			return nil, server.Quota{}, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		if name == "default" {
+			def = q
+			continue
+		}
+		if _, dup := quotas[name]; dup {
+			return nil, server.Quota{}, fmt.Errorf("%s:%d: duplicate tenant %q", path, lineNo, name)
+		}
+		quotas[name] = q
+	}
+	if err := sc.Err(); err != nil {
+		return nil, server.Quota{}, err
+	}
+	return quotas, def, nil
 }

@@ -1,0 +1,411 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Config configures a coordinator.
+type Config struct {
+	// Peers are the shard addresses (host:port). Order matters only for
+	// chunk round-robin spreading; ring placement hashes the addresses.
+	Peers []string
+	// DialTimeout bounds connection establishment per attempt
+	// (0 = 5s).
+	DialTimeout time.Duration
+	// RequestTimeout is the per-shard, per-attempt deadline covering
+	// write + remote sampling + read (0 = 2m). A shard that blows it is
+	// retried, then reported dead — the coordinator never hangs on it.
+	RequestTimeout time.Duration
+	// Retries is how many times a failed shard RPC is retried on a fresh
+	// connection before the batch fails (negative = 0; default 2).
+	Retries int
+	// RetryBackoff is the base delay before a retry, doubling per
+	// attempt (0 = 100ms).
+	RetryBackoff time.Duration
+	// VNodes is the number of ring points per peer (0 = 64).
+	VNodes int
+}
+
+// Error is the typed failure of a shard RPC: which shard, how many
+// attempts, and the final underlying error. The pdb layer surfaces it as
+// *pdb.ClusterError.
+type Error struct {
+	Shard    string
+	Attempts int
+	Err      error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("cluster: shard %s failed after %d attempt(s): %v", e.Shard, e.Attempts, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Coordinator scatters estimation batches across shard servers and
+// gathers their counts. It implements core.Distributor. Connections are
+// pooled per peer and re-established transparently; a batch makes one
+// RPC per involved shard.
+type Coordinator struct {
+	cfg  Config
+	ring *ring
+	peer []*peer
+
+	batches    atomic.Int64
+	mergeNanos atomic.Int64
+}
+
+// peer is one shard endpoint: its connection pool and counters.
+type peer struct {
+	addr string
+
+	mu   sync.Mutex
+	idle []net.Conn
+
+	rpcs      atomic.Int64
+	failures  atomic.Int64
+	retries   atomic.Int64
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+	healthy   atomic.Bool
+	lastErr   atomic.Value // string
+}
+
+// maxIdleConns bounds each peer's idle-connection pool.
+const maxIdleConns = 4
+
+// New builds a coordinator over the given shard set.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("cluster: coordinator needs at least one peer")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Minute
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = 64
+	}
+	c := &Coordinator{cfg: cfg, ring: newRing(cfg.Peers, cfg.VNodes)}
+	for _, addr := range cfg.Peers {
+		p := &peer{addr: addr}
+		p.healthy.Store(true)
+		c.peer = append(c.peer, p)
+	}
+	return c, nil
+}
+
+// Close drops every pooled connection.
+func (c *Coordinator) Close() error {
+	for _, p := range c.peer {
+		p.mu.Lock()
+		for _, conn := range p.idle {
+			conn.Close()
+		}
+		p.idle = nil
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// Ping round-trips every shard once, returning the first typed failure.
+// pdbserve calls it at boot so a misconfigured peer list fails fast.
+func (c *Coordinator) Ping(ctx context.Context) error {
+	for _, p := range c.peer {
+		if _, err := c.rpc(ctx, p, msgPing, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SampleChunks implements core.Distributor: place every task's chunks on
+// the ring, make one RPC per involved shard (all its sub-tasks batched),
+// and merge the returned counts back into per-task sums. Failed shards
+// are retried with backoff on fresh connections; a shard that stays down
+// fails the batch with a typed *Error — chunks are never silently
+// re-routed, because the caller's accounting assumes every assigned chunk
+// was sampled exactly once.
+func (c *Coordinator) SampleChunks(ctx context.Context, tasks []core.RemoteTask) ([]core.RemoteCounts, error) {
+	c.batches.Add(1)
+	// Scatter plan: per shard, a list of (task index, chunk subset).
+	type subtask struct {
+		task   int
+		chunks []sched.Chunk
+	}
+	plans := make([][]subtask, len(c.peer))
+	for ti := range tasks {
+		t := &tasks[ti]
+		per := make(map[int]*subtask)
+		var order []int
+		for _, ch := range t.Chunks {
+			pi := c.ring.place(t.KeyHi, t.KeyLo, ch.Index)
+			st, ok := per[pi]
+			if !ok {
+				st = &subtask{task: ti}
+				per[pi] = st
+				order = append(order, pi)
+			}
+			st.chunks = append(st.chunks, ch)
+		}
+		for _, pi := range order {
+			plans[pi] = append(plans[pi], *per[pi])
+		}
+	}
+	// One RPC per involved shard, in parallel; first failure cancels the
+	// rest.
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type shardResult struct {
+		peer   int
+		subs   []subtask
+		counts []core.RemoteCounts
+		err    error
+	}
+	var wg sync.WaitGroup
+	results := make([]shardResult, 0, len(c.peer))
+	resCh := make(chan shardResult, len(c.peer))
+	for pi, subs := range plans {
+		if len(subs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(pi int, subs []subtask) {
+			defer wg.Done()
+			req := make([]core.RemoteTask, len(subs))
+			for i, st := range subs {
+				rt := tasks[st.task]
+				rt.Chunks = st.chunks
+				req[i] = rt
+			}
+			payload, err := c.rpc(gctx, c.peer[pi], msgSample, encodeSampleRequest(req))
+			if err != nil {
+				cancel()
+				resCh <- shardResult{peer: pi, err: err}
+				return
+			}
+			counts, err := decodeSampleResult(payload)
+			if err == nil && len(counts) != len(subs) {
+				err = fmt.Errorf("cluster: shard %s returned %d results for %d tasks", c.peer[pi].addr, len(counts), len(subs))
+			}
+			if err != nil {
+				cancel()
+				resCh <- shardResult{peer: pi, err: &Error{Shard: c.peer[pi].addr, Attempts: 1, Err: err}}
+				return
+			}
+			resCh <- shardResult{peer: pi, subs: subs, counts: counts}
+		}(pi, subs)
+	}
+	wg.Wait()
+	close(resCh)
+	for r := range resCh {
+		results = append(results, r)
+	}
+	var firstErr error
+	for _, r := range results {
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// Gather: sum each shard's sub-task counts into the task totals.
+	start := time.Now()
+	out := make([]core.RemoteCounts, len(tasks))
+	for _, r := range results {
+		for i, st := range r.subs {
+			rc := r.counts[i]
+			var want int64
+			for _, ch := range st.chunks {
+				want += ch.N
+			}
+			if rc.Trials != want {
+				return nil, &Error{Shard: c.peer[r.peer].addr, Attempts: 1,
+					Err: fmt.Errorf("cluster: shard returned %d trials for a sub-task assigned %d", rc.Trials, want)}
+			}
+			o := &out[st.task]
+			o.Hits += rc.Hits
+			o.Trials += rc.Trials
+			o.PartialHits += rc.PartialHits
+			o.PartialTrials += rc.PartialTrials
+			o.ReusedTrials += rc.ReusedTrials
+		}
+	}
+	c.mergeNanos.Add(time.Since(start).Nanoseconds())
+	return out, nil
+}
+
+// rpc performs one request/response on a pooled connection to p, retrying
+// transient transport failures with exponential backoff on fresh
+// connections. Every failure path is bounded: dial and request deadlines
+// come from the config, and ctx cancellation aborts between attempts.
+func (c *Coordinator) rpc(ctx context.Context, p *peer, typ byte, payload []byte) ([]byte, error) {
+	attempts := c.cfg.Retries + 1
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			p.retries.Add(1)
+			backoff := c.cfg.RetryBackoff << (attempt - 1)
+			select {
+			case <-ctx.Done():
+				return nil, &Error{Shard: p.addr, Attempts: attempt, Err: ctx.Err()}
+			case <-time.After(backoff):
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, &Error{Shard: p.addr, Attempts: attempt + 1, Err: err}
+		}
+		resp, err := c.attempt(ctx, p, typ, payload)
+		if err == nil {
+			p.healthy.Store(true)
+			return resp, nil
+		}
+		lastErr = err
+		p.lastErr.Store(err.Error())
+	}
+	p.failures.Add(1)
+	p.healthy.Store(false)
+	return nil, &Error{Shard: p.addr, Attempts: attempts, Err: lastErr}
+}
+
+// attempt runs one RPC attempt on one connection (pooled or fresh).
+func (c *Coordinator) attempt(ctx context.Context, p *peer, typ byte, payload []byte) ([]byte, error) {
+	conn, err := p.get(ctx, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			conn.Close()
+		}
+	}()
+	deadline := time.Now().Add(c.cfg.RequestTimeout)
+	if d, has := ctx.Deadline(); has && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	p.rpcs.Add(1)
+	if err := writeFrame(conn, typ, payload); err != nil {
+		return nil, err
+	}
+	p.bytesSent.Add(frameSize(payload))
+	rtyp, resp, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	p.bytesRecv.Add(frameSize(resp))
+	switch {
+	case typ == msgPing && rtyp == msgPong,
+		typ == msgSample && rtyp == msgSampleResult:
+		_ = conn.SetDeadline(time.Time{})
+		p.put(conn)
+		ok = true
+		return resp, nil
+	case rtyp == msgError:
+		d := dec{b: resp}
+		return nil, fmt.Errorf("cluster: shard error: %s", d.str())
+	default:
+		return nil, fmt.Errorf("cluster: unexpected response type %d", rtyp)
+	}
+}
+
+// get returns a pooled connection or dials and handshakes a fresh one.
+func (p *peer) get(ctx context.Context, dialTimeout time.Duration) (net.Conn, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		conn := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return conn, nil
+	}
+	p.mu.Unlock()
+	d := net.Dialer{Timeout: dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", p.addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.SetDeadline(time.Now().Add(dialTimeout)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := handshake(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// put returns a healthy connection to the pool.
+func (p *peer) put(conn net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.idle) >= maxIdleConns {
+		conn.Close()
+		return
+	}
+	p.idle = append(p.idle, conn)
+}
+
+// ShardStatus is one peer's health and traffic counters.
+type ShardStatus struct {
+	Addr      string
+	Healthy   bool // last RPC (if any) succeeded
+	RPCs      int64
+	Failures  int64 // RPCs that exhausted all retries
+	Retries   int64
+	BytesSent int64
+	BytesRecv int64
+	LastError string
+}
+
+// Stats is a snapshot of the coordinator's counters.
+type Stats struct {
+	Batches    int64 // scatter-gather batches dispatched
+	MergeNanos int64 // cumulative time merging gathered counts
+	Shards     []ShardStatus
+}
+
+// Stats returns a snapshot of coordinator and per-shard counters.
+func (c *Coordinator) Stats() Stats {
+	st := Stats{Batches: c.batches.Load(), MergeNanos: c.mergeNanos.Load()}
+	for _, p := range c.peer {
+		s := ShardStatus{
+			Addr:      p.addr,
+			Healthy:   p.healthy.Load(),
+			RPCs:      p.rpcs.Load(),
+			Failures:  p.failures.Load(),
+			Retries:   p.retries.Load(),
+			BytesSent: p.bytesSent.Load(),
+			BytesRecv: p.bytesRecv.Load(),
+		}
+		if v, ok := p.lastErr.Load().(string); ok {
+			s.LastError = v
+		}
+		st.Shards = append(st.Shards, s)
+	}
+	return st
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/rel"
+)
+
+// Placement. Estimation tasks are placed on the ring by their 64-bit
+// lineage-content fingerprint — the same hashed keys that index the
+// engine's estimator cache — so a task's chunks land on the same shards
+// across queries and coordinator restarts, keeping shard-local chunk
+// caches warm. A task's chunks spread from its owner round-robin
+// (owner+Index mod n), so one heavy tuple still saturates the whole
+// cluster instead of one box.
+//
+// The ring hashes peer addresses (not list positions) onto vnode points,
+// so adding or removing a peer moves only the keyspace fraction touching
+// its points — standard consistent hashing.
+type ring struct {
+	points []ringPoint // sorted by hash
+	peers  int
+}
+
+type ringPoint struct {
+	hash uint64
+	peer int // index into the coordinator's peer list
+}
+
+// newRing builds a ring with vnodes points per peer.
+func newRing(addrs []string, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(addrs)*vnodes), peers: len(addrs)}
+	for i, addr := range addrs {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(addr))
+		base := h.Sum64()
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: rel.Mix64(base + uint64(v)*0x9e3779b97f4a7c15),
+				peer: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r
+}
+
+// owner returns the peer index owning hash h: the first ring point at or
+// clockwise after h.
+func (r *ring) owner(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].peer
+}
+
+// place returns the peer carrying chunk index ci of the task keyed
+// (hi, lo): chunks fan out round-robin from the owning peer.
+func (r *ring) place(hi, lo uint64, ci int) int {
+	owner := r.owner(rel.HashCombine(hi, rel.Mix64(lo)))
+	return (owner + ci) % r.peers
+}

@@ -1,0 +1,393 @@
+// Package cluster distributes Karp–Luby estimation across processes: a
+// coordinator plans queries once and scatters typed chunk work units to
+// shard servers over a length-prefixed binary framing on TCP (stdlib
+// only), then gathers and merges the per-shard integer counts. Because a
+// chunk's PRNG stream is fixed by (task seed, plan index) and merged
+// counts are commutative sums, results are bit-identical to single-node
+// execution for any shard count under one seed — the engine's
+// worker-count determinism contract generalized to shard count.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/dnf"
+	"repro/internal/sched"
+	"repro/internal/vars"
+)
+
+// Wire format. Every message is one frame:
+//
+//	[4-byte big-endian length][1-byte message type][payload]
+//
+// where length covers the type byte plus the payload. Integers inside
+// payloads are unsigned varints unless noted; 64-bit hashes, seeds, and
+// float bit patterns are fixed 8-byte big-endian words. Probabilities
+// travel as math.Float64bits so they reconstruct bit-exactly — the
+// determinism contract depends on it. A connection opens with
+// hello/helloAck (magic + protocol version) and then carries synchronous
+// request/response pairs: sample→sampleResult|error, ping→pong.
+const (
+	msgHello byte = iota + 1
+	msgHelloAck
+	msgSample
+	msgSampleResult
+	msgError
+	msgPing
+	msgPong
+)
+
+const (
+	protocolMagic   uint32 = 0x70646263 // "pdbc"
+	protocolVersion        = 1
+	// maxFrame bounds a frame; a sample batch over a large clause set is
+	// the biggest legitimate message.
+	maxFrame = 1 << 28
+)
+
+// writeFrame sends one typed frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > maxFrame {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds limit", len(payload)+1)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one typed frame.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("cluster: invalid frame length %d", n)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// frameSize reports the on-wire size of a frame with the given payload.
+func frameSize(payload []byte) int64 { return int64(5 + len(payload)) }
+
+// handshake performs the client half of hello/helloAck on a fresh
+// connection.
+func handshake(conn net.Conn) error {
+	var e enc
+	e.u32(protocolMagic)
+	e.uv(protocolVersion)
+	if err := writeFrame(conn, msgHello, e.b); err != nil {
+		return err
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if typ != msgHelloAck {
+		return fmt.Errorf("cluster: handshake got message type %d", typ)
+	}
+	d := dec{b: payload}
+	if v := d.uv(); d.err == nil && v != protocolVersion {
+		return fmt.Errorf("cluster: shard speaks protocol version %d, want %d", v, protocolVersion)
+	}
+	return d.err
+}
+
+// enc is an append-only payload builder.
+type enc struct{ b []byte }
+
+func (e *enc) u32(v uint32)  { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)  { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *enc) uv(v uint64)   { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) str(s string)  { e.uv(uint64(len(s))); e.b = append(e.b, s...) }
+
+// dec is the matching cursor-based reader; the first malformed field
+// poisons it and every later read returns zero values.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail() { d.err = errors.New("cluster: truncated or malformed message") }
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		if d.err == nil {
+			d.fail()
+		}
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		if d.err == nil {
+			d.fail()
+		}
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) uv() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) str() string {
+	n := d.uv()
+	if d.err != nil || d.off+int(n) > len(d.b) || n > uint64(len(d.b)) {
+		if d.err == nil {
+			d.fail()
+		}
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// encodeTask serializes one RemoteTask. Variable ids are remapped to a
+// dense local space in ascending original-id order — an order-preserving
+// remap, so clause binding order (and with it the multiplication order of
+// clause weights) is untouched and every derived float is bit-identical
+// on the shard.
+func encodeTask(e *enc, t core.RemoteTask) {
+	e.u64(t.KeyHi)
+	e.u64(t.KeyLo)
+	e.i64(t.Seed)
+	e.uv(uint64(t.ChunkSize))
+	e.uv(uint64(t.MaxStrata))
+	e.uv(uint64(t.Stratum))
+	// Referenced variables, ascending by original id.
+	seen := map[vars.Var]bool{}
+	var used []vars.Var
+	for _, a := range t.Clauses {
+		for _, b := range a {
+			if !seen[b.Var] {
+				seen[b.Var] = true
+				used = append(used, b.Var)
+			}
+		}
+	}
+	// Clause bindings are sorted by var id, but different clauses
+	// interleave ids arbitrarily — sort the union once.
+	sortVars(used)
+	local := make(map[vars.Var]uint64, len(used))
+	for i, v := range used {
+		local[v] = uint64(i)
+	}
+	e.uv(uint64(len(used)))
+	for _, v := range used {
+		in := t.Vars.Info(v)
+		e.str(in.Name)
+		e.uv(uint64(len(in.Probs)))
+		for _, p := range in.Probs {
+			e.f64(p)
+		}
+	}
+	e.uv(uint64(len(t.Clauses)))
+	for _, a := range t.Clauses {
+		e.uv(uint64(len(a)))
+		for _, b := range a {
+			e.uv(local[b.Var])
+			e.uv(uint64(b.Alt))
+		}
+	}
+	e.uv(uint64(len(t.Chunks)))
+	for _, c := range t.Chunks {
+		e.uv(uint64(c.Index))
+		e.uv(uint64(c.N))
+	}
+}
+
+func sortVars(vs []vars.Var) {
+	// Insertion sort: clause sets reference their vars nearly in order
+	// already and the slices are small relative to sampling cost.
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+// wireTask is a decoded RemoteTask on the shard side: a self-contained
+// clause set over a freshly restored variable table.
+type wireTask struct {
+	keyHi, keyLo uint64
+	seed         int64
+	chunkSize    int64
+	maxStrata    int
+	stratum      int
+	clauses      dnf.F
+	table        *vars.Table
+	chunks       []sched.Chunk
+}
+
+// decodeTask parses one task payload section.
+func decodeTask(d *dec) (wireTask, error) {
+	var t wireTask
+	t.keyHi = d.u64()
+	t.keyLo = d.u64()
+	t.seed = d.i64()
+	t.chunkSize = int64(d.uv())
+	t.maxStrata = int(d.uv())
+	t.stratum = int(d.uv())
+	nvars := d.uv()
+	if d.err != nil || nvars > uint64(len(d.b)) {
+		return t, errTrunc(d)
+	}
+	infos := make([]vars.Info, nvars)
+	for i := range infos {
+		name := d.str()
+		nprobs := d.uv()
+		if d.err != nil || nprobs == 0 || nprobs > uint64(len(d.b)) {
+			return t, errTrunc(d)
+		}
+		probs := make([]float64, nprobs)
+		for j := range probs {
+			probs[j] = d.f64()
+		}
+		infos[i] = vars.Info{Name: name, Probs: probs}
+	}
+	t.table = vars.RestoreTable(infos)
+	nclauses := d.uv()
+	if d.err != nil || nclauses > uint64(len(d.b)) {
+		return t, errTrunc(d)
+	}
+	t.clauses = make(dnf.F, nclauses)
+	for i := range t.clauses {
+		nb := d.uv()
+		if d.err != nil || nb > uint64(len(d.b)) {
+			return t, errTrunc(d)
+		}
+		a := make(vars.Assignment, nb)
+		for j := range a {
+			v := d.uv()
+			alt := d.uv()
+			if v >= nvars {
+				d.fail()
+				return t, errTrunc(d)
+			}
+			a[j] = vars.Binding{Var: vars.Var(v), Alt: int32(alt)}
+		}
+		t.clauses[i] = a
+	}
+	nchunks := d.uv()
+	if d.err != nil || nchunks > uint64(len(d.b)) {
+		return t, errTrunc(d)
+	}
+	t.chunks = make([]sched.Chunk, nchunks)
+	for i := range t.chunks {
+		t.chunks[i] = sched.Chunk{Index: int(d.uv()), N: int64(d.uv())}
+	}
+	if t.chunkSize <= 0 || t.stratum < 0 || t.maxStrata < 0 {
+		d.fail()
+	}
+	return t, d.err
+}
+
+func errTrunc(d *dec) error {
+	if d.err == nil {
+		d.fail()
+	}
+	return d.err
+}
+
+// encodeSampleRequest builds a msgSample payload from a task batch.
+func encodeSampleRequest(tasks []core.RemoteTask) []byte {
+	var e enc
+	e.uv(uint64(len(tasks)))
+	for _, t := range tasks {
+		encodeTask(&e, t)
+	}
+	return e.b
+}
+
+// decodeSampleRequest parses a msgSample payload.
+func decodeSampleRequest(payload []byte) ([]wireTask, error) {
+	d := &dec{b: payload}
+	n := d.uv()
+	if d.err != nil || n > uint64(len(payload)) {
+		return nil, errTrunc(d)
+	}
+	tasks := make([]wireTask, n)
+	for i := range tasks {
+		t, err := decodeTask(d)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = t
+	}
+	return tasks, nil
+}
+
+// encodeSampleResult builds a msgSampleResult payload: one integer count
+// record per task, in request order.
+func encodeSampleResult(counts []core.RemoteCounts) []byte {
+	var e enc
+	e.uv(uint64(len(counts)))
+	for _, c := range counts {
+		e.uv(uint64(c.Hits))
+		e.uv(uint64(c.Trials))
+		e.uv(uint64(c.PartialHits))
+		e.uv(uint64(c.PartialTrials))
+		e.uv(uint64(c.ReusedTrials))
+	}
+	return e.b
+}
+
+// decodeSampleResult parses a msgSampleResult payload.
+func decodeSampleResult(payload []byte) ([]core.RemoteCounts, error) {
+	d := &dec{b: payload}
+	n := d.uv()
+	if d.err != nil || n > uint64(len(payload))+1 {
+		return nil, errTrunc(d)
+	}
+	counts := make([]core.RemoteCounts, n)
+	for i := range counts {
+		counts[i] = core.RemoteCounts{
+			Hits:          int64(d.uv()),
+			Trials:        int64(d.uv()),
+			PartialHits:   int64(d.uv()),
+			PartialTrials: int64(d.uv()),
+			ReusedTrials:  int64(d.uv()),
+		}
+	}
+	return counts, d.err
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dnf"
+	"repro/internal/rel"
+	"repro/internal/sched"
+	"repro/internal/vars"
+)
+
+// testTask builds a RemoteTask with awkward content: sparse var ids,
+// subnormal and near-one probabilities, and a partial chunk.
+func testTask(t *testing.T) core.RemoteTask {
+	t.Helper()
+	table := vars.NewTable()
+	var ids []vars.Var
+	for _, n := range []string{"x0", "x1", "x2", "x3", "x4"} {
+		ids = append(ids, table.Add(n, []float64{0.25, 0.5, 0.25}, nil))
+	}
+	f := dnf.F{
+		{{Var: ids[4], Alt: 0}},
+		{{Var: ids[1], Alt: 2}, {Var: ids[3], Alt: 1}},
+		{{Var: ids[0], Alt: 1}, {Var: ids[2], Alt: 0}, {Var: ids[4], Alt: 2}},
+	}
+	return core.RemoteTask{
+		KeyHi:     0xdeadbeefcafef00d,
+		KeyLo:     0x0123456789abcdef,
+		Seed:      -7,
+		ChunkSize: 4096,
+		MaxStrata: 4,
+		Stratum:   2,
+		Clauses:   f,
+		Vars:      table,
+		Chunks:    []sched.Chunk{{Index: 0, N: 4096}, {Index: 3, N: 100}},
+	}
+}
+
+func TestSampleRequestRoundTrip(t *testing.T) {
+	orig := testTask(t)
+	payload := encodeSampleRequest([]core.RemoteTask{orig})
+	got, err := decodeSampleRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("decoded %d tasks, want 1", len(got))
+	}
+	w := got[0]
+	if w.keyHi != orig.KeyHi || w.keyLo != orig.KeyLo || w.seed != orig.Seed ||
+		w.chunkSize != orig.ChunkSize || w.maxStrata != orig.MaxStrata || w.stratum != orig.Stratum {
+		t.Errorf("scalar fields diverge: %+v", w)
+	}
+	if len(w.clauses) != len(orig.Clauses) {
+		t.Fatalf("decoded %d clauses, want %d", len(w.clauses), len(orig.Clauses))
+	}
+	// The remap is order-preserving: binding j of clause i names the same
+	// variable (by name) with the same bit-exact probabilities.
+	for i, a := range orig.Clauses {
+		if len(w.clauses[i]) != len(a) {
+			t.Fatalf("clause %d: %d bindings, want %d", i, len(w.clauses[i]), len(a))
+		}
+		for j, b := range a {
+			wb := w.clauses[i][j]
+			if wb.Alt != b.Alt {
+				t.Errorf("clause %d binding %d: alt %d, want %d", i, j, wb.Alt, b.Alt)
+			}
+			oin, win := orig.Vars.Info(b.Var), w.table.Info(wb.Var)
+			if win.Name != oin.Name {
+				t.Errorf("clause %d binding %d: var %q, want %q", i, j, win.Name, oin.Name)
+			}
+			for k := range oin.Probs {
+				if math.Float64bits(win.Probs[k]) != math.Float64bits(oin.Probs[k]) {
+					t.Errorf("var %q prob %d not bit-exact", oin.Name, k)
+				}
+			}
+		}
+	}
+	if len(w.chunks) != 2 || w.chunks[1] != (sched.Chunk{Index: 3, N: 100}) {
+		t.Errorf("chunks diverge: %+v", w.chunks)
+	}
+}
+
+func TestDecodeRejectsCorruptPayloads(t *testing.T) {
+	payload := encodeSampleRequest([]core.RemoteTask{testTask(t)})
+	// Every truncation point must fail cleanly, never panic.
+	for n := 0; n < len(payload); n++ {
+		if _, err := decodeSampleRequest(payload[:n]); err == nil {
+			t.Fatalf("truncation at %d bytes decoded successfully", n)
+		}
+	}
+	if _, err := decodeSampleResult([]byte{0xff}); err == nil {
+		t.Error("corrupt result payload decoded successfully")
+	}
+}
+
+func TestSampleResultRoundTrip(t *testing.T) {
+	in := []core.RemoteCounts{
+		{Hits: 1, Trials: 4096, PartialHits: 0, PartialTrials: 0, ReusedTrials: 4096},
+		{Hits: 12345, Trials: 1 << 40, PartialHits: 7, PartialTrials: 100},
+	}
+	out, err := decodeSampleResult(encodeSampleResult(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("record %d: %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+// Placement SHALL be a pure function of (peer set, content key, chunk
+// index): the same inputs place identically across coordinators, and
+// every peer owns a reasonable share of a large chunk population.
+func TestPlacementDeterministicAndSpread(t *testing.T) {
+	addrs := []string{"a:1", "b:1", "c:1"}
+	r1, r2 := newRing(addrs, 64), newRing(addrs, 64)
+	counts := make(map[int]int)
+	for i := 0; i < 3000; i++ {
+		hi := rel.Mix64(uint64(i) * 0x9e3779b97f4a7c15)
+		lo := rel.Mix64(hi + 1)
+		p := r1.place(hi, lo, i%7)
+		if q := r2.place(hi, lo, i%7); q != p {
+			t.Fatalf("placement not deterministic: %d vs %d", p, q)
+		}
+		counts[p]++
+	}
+	for p, n := range counts {
+		if n < 500 {
+			t.Errorf("peer %d owns only %d/3000 placements", p, n)
+		}
+	}
+	// Chunk indexes round-robin away from the owner: consecutive chunks of
+	// one task land on different peers.
+	if a, b := r1.place(1, 2, 0), r1.place(1, 2, 1); a == b {
+		t.Error("consecutive chunks placed on the same peer in a 3-peer ring")
+	}
+}

@@ -1,0 +1,337 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/pdb"
+)
+
+// Spec scenarios for the horizontal-sharding surface, written
+// SHALL / WHEN / THEN against the public pdb API with real shard servers
+// on loopback TCP. The fixture mirrors the stratified scenario suite: two
+// independent relations whose product yields skewed, connected clause
+// components, so both the flat and the stratified estimation paths
+// genuinely sample.
+
+// skewDB builds the fixture database.
+func skewDB(t testing.TB) *pdb.DB {
+	t.Helper()
+	probsR := []float64{0.9, 0.6, 0.05, 0.02, 0.002, 0.0005}
+	rowsR := make([][]any, len(probsR))
+	for i := range probsR {
+		rowsR[i] = []any{int64(i), int64(i / 2)}
+	}
+	db, err := pdb.NewBuilder().
+		Independent("R", []string{"ID", "Grp"}, rowsR, probsR).
+		Independent("S", []string{"SID"},
+			[][]any{{int64(1)}, {int64(2)}, {int64(3)}, {int64(4)}, {int64(5)}, {int64(6)}},
+			[]float64{0.8, 0.3, 0.04, 0.01, 0.002, 0.001}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+const grpConfProgram = `conf(project[Grp](product(R, S)))`
+
+// startShards boots n in-process shard servers on loopback and returns
+// their addresses. Cleanup closes them.
+func startShards(t testing.TB, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		sh := cluster.NewShard(cluster.ShardConfig{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		go sh.Serve(ln)
+		t.Cleanup(func() { sh.Close() })
+	}
+	return addrs
+}
+
+// fingerprint renders every result row, in order, as the service would.
+func fingerprint(t testing.TB, res *pdb.Result) string {
+	t.Helper()
+	var sb strings.Builder
+	for row := range res.Rows() {
+		sb.WriteString(row.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// evalClustered evaluates the program on a fresh engine backed by the
+// given peers (nil peers = single-node) and returns the row fingerprint.
+func evalClustered(t testing.TB, db *pdb.DB, program string, peers []string, opts ...pdb.Option) string {
+	t.Helper()
+	var engOpts []pdb.EngineOption
+	if peers != nil {
+		engOpts = append(engOpts, pdb.WithEngineCluster(pdb.ClusterOptions{Peers: peers}))
+	}
+	eng, err := db.Engine(engOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	q, err := eng.Prepare(program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Eval(context.Background(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fingerprint(t, res)
+}
+
+// SHALL: a fixed-seed evaluation returns bit-identical rows on 1, 2, and
+// 4 shards and on a single node — the worker-count determinism contract
+// generalized to shard count — on both estimation paths.
+//
+// WHEN the same program runs single-node and clustered at several shard
+// counts THEN every fingerprint matches byte for byte.
+func TestClusterShardCountBitParity(t *testing.T) {
+	db := skewDB(t)
+	for _, tc := range []struct {
+		name string
+		opts []pdb.Option
+	}{
+		{"flat", []pdb.Option{pdb.WithConfBudget(0.05, 0.05), pdb.WithSeed(42)}},
+		{"stratified", []pdb.Option{pdb.WithConfBudget(0.05, 0.05), pdb.WithSeed(42), pdb.WithStrata(4)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := evalClustered(t, db, grpConfProgram, nil, tc.opts...)
+			for _, shards := range []int{1, 2, 4} {
+				peers := startShards(t, shards)
+				got := evalClustered(t, db, grpConfProgram, peers, tc.opts...)
+				if got != want {
+					t.Errorf("%d shards: rows diverge from single-node\n got: %q\nwant: %q", shards, got, want)
+				}
+			}
+		})
+	}
+}
+
+// SHALL: σ̂ evaluations distribute too, bit-identically.
+//
+// WHEN an approximate-select program runs on 2 shards THEN its rows match
+// the single-node run byte for byte.
+func TestClusterSigmaHatBitParity(t *testing.T) {
+	db := skewDB(t)
+	program := `aselect[p1 >= 0.05 over conf[Grp]](project[Grp](product(R, S)))`
+	opts := []pdb.Option{pdb.WithEpsilon(0.1), pdb.WithDelta(0.1), pdb.WithSeed(7)}
+	want := evalClustered(t, db, program, nil, opts...)
+	peers := startShards(t, 2)
+	got := evalClustered(t, db, program, peers, opts...)
+	if got != want {
+		t.Errorf("σ̂ rows diverge from single-node\n got: %q\nwant: %q", got, want)
+	}
+	// And on the stratified σ̂ path.
+	sopts := append(opts, pdb.WithStrata(4))
+	want = evalClustered(t, db, program, nil, sopts...)
+	got = evalClustered(t, db, program, startShards(t, 4), sopts...)
+	if got != want {
+		t.Errorf("stratified σ̂ rows diverge from single-node\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// SHALL: a dead shard yields a typed *pdb.ClusterError within the retry
+// budget — never a hang, never a silent single-node fallback.
+//
+// WHEN one of two shards is killed before evaluation THEN Eval returns a
+// *pdb.ClusterError naming the dead peer and the attempt count.
+func TestClusterKilledShardTypedError(t *testing.T) {
+	db := skewDB(t)
+	peers := startShards(t, 1)
+	// Second peer: a listener that is closed immediately — connections are
+	// refused from the start.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	eng, err := db.Engine(pdb.WithEngineCluster(pdb.ClusterOptions{
+		Peers:          append(peers, deadAddr),
+		DialTimeout:    500 * time.Millisecond,
+		RequestTimeout: time.Second,
+		Retries:        1,
+		RetryBackoff:   10 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	q, err := eng.Prepare(grpConfProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = q.Eval(context.Background(), pdb.WithConfBudget(0.05, 0.05), pdb.WithSeed(1))
+	if err == nil {
+		t.Fatal("Eval on a half-dead cluster succeeded; want *pdb.ClusterError")
+	}
+	var ce *pdb.ClusterError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Eval error = %v (%T), want *pdb.ClusterError", err, err)
+	}
+	if ce.Shard != deadAddr {
+		t.Errorf("ClusterError.Shard = %q, want %q", ce.Shard, deadAddr)
+	}
+	if ce.Attempts != 2 {
+		t.Errorf("ClusterError.Attempts = %d, want 2 (1 try + 1 retry)", ce.Attempts)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("failure took %v; the deadline/retry envelope should bound it to seconds", elapsed)
+	}
+	// The engine's stats surface the failure per shard.
+	cs := eng.ClusterStats()
+	if cs == nil {
+		t.Fatal("ClusterStats() = nil on a clustered engine")
+	}
+	var deadSeen bool
+	for _, s := range cs.Shards {
+		if s.Addr == deadAddr {
+			deadSeen = true
+			if s.Healthy {
+				t.Error("dead shard reported healthy")
+			}
+			if s.Failures == 0 {
+				t.Error("dead shard reported zero failures")
+			}
+			if s.LastError == "" {
+				t.Error("dead shard reported no last error")
+			}
+		}
+	}
+	if !deadSeen {
+		t.Error("dead shard missing from ClusterStats")
+	}
+}
+
+// flakyProxy fronts a live shard but kills the first `drops` accepted
+// connections before any bytes flow — a transient network failure.
+func flakyProxy(t *testing.T, backend string, drops int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var dropped atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if dropped.Add(1) <= int64(drops) {
+				conn.Close()
+				continue
+			}
+			up, err := net.Dial("tcp", backend)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() { defer wg.Done(); io.Copy(up, conn); up.Close() }()
+			go func() { defer wg.Done(); io.Copy(conn, up); conn.Close() }()
+			go func() { wg.Wait() }()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// SHALL: a transient shard failure is retried with backoff and the
+// evaluation succeeds — bit-identically to an unperturbed run.
+//
+// WHEN the first connection to a shard is dropped THEN the retry lands
+// and the rows match the single-node fingerprint.
+func TestClusterTransientFailureRetried(t *testing.T) {
+	db := skewDB(t)
+	opts := []pdb.Option{pdb.WithConfBudget(0.05, 0.05), pdb.WithSeed(42)}
+	want := evalClustered(t, db, grpConfProgram, nil, opts...)
+	backend := startShards(t, 1)[0]
+	proxy := flakyProxy(t, backend, 1)
+	eng, err := db.Engine(pdb.WithEngineCluster(pdb.ClusterOptions{
+		Peers:        []string{proxy},
+		Retries:      2,
+		RetryBackoff: 10 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	q, err := eng.Prepare(grpConfProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Eval(context.Background(), opts...)
+	if err != nil {
+		t.Fatalf("Eval through flaky proxy: %v", err)
+	}
+	if got := fingerprint(t, res); got != want {
+		t.Errorf("retried rows diverge from single-node\n got: %q\nwant: %q", got, want)
+	}
+	cs := eng.ClusterStats()
+	if cs == nil || len(cs.Shards) != 1 {
+		t.Fatalf("ClusterStats = %+v, want one shard", cs)
+	}
+	if cs.Shards[0].Retries == 0 {
+		t.Error("transient failure recorded no retries")
+	}
+	if !cs.Shards[0].Healthy {
+		t.Error("recovered shard reported unhealthy")
+	}
+}
+
+// SHALL: shard-side chunk caches serve repeated scatters without
+// re-sampling, and the coordinator reports the reuse.
+//
+// WHEN the same fixed-budget query evaluates twice on fresh engines
+// against the same shards THEN the second run's shard stats show reused
+// trials and unchanged sampled-trial counts.
+func TestClusterShardCacheReuse(t *testing.T) {
+	db := skewDB(t)
+	sh := cluster.NewShard(cluster.ShardConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go sh.Serve(ln)
+	defer sh.Close()
+	peers := []string{ln.Addr().String()}
+	opts := []pdb.Option{pdb.WithConfBudget(0.05, 0.05), pdb.WithSeed(42)}
+
+	first := evalClustered(t, db, grpConfProgram, peers, opts...)
+	sampledAfterFirst := sh.Stats().TrialsSampled
+	if sampledAfterFirst == 0 {
+		t.Fatal("first clustered run sampled nothing on the shard")
+	}
+	second := evalClustered(t, db, grpConfProgram, peers, opts...)
+	if first != second {
+		t.Errorf("repeated run diverges:\n got: %q\nwant: %q", second, first)
+	}
+	st := sh.Stats()
+	if st.TrialsSampled != sampledAfterFirst {
+		t.Errorf("second run re-sampled: %d → %d trials", sampledAfterFirst, st.TrialsSampled)
+	}
+	if st.TrialsReused == 0 {
+		t.Error("second run reported no reused trials")
+	}
+}

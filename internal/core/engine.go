@@ -319,6 +319,9 @@ type Engine struct {
 	// shared, when non-nil, is an estimator cache that outlives this
 	// engine's evaluations (see SetCache).
 	shared *Cache
+	// dist, when non-nil, scatters estimation batches to remote shards
+	// (see SetDistributor).
+	dist Distributor
 }
 
 // NewEngine builds an engine over db. The database is cloned per

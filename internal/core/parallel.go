@@ -37,6 +37,7 @@ func chunkTrials(k int) int64 {
 type estimateJob struct {
 	est       *karpluby.Estimator
 	key       contentKey
+	f         dnf.F // canonical clause set, shipped to shards in remote mode
 	seed      int64
 	total     int64
 	chunkSize int64
@@ -110,12 +111,22 @@ func (run *evalRun) newJob(f dnf.F, trials func(clauses int) int64, shortcutSing
 	job := &estimateJob{
 		est:       est,
 		key:       key,
+		f:         f,
 		seed:      sched.TaskSeedWords(run.engine.opts.Seed, key.hi, key.lo),
 		total:     trials(est.ClauseCount()),
 		chunkSize: chunkTrials(est.ClauseCount()),
 	}
 	if run.cache != nil {
 		if st, ok := run.cache.lookup(key, est.ClauseCount(), job.chunkSize, job.total, run.engine.opts.Seed); ok {
+			if run.engine.dist != nil && st.PartialRNG != nil && st.Trials < job.total {
+				// Remote mode cannot continue a mid-chunk PRNG tail across
+				// the wire: drop the tail and let the shard re-sample that
+				// chunk in full from its seed — still bit-identical, at one
+				// chunk of extra sampling.
+				st.Hits -= st.PartialHits
+				st.Trials -= st.PartialTrials
+				st.PartialHits, st.PartialTrials, st.PartialRNG = 0, 0, nil
+			}
 			if err := est.Resume(st); err == nil {
 				run.cacheHits++
 				job.startChunk = st.Chunks
@@ -156,6 +167,9 @@ func (run *evalRun) newJob(f dnf.F, trials func(clauses int) int64, shortcutSing
 // the batch aborts with a *LimitError before the over-budget chunk
 // samples.
 func (run *evalRun) runEstimates(jobs []*estimateJob) error {
+	if run.engine.dist != nil {
+		return run.runEstimatesRemote(jobs)
+	}
 	defer func() { run.batch = nil }()
 	type chunkTask struct {
 		job *estimateJob

@@ -70,6 +70,7 @@ func stratKey(key contentKey, maxStrata, j int) contentKey {
 type stratJob struct {
 	est       *karpluby.Stratified
 	key       contentKey
+	f         dnf.F // canonical residue, shipped to shards in remote mode
 	maxStrata int
 	taskSeed  int64
 	seeds     []int64      // per-stratum task seeds (karpluby.StratumSeed)
@@ -143,6 +144,7 @@ func (run *evalRun) newStratJob(f dnf.F, trials func(clauses int) int64, shortcu
 	job := &stratJob{
 		est:       est,
 		key:       key,
+		f:         res,
 		maxStrata: maxStrata,
 		taskSeed:  sched.TaskSeedWords(run.engine.opts.Seed, key.hi, key.lo),
 		budget:    trials(est.ClauseCount()),
@@ -214,6 +216,14 @@ type stratTarget struct {
 // runEstimates, an aborted batch (context cancellation, tripped trial
 // limit) publishes nothing — the cache only ever holds complete wave
 // boundaries.
+// stratTask is one (job, stratum, chunk) sampling unit of a wave.
+type stratTask struct {
+	j     *stratJob
+	s     int
+	chunk int
+	n     int64
+}
+
 func (run *evalRun) runStratEstimates(jobs []*stratJob, tgt stratTarget) error {
 	defer func() { run.sbatch = nil }()
 	pending := make([]*stratJob, 0, len(jobs))
@@ -221,12 +231,6 @@ func (run *evalRun) runStratEstimates(jobs []*stratJob, tgt stratTarget) error {
 		if j != nil {
 			pending = append(pending, j)
 		}
-	}
-	type stratTask struct {
-		j     *stratJob
-		s     int
-		chunk int
-		n     int64
 	}
 	for len(pending) > 0 {
 		// Sweep: settle jobs on merged, deterministic state.
@@ -267,18 +271,69 @@ func (run *evalRun) runStratEstimates(jobs []*stratJob, tgt stratTarget) error {
 					}
 				}
 			} else {
-				need := j.budget - j.est.Trials()
-				for s, a := range j.est.Allocate(need) {
-					if a <= 0 {
-						continue
+				// σ̂ fixed-budget passes are variance-aware too: instead of
+				// Neyman-splitting the whole remainder on the (possibly
+				// uniform-prior) θ̂ estimates in one shot, spend it in
+				// doubling waves — each intermediate wave doubles the
+				// cumulative spend and re-allocates on the counts merged so
+				// far, so the split sharpens as variance estimates tighten.
+				// Intermediate waves emit whole chunks only (a partial chunk
+				// does not advance the stratum cursor, so re-allocating at
+				// its index would re-sample a prefix of its stream); the
+				// final wave spends exactly the remainder and may end on one
+				// partial chunk per stratum. (A probe wave that cannot be
+				// tiled by whole chunks falls back to one chunk, which can
+				// overshoot the pass target by at most one chunk — the sweep
+				// then settles the job.) All decisions read merged counts
+				// at wave boundaries, so the trajectory — and the exact pass
+				// total — is bit-identical for any worker count.
+				spent := j.est.Trials()
+				remaining := j.budget - spent
+				wave := spent
+				if min := minActiveChunk(j); wave < min {
+					wave = min
+				}
+				if wave >= remaining {
+					// Final wave: exactly the remainder.
+					for s, a := range j.est.Allocate(remaining) {
+						if a <= 0 {
+							continue
+						}
+						full := int(a / j.sizes[s])
+						j.waveFull[s] = full
+						for i := 0; i < full; i++ {
+							tasks = append(tasks, stratTask{j: j, s: s, chunk: j.waveStart[s] + i, n: j.sizes[s]})
+						}
+						if rem := a % j.sizes[s]; rem > 0 {
+							tasks = append(tasks, stratTask{j: j, s: s, chunk: j.waveStart[s] + full, n: rem})
+						}
 					}
-					full := int(a / j.sizes[s])
-					j.waveFull[s] = full
-					for i := 0; i < full; i++ {
-						tasks = append(tasks, stratTask{j: j, s: s, chunk: j.waveStart[s] + i, n: j.sizes[s]})
+				} else {
+					alloc := j.est.Allocate(wave)
+					added := 0
+					for s, a := range alloc {
+						full := int(a / j.sizes[s])
+						if full <= 0 {
+							continue
+						}
+						j.waveFull[s] = full
+						added += full
+						for i := 0; i < full; i++ {
+							tasks = append(tasks, stratTask{j: j, s: s, chunk: j.waveStart[s] + i, n: j.sizes[s]})
+						}
 					}
-					if rem := a % j.sizes[s]; rem > 0 {
-						tasks = append(tasks, stratTask{j: j, s: s, chunk: j.waveStart[s] + full, n: rem})
+					if added == 0 {
+						// Every share rounded below one chunk: probe the
+						// stratum with the largest share (ties to the lowest
+						// index) so the wave always makes progress.
+						best, bestA := -1, int64(-1)
+						for s, a := range alloc {
+							if a > bestA {
+								best, bestA = s, a
+							}
+						}
+						j.waveFull[best] = 1
+						tasks = append(tasks, stratTask{j: j, s: best, chunk: j.waveStart[best], n: j.sizes[best]})
 					}
 				}
 			}
@@ -295,6 +350,19 @@ func (run *evalRun) runStratEstimates(jobs []*stratJob, tgt stratTarget) error {
 		ctx := run.ctx
 		if ctx == nil {
 			ctx = context.Background()
+		}
+		if run.engine.dist != nil {
+			if err := run.remoteStratWave(ctx, tasks); err != nil {
+				return err
+			}
+			for _, j := range pending {
+				for s, c := range j.waveFull {
+					if c > 0 {
+						j.est.AdvanceStratum(s, j.waveStart[s]+c)
+					}
+				}
+			}
+			continue
 		}
 		err := run.engine.pool.ForEachCtx(ctx, len(tasks), func(i int) error {
 			t := tasks[i]
@@ -350,6 +418,22 @@ func (run *evalRun) runStratEstimates(jobs []*stratJob, tgt stratTarget) error {
 		}
 	}
 	return nil
+}
+
+// minActiveChunk returns the smallest chunk size among strata with
+// positive mass — the floor of an intermediate σ̂ wave, so the doubling
+// schedule always starts with at least one whole chunk of probing.
+func minActiveChunk(j *stratJob) int64 {
+	min := int64(0)
+	for s, size := range j.sizes {
+		if j.est.StratumM(s) <= 0 {
+			continue
+		}
+		if min == 0 || size < min {
+			min = size
+		}
+	}
+	return min
 }
 
 // approxConfStrat is approxConf on the stratified path: same contract

@@ -381,6 +381,19 @@ func (s *Stratified) MergeShard(j int, sh *StratumShard) {
 	s.strata[j].trials += sh.trials
 }
 
+// AbsorbStratum folds raw remote trial counts into stratum j — the
+// cross-process form of MergeShard, mirroring Estimator.Absorb: a shard
+// rebuilt the same stratification plan from the same canonical clause set
+// and bit-exact probabilities, sampled the assigned chunks of stratum j,
+// and shipped back the integer sums, which combine exactly.
+func (s *Stratified) AbsorbStratum(j int, hits, trials int64) {
+	if hits < 0 || trials < 0 || hits > trials {
+		panic("karpluby: absorbing invalid remote stratum counts")
+	}
+	s.strata[j].hits += hits
+	s.strata[j].trials += trials
+}
+
 // Estimate returns p̂ = Σ_j M_j·θ̂_j. A stratum with no trials yet
 // contributes its mass M_j as a safe upper bound (θ_j ≤ 1), mirroring the
 // flat estimator's zero-trial convention; with no trials at all the

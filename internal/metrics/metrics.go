@@ -243,6 +243,35 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	})
 }
 
+// LabeledValue is one sample of a labelled func-backed family: the label
+// values (matching the family's label names in order) and the reading.
+type LabeledValue struct {
+	Labels []string
+	Value  float64
+}
+
+// CounterVecFunc registers a labelled counter family whose samples are
+// read by fn at scrape time — for per-entity monotone totals another
+// component already maintains (e.g. per-shard RPC counts held by a
+// cluster coordinator).
+func (r *Registry) CounterVecFunc(name, help string, labels []string, fn func() []LabeledValue) {
+	r.register(name, help, "counter", labels, func(w io.Writer) {
+		for _, s := range fn() {
+			writeSample(w, name, labels, s.Labels, s.Value)
+		}
+	})
+}
+
+// GaugeVecFunc registers a labelled gauge family whose samples are read
+// by fn at scrape time.
+func (r *Registry) GaugeVecFunc(name, help string, labels []string, fn func() []LabeledValue) {
+	r.register(name, help, "gauge", labels, func(w io.Writer) {
+		for _, s := range fn() {
+			writeSample(w, name, labels, s.Labels, s.Value)
+		}
+	})
+}
+
 // CounterVec registers and returns a labelled counter family.
 func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	v := &CounterVec{vec[Counter]{labels: labels, children: map[string]*child[Counter]{}, make: func() *Counter { return &Counter{} }}}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/pdb"
+)
+
+func mustUnmarshal(t *testing.T, line string, v any) {
+	t.Helper()
+	if err := json.Unmarshal([]byte(line), v); err != nil {
+		t.Fatalf("unmarshaling %q: %v", line, err)
+	}
+}
+
+// clusterServer builds a server whose engine scatters sampling to n
+// in-process shard servers — the full coordinator deployment shape, with
+// tenancy, quotas, and admission staying on the HTTP front-end.
+func clusterServer(t *testing.T, cfg Config, n int) *Server {
+	t.Helper()
+	rows := [][]any{}
+	probs := []float64{}
+	for s := 0; s < 4; s++ {
+		for r := 0; r < 4; r++ {
+			rows = append(rows, []any{fmt.Sprintf("s%d", s), r})
+			probs = append(probs, 0.3)
+		}
+	}
+	db, err := pdb.NewBuilder().
+		Independent("Obs", []string{"Sensor", "Reading"}, rows, probs).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := make([]string, n)
+	for i := range peers {
+		sh := cluster.NewShard(cluster.ShardConfig{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = ln.Addr().String()
+		go sh.Serve(ln)
+		t.Cleanup(func() { sh.Close() })
+	}
+	eng, err := db.Engine(pdb.WithEngineCluster(pdb.ClusterOptions{Peers: peers}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	cfg.Engine = eng
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestClusteredServiceEndToEnd: the HTTP service over a clustered engine
+// streams the same rows a single-node service does, and tenant scoping
+// and quotas are still enforced at the coordinator — shards never see
+// HTTP traffic.
+func TestClusteredServiceEndToEnd(t *testing.T) {
+	cfg := Config{
+		TenantHeader:  tenantHdr,
+		StrictTenants: true,
+		Quotas: map[string]Quota{
+			"alpha":  {},
+			"bursty": {TrialsPerSec: 0.5, TrialsBurst: 1},
+		},
+	}
+	single := httptest.NewServer(testServer(t, Config{
+		TenantHeader: tenantHdr, Quotas: map[string]Quota{"alpha": {}},
+	}))
+	defer single.Close()
+	clustered := httptest.NewServer(clusterServer(t, cfg, 2))
+	defer clustered.Close()
+	body := fmt.Sprintf(`{"program": %q, "seed": 7}`, testProgram)
+
+	// Same rows, byte-identical values, through the cluster.
+	status, _, rows, _ := postQueryAs(t, clustered, "alpha", body)
+	if status != http.StatusOK {
+		t.Fatalf("clustered query: status %d, want 200", status)
+	}
+	wstatus, _, wrows, _ := postQueryAs(t, single, "alpha", body)
+	if wstatus != http.StatusOK {
+		t.Fatalf("single-node query: status %d, want 200", wstatus)
+	}
+	if len(rows) != len(wrows) {
+		t.Fatalf("clustered streamed %d rows, single-node %d", len(rows), len(wrows))
+	}
+	for i := range rows {
+		if fmt.Sprintf("%v", rows[i]) != fmt.Sprintf("%v", wrows[i]) {
+			t.Errorf("row %d diverges: %v vs %v", i, rows[i], wrows[i])
+		}
+	}
+
+	// 403: unknown tenant, rejected before any shard RPC.
+	if status, er, _ := postAs(t, clustered, "stranger", body); status != http.StatusForbidden || er.Kind != "forbidden" {
+		t.Errorf("unknown tenant on cluster: status %d kind %q, want 403 forbidden", status, er.Kind)
+	}
+
+	// 429: a tenant that overdraws its rate quota is shed at the
+	// coordinator. A fresh seed keeps the query out of the engine cache so
+	// it genuinely samples (cached evaluations cost no trials).
+	body = fmt.Sprintf(`{"program": %q, "seed": 99}`, testProgram)
+	if status, _, _ := postAs(t, clustered, "bursty", body); status != http.StatusOK {
+		t.Fatalf("first bursty query: status %d, want 200", status)
+	}
+	if status, er, _ := postAs(t, clustered, "bursty", body); status != http.StatusTooManyRequests || er.Kind != "overloaded" {
+		t.Errorf("indebted tenant on cluster: status %d kind %q, want 429 overloaded", status, er.Kind)
+	}
+
+	// /v1/stats grows a cluster section with one entry per shard.
+	resp, err := http.Get(clustered.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{`"cluster"`, `"shards_total":2`, `"batches"`} {
+		if !strings.Contains(string(stats), want) {
+			t.Errorf("/v1/stats missing %s in %s", want, stats)
+		}
+	}
+
+	// /metrics exports the per-shard series.
+	resp, err = http.Get(clustered.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsText, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"pdb_cluster_shard_rpcs_total{shard=",
+		"pdb_cluster_shard_healthy{shard=",
+		"pdb_cluster_shard_sent_bytes_total{shard=",
+		"pdb_cluster_batches_total",
+		"pdb_cluster_merge_seconds_total",
+	} {
+		if !strings.Contains(string(metricsText), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// postQueryAs is postQuery with a tenant header.
+func postQueryAs(t *testing.T, ts *httptest.Server, tenant, body string) (int, queryHeader, []queryRow, queryTrailer) {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/query", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set(tenantHdr, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hdr queryHeader
+	var rows []queryRow
+	var tr queryTrailer
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, hdr, rows, tr
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	for i, line := range lines {
+		switch {
+		case i == 0:
+			mustUnmarshal(t, line, &hdr)
+		case strings.Contains(line, `"stats"`):
+			mustUnmarshal(t, line, &tr)
+		default:
+			var row queryRow
+			mustUnmarshal(t, line, &row)
+			rows = append(rows, row)
+		}
+	}
+	return resp.StatusCode, hdr, rows, tr
+}

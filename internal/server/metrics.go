@@ -26,6 +26,7 @@ type serverMetrics struct {
 	tenantRejections *metrics.CounterVec // pdb_tenant_rejections_total{tenant,reason}
 	admissionRejects *metrics.CounterVec // pdb_admission_rejected_total{reason}
 	admissionWait    *metrics.Histogram  // pdb_admission_wait_seconds
+	quotaReloads     *metrics.CounterVec // pdb_quota_reloads_total{outcome}
 }
 
 // newServerMetrics registers the service's metric families on reg and
@@ -51,6 +52,8 @@ func newServerMetrics(reg *metrics.Registry, eng *pdb.Engine, adm *admission) *s
 			"Evaluations shed by global admission control, by reason (queue_full, wait_timeout, canceled).", "reason"),
 		admissionWait: reg.Histogram("pdb_admission_wait_seconds",
 			"Time evaluations spent queued in admission control before starting.", nil),
+		quotaReloads: reg.CounterVec("pdb_quota_reloads_total",
+			"Runtime quota-table reloads (SIGHUP or POST /v1/admin/reload), by outcome (ok, error, unconfigured).", "outcome"),
 	}
 
 	// Engine counters pulled at scrape time from the engine's cumulative
@@ -92,6 +95,66 @@ func newServerMetrics(reg *metrics.Registry, eng *pdb.Engine, adm *admission) *s
 	reg.GaugeFunc("pdb_engine_in_flight_evaluations",
 		"Evaluations currently running on the engine.",
 		func() float64 { return float64(eng.Stats().InFlight) })
+
+	// Cluster series exist only on a sharded deployment: per-shard RPC,
+	// retry, failure, and traffic totals plus a health gauge, all pulled
+	// from the coordinator's counters at scrape time, labelled by shard
+	// address (the peer set is fixed at boot, so cardinality is bounded).
+	if eng.Stats().Cluster != nil {
+		perShard := func(read func(pdb.ClusterShardStatus) float64) func() []metrics.LabeledValue {
+			return func() []metrics.LabeledValue {
+				cs := eng.ClusterStats()
+				if cs == nil {
+					return nil
+				}
+				out := make([]metrics.LabeledValue, len(cs.Shards))
+				for i, sh := range cs.Shards {
+					out[i] = metrics.LabeledValue{Labels: []string{sh.Addr}, Value: read(sh)}
+				}
+				return out
+			}
+		}
+		shard := []string{"shard"}
+		reg.CounterVecFunc("pdb_cluster_shard_rpcs_total",
+			"Scatter RPC attempts per shard.", shard,
+			perShard(func(s pdb.ClusterShardStatus) float64 { return float64(s.RPCs) }))
+		reg.CounterVecFunc("pdb_cluster_shard_retries_total",
+			"Retried scatter RPC attempts per shard.", shard,
+			perShard(func(s pdb.ClusterShardStatus) float64 { return float64(s.Retries) }))
+		reg.CounterVecFunc("pdb_cluster_shard_failures_total",
+			"Scatter RPCs that exhausted every retry, per shard.", shard,
+			perShard(func(s pdb.ClusterShardStatus) float64 { return float64(s.Failures) }))
+		reg.CounterVecFunc("pdb_cluster_shard_sent_bytes_total",
+			"Bytes sent to each shard.", shard,
+			perShard(func(s pdb.ClusterShardStatus) float64 { return float64(s.BytesSent) }))
+		reg.CounterVecFunc("pdb_cluster_shard_recv_bytes_total",
+			"Bytes received from each shard.", shard,
+			perShard(func(s pdb.ClusterShardStatus) float64 { return float64(s.BytesRecv) }))
+		reg.GaugeVecFunc("pdb_cluster_shard_healthy",
+			"1 when the shard's most recent RPC succeeded, else 0.", shard,
+			perShard(func(s pdb.ClusterShardStatus) float64 {
+				if s.Healthy {
+					return 1
+				}
+				return 0
+			}))
+		reg.CounterFunc("pdb_cluster_batches_total",
+			"Scatter-gather round trips across the shard cluster.",
+			func() float64 {
+				if cs := eng.ClusterStats(); cs != nil {
+					return float64(cs.Batches)
+				}
+				return 0
+			})
+		reg.CounterFunc("pdb_cluster_merge_seconds_total",
+			"Cumulative time the coordinator spent merging gathered shard counts.",
+			func() float64 {
+				if cs := eng.ClusterStats(); cs != nil {
+					return float64(cs.MergeNanos) / 1e9
+				}
+				return 0
+			})
+	}
 
 	reg.GaugeFunc("pdb_admission_in_flight",
 		"Evaluations currently holding an admission slot (0 when admission control is disabled).",

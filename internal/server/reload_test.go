@@ -1,0 +1,140 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// reloadableQuotas is a swappable quota source backing Config.QuotaReloader.
+type reloadableQuotas struct {
+	mu     sync.Mutex
+	quotas map[string]Quota
+	def    Quota
+	err    error
+}
+
+func (r *reloadableQuotas) load() (map[string]Quota, Quota, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.quotas, r.def, r.err
+}
+
+func (r *reloadableQuotas) set(q map[string]Quota, def Quota, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.quotas, r.def, r.err = q, def, err
+}
+
+func postReload(t *testing.T, ts *httptest.Server) (int, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 512)
+	n, _ := resp.Body.Read(buf)
+	return resp.StatusCode, string(buf[:n])
+}
+
+// TestQuotaReloadTightensMidFlight: a reload that tightens a tenant's
+// concurrency quota takes effect for the next request while an
+// in-flight request — admitted under the old quota — runs (and
+// releases) unaffected.
+func TestQuotaReloadTightensMidFlight(t *testing.T) {
+	old := Quota{MaxConcurrent: 4}
+	src := &reloadableQuotas{quotas: map[string]Quota{"alpha": old}}
+	srv := testServer(t, Config{
+		TenantHeader:  tenantHdr,
+		Quotas:        map[string]Quota{"alpha": old},
+		QuotaReloader: src.load,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body := fmt.Sprintf(`{"program": %q, "seed": 7}`, testProgram)
+
+	// An in-flight evaluation holds a slot under the generous quota.
+	release, reason, _, ok := srv.tenants.acquire("alpha", old, time.Now())
+	if !ok {
+		t.Fatalf("setup acquire failed: %s", reason)
+	}
+
+	// Tighten to one concurrent query and reload mid-flight.
+	src.set(map[string]Quota{"alpha": {MaxConcurrent: 1}}, Quota{}, nil)
+	status, respBody := postReload(t, ts)
+	if status != http.StatusOK || !strings.Contains(respBody, `"ok":true`) {
+		t.Fatalf("reload: status %d body %q, want 200 ok", status, respBody)
+	}
+
+	// The next request resolves the tightened quota: the in-flight slot
+	// already fills it, so the request is shed with 429.
+	status, er, retry := postAs(t, ts, "alpha", body)
+	if status != http.StatusTooManyRequests || er.Kind != "overloaded" || retry == "" {
+		t.Errorf("post-tightening request: status %d kind %q retry %q, want 429 overloaded", status, er.Kind, retry)
+	}
+
+	// The in-flight request finishes normally; with its slot released the
+	// tenant fits the new limit again.
+	release()
+	if status, _, _ := postAs(t, ts, "alpha", body); status != http.StatusOK {
+		t.Errorf("after release: status %d, want 200", status)
+	}
+}
+
+// TestQuotaReloadRejectsBadTables: reloader errors and invalid tables
+// leave the previous quotas in force (and surface as 502); a server
+// without a reloader answers 501.
+func TestQuotaReloadRejectsBadTables(t *testing.T) {
+	src := &reloadableQuotas{quotas: map[string]Quota{"alpha": {}}}
+	srv := testServer(t, Config{
+		TenantHeader:  tenantHdr,
+		StrictTenants: true,
+		Quotas:        map[string]Quota{"alpha": {}},
+		QuotaReloader: src.load,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body := fmt.Sprintf(`{"program": %q, "seed": 7}`, testProgram)
+
+	// Invalid table: negative bounds must be rejected, old table kept.
+	src.set(map[string]Quota{"alpha": {MaxTrials: -1}}, Quota{}, nil)
+	if status, _ := postReload(t, ts); status != http.StatusBadGateway {
+		t.Errorf("invalid table reload: status %d, want 502", status)
+	}
+	if status, _, _ := postAs(t, ts, "alpha", body); status != http.StatusOK {
+		t.Errorf("alpha after failed reload: status %d, want 200 (old table in force)", status)
+	}
+
+	// Reloader error: same.
+	src.set(nil, Quota{}, fmt.Errorf("config store unreachable"))
+	if status, _ := postReload(t, ts); status != http.StatusBadGateway {
+		t.Errorf("reloader-error reload: status %d, want 502", status)
+	}
+	if status, _, _ := postAs(t, ts, "alpha", body); status != http.StatusOK {
+		t.Errorf("alpha after reloader error: status %d, want 200", status)
+	}
+
+	// A good reload that drops alpha: strict mode now 403s it.
+	src.set(map[string]Quota{"beta": {}}, Quota{}, nil)
+	if status, _ := postReload(t, ts); status != http.StatusOK {
+		t.Errorf("good reload: status %d, want 200", status)
+	}
+	if status, er, _ := postAs(t, ts, "alpha", body); status != http.StatusForbidden || er.Kind != "forbidden" {
+		t.Errorf("dropped tenant: status %d kind %q, want 403 forbidden", status, er.Kind)
+	}
+	if status, _, _ := postAs(t, ts, "beta", body); status != http.StatusOK {
+		t.Errorf("added tenant: status %d, want 200", status)
+	}
+
+	// No reloader configured at all: 501.
+	bare := httptest.NewServer(testServer(t, Config{}))
+	defer bare.Close()
+	if status, _ := postReload(t, bare); status != http.StatusNotImplemented {
+		t.Errorf("unconfigured reload: status %d, want 501", status)
+	}
+}

@@ -86,6 +86,15 @@ type Config struct {
 	// unlimited.
 	DefaultQuota Quota
 
+	// QuotaReloader, when set, produces a fresh quota table on demand:
+	// ReloadQuotas (wired to SIGHUP and POST /v1/admin/reload by
+	// cmd/pdbserve) calls it and — if the result validates — swaps the
+	// live table atomically. In-flight requests keep the quota they
+	// resolved at admission; the next request sees the new table. A
+	// reloader error or invalid table leaves the previous quotas in
+	// force.
+	QuotaReloader func() (map[string]Quota, Quota, error)
+
 	// MaxInFlight bounds globally concurrent evaluations; 0 disables
 	// admission control.
 	MaxInFlight int
@@ -115,6 +124,13 @@ type Server struct {
 	adm     *admission // nil when admission control is disabled
 	tenants *tenantSet
 	now     func() time.Time // injectable clock for quota tests
+
+	// quotas/defaultQuota are the live quota table, initialized from the
+	// Config and swappable at runtime via ReloadQuotas. Reads take the
+	// RLock (two map lookups per request); swaps are rare.
+	quotaMu      sync.RWMutex
+	quotas       map[string]Quota
+	defaultQuota Quota
 
 	start time.Time
 
@@ -150,19 +166,22 @@ func New(cfg Config) (*Server, error) {
 		cfg.Registry = metrics.NewRegistry()
 	}
 	s := &Server{
-		cfg:      cfg,
-		eng:      cfg.Engine,
-		mux:      http.NewServeMux(),
-		tenants:  newTenantSet(),
-		now:      time.Now,
-		start:    time.Now(),
-		prepared: make(map[string]*pdb.Query),
+		cfg:          cfg,
+		eng:          cfg.Engine,
+		mux:          http.NewServeMux(),
+		tenants:      newTenantSet(),
+		now:          time.Now,
+		start:        time.Now(),
+		prepared:     make(map[string]*pdb.Query),
+		quotas:       cfg.Quotas,
+		defaultQuota: cfg.DefaultQuota,
 	}
 	if cfg.MaxInFlight > 0 {
 		s.adm = newAdmission(cfg.MaxInFlight, cfg.AdmissionQueue, cfg.AdmissionWait)
 	}
 	s.met = newServerMetrics(cfg.Registry, s.eng, s.adm)
 	s.mux.HandleFunc("POST /v1/query", s.instrument("/v1/query", s.handleQuery))
+	s.mux.HandleFunc("POST /v1/admin/reload", s.instrument("/v1/admin/reload", s.handleReload))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.instrumentHandler("/metrics", cfg.Registry.Handler()))
@@ -171,6 +190,19 @@ func New(cfg Config) (*Server, error) {
 
 // validateQuotas rejects nonsense quota configuration at construction.
 func validateQuotas(cfg Config) error {
+	if err := checkQuotaTable(cfg.Quotas, cfg.DefaultQuota); err != nil {
+		return err
+	}
+	if (cfg.RequireTenant || cfg.StrictTenants || len(cfg.Quotas) > 0) && cfg.TenantHeader == "" {
+		return errors.New("server: tenant quotas configured but Config.TenantHeader is empty")
+	}
+	return nil
+}
+
+// checkQuotaTable validates one quota table — shared by construction and
+// runtime reloads, so a reload can never install bounds construction
+// would have rejected.
+func checkQuotaTable(quotas map[string]Quota, def Quota) error {
 	check := func(name string, q Quota) error {
 		if q.MaxConcurrent < 0 || q.TrialsPerSec < 0 || q.TrialsBurst < 0 ||
 			q.MaxTrials < 0 || q.MaxMemory < 0 {
@@ -178,17 +210,50 @@ func validateQuotas(cfg Config) error {
 		}
 		return nil
 	}
-	if err := check("(default)", cfg.DefaultQuota); err != nil {
+	if err := check("(default)", def); err != nil {
 		return err
 	}
-	for name, q := range cfg.Quotas {
+	for name, q := range quotas {
 		if err := check(name, q); err != nil {
 			return err
 		}
 	}
-	if (cfg.RequireTenant || cfg.StrictTenants || len(cfg.Quotas) > 0) && cfg.TenantHeader == "" {
-		return errors.New("server: tenant quotas configured but Config.TenantHeader is empty")
+	return nil
+}
+
+// ReloadQuotas swaps the live quota table for a fresh one from
+// Config.QuotaReloader. Invalid tables (and reloader errors) are
+// rejected and the previous quotas stay in force; a successful swap
+// takes effect for the next admitted request — already-admitted requests
+// keep the quota they resolved. cmd/pdbserve wires this to SIGHUP and
+// the server itself to POST /v1/admin/reload.
+func (s *Server) ReloadQuotas() error {
+	if s.cfg.QuotaReloader == nil {
+		s.met.quotaReloads.With("unconfigured").Inc()
+		return errors.New("server: no QuotaReloader configured")
 	}
+	if err := s.reloadQuotas(); err != nil {
+		s.met.quotaReloads.With("error").Inc()
+		return err
+	}
+	s.met.quotaReloads.With("ok").Inc()
+	return nil
+}
+
+func (s *Server) reloadQuotas() error {
+	quotas, def, err := s.cfg.QuotaReloader()
+	if err != nil {
+		return fmt.Errorf("server: quota reload: %w", err)
+	}
+	if err := checkQuotaTable(quotas, def); err != nil {
+		return err
+	}
+	if len(quotas) > 0 && s.cfg.TenantHeader == "" {
+		return errors.New("server: reloaded per-tenant quotas but Config.TenantHeader is empty")
+	}
+	s.quotaMu.Lock()
+	s.quotas, s.defaultQuota = quotas, def
+	s.quotaMu.Unlock()
 	return nil
 }
 
@@ -365,20 +430,22 @@ func tightestCap(server, tenant int64) int64 {
 // resolveTenant maps a request onto (tenant name, quota). ok=false means
 // the request is out of scope and must be rejected with 403.
 func (s *Server) resolveTenant(r *http.Request) (name string, q Quota, err error) {
+	s.quotaMu.RLock()
+	defer s.quotaMu.RUnlock()
 	if s.cfg.TenantHeader == "" {
-		return "", s.cfg.DefaultQuota, nil
+		return "", s.defaultQuota, nil
 	}
 	name = r.Header.Get(s.cfg.TenantHeader)
 	if name == "" && s.cfg.RequireTenant {
 		return "", Quota{}, fmt.Errorf("missing required tenant header %s", s.cfg.TenantHeader)
 	}
-	if q, ok := s.cfg.Quotas[name]; ok {
+	if q, ok := s.quotas[name]; ok {
 		return name, q, nil
 	}
 	if s.cfg.StrictTenants {
 		return name, Quota{}, fmt.Errorf("unknown tenant %q", name)
 	}
-	return name, s.cfg.DefaultQuota, nil
+	return name, s.defaultQuota, nil
 }
 
 // tenantLabel maps a tenant name onto a bounded metric label: configured
@@ -386,7 +453,10 @@ func (s *Server) resolveTenant(r *http.Request) (name string, q Quota, err error
 // is "other" (so arbitrary header values cannot explode series
 // cardinality).
 func (s *Server) tenantLabel(name string) string {
-	if _, ok := s.cfg.Quotas[name]; ok {
+	s.quotaMu.RLock()
+	_, ok := s.quotas[name]
+	s.quotaMu.RUnlock()
+	if ok {
 		return name
 	}
 	if name == "" {
@@ -627,11 +697,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	flush()
 }
 
+// handleReload serves POST /v1/admin/reload: re-run the configured
+// QuotaReloader and swap the live quota table. 501 when no reloader is
+// configured, 502 when it fails (previous quotas stay in force).
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.QuotaReloader == nil {
+		s.met.quotaReloads.With("unconfigured").Inc()
+		s.fail(w, r, http.StatusNotImplemented, "reload", errors.New("no quota reloader configured"))
+		return
+	}
+	if err := s.ReloadQuotas(); err != nil {
+		s.fail(w, r, http.StatusBadGateway, "reload", err)
+		return
+	}
+	s.quotaMu.RLock()
+	n := len(s.quotas)
+	s.quotaMu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"ok": true, "tenants": n})
+}
+
 // statsResponse is the body of GET /v1/stats.
 type statsResponse struct {
 	Engine    engineStats    `json:"engine"`
 	Server    serverStats    `json:"server"`
 	Admission admissionStats `json:"admission"`
+	// Cluster is present only on a sharded deployment.
+	Cluster *clusterStats `json:"cluster,omitempty"`
 }
 
 type engineStats struct {
@@ -661,6 +753,50 @@ type admissionStats struct {
 	MaxInFlight int  `json:"max_in_flight,omitempty"`
 	InFlight    int  `json:"in_flight"`
 	Waiting     int  `json:"waiting"`
+}
+
+type clusterStats struct {
+	Batches     int64              `json:"batches"`
+	MergeNanos  int64              `json:"merge_nanos"`
+	Shards      []clusterShardJSON `json:"shards"`
+	ShardsTotal int                `json:"shards_total"`
+	ShardsDown  int                `json:"shards_down"`
+}
+
+type clusterShardJSON struct {
+	Addr      string `json:"addr"`
+	Healthy   bool   `json:"healthy"`
+	RPCs      int64  `json:"rpcs"`
+	Failures  int64  `json:"failures"`
+	Retries   int64  `json:"retries"`
+	BytesSent int64  `json:"bytes_sent"`
+	BytesRecv int64  `json:"bytes_recv"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// clusterSection maps the engine's cluster snapshot onto the stats body;
+// nil on a single-node deployment.
+func clusterSection(cs *pdb.ClusterStats) *clusterStats {
+	if cs == nil {
+		return nil
+	}
+	out := &clusterStats{Batches: cs.Batches, MergeNanos: cs.MergeNanos, ShardsTotal: len(cs.Shards)}
+	for _, sh := range cs.Shards {
+		if !sh.Healthy {
+			out.ShardsDown++
+		}
+		out.Shards = append(out.Shards, clusterShardJSON{
+			Addr:      sh.Addr,
+			Healthy:   sh.Healthy,
+			RPCs:      sh.RPCs,
+			Failures:  sh.Failures,
+			Retries:   sh.Retries,
+			BytesSent: sh.BytesSent,
+			BytesRecv: sh.BytesRecv,
+			LastError: sh.LastError,
+		})
+	}
+	return out
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -693,6 +829,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			InFlight:    s.adm.inFlight(),
 			Waiting:     s.adm.waitingNow(),
 		},
+		Cluster: clusterSection(es.Cluster),
 	})
 }
 

@@ -78,6 +78,20 @@ func (t *Table) Add(name string, probs []float64, altNames []string) Var {
 	return v
 }
 
+// RestoreTable rebuilds a table from variable descriptors received over a
+// trusted channel (the cluster wire protocol). Unlike Add it performs no
+// validation and — critically — no renormalization: the probabilities are
+// installed bit-for-bit as shipped, so a shard-side estimator consumes
+// exactly the same float64 stream as the coordinator's and chunk counts
+// stay bit-identical across the network. The infos slice is retained.
+func RestoreTable(infos []Info) *Table {
+	t := &Table{infos: infos, byName: make(map[string]Var, len(infos))}
+	for i, in := range infos {
+		t.byName[in.Name] = Var(i)
+	}
+	return t
+}
+
 // Len returns the number of registered variables.
 func (t *Table) Len() int { return len(t.infos) }
 

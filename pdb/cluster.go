@@ -1,0 +1,165 @@
+package pdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// ClusterOptions configures horizontal sharding for an Engine: the shard
+// peer set and the failure-handling envelope. Estimation chunk batches
+// scatter across the peers (consistent-hash placement by lineage-content
+// fingerprint, chunks round-robin from the owner); exact algebra,
+// planning, caching, tenancy, and the HTTP surface all stay on the
+// coordinator process. Results are bit-identical to single-node
+// execution for any peer count under one seed.
+type ClusterOptions struct {
+	// Peers are shard server addresses (host:port), as served by
+	// `pdbserve -shard`.
+	Peers []string
+	// DialTimeout bounds connection establishment per attempt
+	// (0 = 5s).
+	DialTimeout time.Duration
+	// RequestTimeout is the per-shard, per-attempt RPC deadline
+	// (0 = 2m). A shard that exceeds it is retried and then reported via
+	// *ClusterError — evaluations never hang on a dead shard.
+	RequestTimeout time.Duration
+	// Retries is how many times a failed shard RPC is retried on a fresh
+	// connection before the evaluation fails (default 2).
+	Retries int
+	// RetryBackoff is the base backoff before a retry, doubling per
+	// attempt (0 = 100ms).
+	RetryBackoff time.Duration
+}
+
+// WithEngineCluster attaches a shard cluster to the engine: every
+// evaluation's sampling work is scattered across the peers instead of the
+// local worker pool. The bit-identity contract holds: a clustered
+// evaluation returns exactly the bytes a single-node one would, for any
+// peer count, under one seed.
+func WithEngineCluster(o ClusterOptions) EngineOption {
+	return EngineOption{func(e *Engine) error {
+		if len(o.Peers) == 0 {
+			return optionErr("WithEngineCluster", o.Peers, "needs at least one peer")
+		}
+		coord, err := cluster.New(cluster.Config{
+			Peers:          o.Peers,
+			DialTimeout:    o.DialTimeout,
+			RequestTimeout: o.RequestTimeout,
+			Retries:        o.Retries,
+			RetryBackoff:   o.RetryBackoff,
+		})
+		if err != nil {
+			return optionErr("WithEngineCluster", o.Peers, err.Error())
+		}
+		e.coord = coord
+		return nil
+	}}
+}
+
+// ClusterError reports a failed shard interaction: which shard, how many
+// attempts were made, and the final transport or protocol error. It is
+// returned (wrapped) by Eval on a clustered engine when a shard stays
+// unreachable past its retry budget — a typed, bounded-time failure, never
+// a hang.
+type ClusterError struct {
+	// Shard is the peer address that failed.
+	Shard string
+	// Attempts is the number of RPC attempts made against it.
+	Attempts int
+	// Err is the final underlying error.
+	Err error
+}
+
+func (e *ClusterError) Error() string {
+	return fmt.Sprintf("pdb: cluster shard %s failed after %d attempt(s): %v", e.Shard, e.Attempts, e.Err)
+}
+
+// Unwrap returns the underlying transport or protocol error.
+func (e *ClusterError) Unwrap() error { return e.Err }
+
+// translateClusterError rewraps the internal cluster error type into the
+// public one; other errors pass through.
+func translateClusterError(err error) error {
+	var ce *cluster.Error
+	if errors.As(err, &ce) {
+		return &ClusterError{Shard: ce.Shard, Attempts: ce.Attempts, Err: ce.Err}
+	}
+	return err
+}
+
+// ClusterShardStatus is one shard's health and traffic counters, as seen
+// from the coordinator.
+type ClusterShardStatus struct {
+	// Addr is the shard's address.
+	Addr string
+	// Healthy reports whether the shard's most recent RPC succeeded.
+	Healthy bool
+	// RPCs, Failures, and Retries count RPC attempts against the shard,
+	// RPCs that exhausted every retry, and individual retry attempts.
+	RPCs     int64
+	Failures int64
+	Retries  int64
+	// BytesSent and BytesRecv count wire traffic to and from the shard.
+	BytesSent int64
+	BytesRecv int64
+	// LastError is the most recent RPC error message (empty when none).
+	LastError string
+}
+
+// ClusterStats is a snapshot of a clustered engine's scatter-gather
+// activity.
+type ClusterStats struct {
+	// Batches counts scatter-gather round trips.
+	Batches int64
+	// MergeNanos is the cumulative time spent merging gathered counts.
+	MergeNanos int64
+	// Shards holds one entry per configured peer.
+	Shards []ClusterShardStatus
+}
+
+// ClusterStats returns per-shard coordinator statistics, or nil when the
+// engine is not clustered.
+func (e *Engine) ClusterStats() *ClusterStats {
+	if e.coord == nil {
+		return nil
+	}
+	cs := e.coord.Stats()
+	out := &ClusterStats{Batches: cs.Batches, MergeNanos: cs.MergeNanos}
+	for _, s := range cs.Shards {
+		out.Shards = append(out.Shards, ClusterShardStatus{
+			Addr:      s.Addr,
+			Healthy:   s.Healthy,
+			RPCs:      s.RPCs,
+			Failures:  s.Failures,
+			Retries:   s.Retries,
+			BytesSent: s.BytesSent,
+			BytesRecv: s.BytesRecv,
+			LastError: s.LastError,
+		})
+	}
+	return out
+}
+
+// PingCluster round-trips every shard once, returning the first typed
+// failure as a *ClusterError. It is a no-op on a non-clustered engine.
+// pdbserve calls it at boot so a bad -peers list fails fast.
+func (e *Engine) PingCluster(ctx context.Context) error {
+	if e.coord == nil {
+		return nil
+	}
+	return translateClusterError(e.coord.Ping(ctx))
+}
+
+// Close releases the engine's external resources (pooled shard
+// connections). It is a no-op on a non-clustered engine; an Engine
+// without a cluster holds no goroutines or file handles.
+func (e *Engine) Close() error {
+	if e.coord == nil {
+		return nil
+	}
+	return e.coord.Close()
+}

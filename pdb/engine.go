@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync/atomic"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 )
 
@@ -21,11 +22,16 @@ import (
 // goroutines may Eval queries prepared on one Engine simultaneously —
 // the intended shape for a network service front-end.
 //
-// An Engine holds no goroutines or file handles; dropping it releases
-// everything.
+// An Engine holds no goroutines; a non-clustered Engine holds no file
+// handles either, so dropping it releases everything. A clustered Engine
+// (WithEngineCluster) pools shard connections — call Close to release
+// them.
 type Engine struct {
 	db    *DB
 	cache *core.Cache
+	// coord, when non-nil, scatters estimation work across shard
+	// processes (see WithEngineCluster); it implements core.Distributor.
+	coord *cluster.Coordinator
 
 	evals         atomic.Int64
 	sampledTrials atomic.Int64
@@ -130,6 +136,9 @@ type EngineStats struct {
 	// subformulas the factoring pre-pass computed exactly instead of
 	// sampling.
 	ExactFactored int64
+	// Cluster holds per-shard scatter-gather statistics on a clustered
+	// engine (WithEngineCluster); nil on a single-node engine.
+	Cluster *ClusterStats
 }
 
 // Stats returns the engine's cumulative statistics. Safe to call
@@ -137,6 +146,7 @@ type EngineStats struct {
 func (e *Engine) Stats() EngineStats {
 	cs := e.cache.Stats()
 	return EngineStats{
+		Cluster:        e.ClusterStats(),
 		Evals:          e.evals.Load(),
 		SampledTrials:  e.sampledTrials.Load(),
 		ReusedTrials:   e.reusedTrials.Load(),

@@ -76,11 +76,16 @@ func (q *Query) Eval(ctx context.Context, opts ...Option) (*Result, error) {
 	eng := core.NewEngine(q.db.udb, copts)
 	if q.eng != nil {
 		eng.SetCache(q.eng.cache)
+		if q.eng.coord != nil {
+			// Clustered engine: sampling scatters to the shard peers; the
+			// trajectory — and every output bit — matches local execution.
+			eng.SetDistributor(q.eng.coord)
+		}
 		defer q.eng.beginEval()()
 	}
 	res, err := eng.EvalApproxContext(ctx, q.plan)
 	if err != nil {
-		err = translateLimitError(err)
+		err = translateClusterError(translateLimitError(err))
 		if q.eng != nil {
 			q.eng.recordFailure(err)
 		}

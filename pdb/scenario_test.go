@@ -232,3 +232,40 @@ func TestScenarioStratifiedOptionValidation(t *testing.T) {
 		}
 	}
 }
+
+// SHALL: stratified σ̂ budgets are allocated variance-aware in doubling
+// waves — each wave's per-stratum split decided on the merged counts so
+// far — and the trajectory is a pure function of the seed.
+// WHEN the same stratified aselect runs with 1, 4, and 8 workers. THEN
+// every run's rows are bit-identical, and the decisions match the exact
+// evaluation.
+func TestScenarioSigmaHatVarianceAwareWorkerParity(t *testing.T) {
+	db := skewDB(t)
+	const program = `aselect[p1 >= 0.3 over conf[Grp]](project[Grp](product(R, S)))`
+	q, err := db.Prepare(program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := q.EvalExact(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	for _, workers := range []int{1, 4, 8} {
+		res, err := q.Eval(context.Background(),
+			WithStrata(4), WithSeed(11), WithEpsilon(0.02), WithDelta(0.02),
+			WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != exact.Len() {
+			t.Errorf("workers=%d: σ̂ emitted %d tuples, exact emits %d", workers, res.Len(), exact.Len())
+		}
+		got := fingerprint(res)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Errorf("workers=%d: rows diverge from workers=1 run", workers)
+		}
+	}
+}
