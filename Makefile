@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json conformance fuzz vet fmt-check docs-check links-check examples service-smoke cluster-smoke ci
+.PHONY: build test race bench bench-json conformance fuzz vet fmt-check docs-check links-check examples service-smoke cluster-smoke chaos-smoke ci
 
 build:
 	$(GO) build ./...
@@ -35,9 +35,16 @@ service-smoke:
 
 # Boot two shard processes and a coordinator, assert the coordinator's
 # query output is byte-identical to a single-node server's, reload quotas
-# via SIGHUP, kill a shard and require a fast typed error.
+# via SIGHUP, kill a shard and require bit-identical failover (and a fast
+# typed error only once every shard is gone).
 cluster-smoke:
 	./scripts/cluster-smoke.sh
+
+# Deterministic chaos: three shards behind seeded fault proxies (resets,
+# latency), kill and restore one mid-sweep, assert byte-identical output,
+# breaker trip + probe re-admission, and hedging — all via /metrics.
+chaos-smoke:
+	./scripts/chaos-smoke.sh
 
 # One pass over every benchmark — the trajectory baseline CI uploads as an
 # artifact; not a statistically stable measurement. -benchmem puts B/op
@@ -63,6 +70,9 @@ conformance:
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/parser
+	$(GO) test -fuzz=FuzzReadFrame -fuzztime=10s ./internal/cluster
+	$(GO) test -fuzz=FuzzClientHandshake -fuzztime=10s ./internal/cluster
+	$(GO) test -fuzz=FuzzDecodeSampleResult -fuzztime=10s ./internal/cluster
 
 vet:
 	$(GO) vet ./...
@@ -84,4 +94,4 @@ docs-check:
 links-check:
 	./scripts/check-links.sh
 
-ci: vet fmt-check docs-check links-check build test race fuzz examples service-smoke cluster-smoke
+ci: vet fmt-check docs-check links-check build test race fuzz examples service-smoke cluster-smoke chaos-smoke

@@ -1,0 +1,97 @@
+// Command faultproxy runs a deterministic fault-injecting TCP proxy in
+// front of one backend — the chaos harness for cluster smoke tests.
+//
+//	faultproxy -listen 127.0.0.1:19001 -backend 127.0.0.1:19101 \
+//	    -seed 42 -fault "3=truncate,frames=1" -fault "default=pass"
+//
+// Signals drive live chaos: SIGUSR1 takes the proxy hard-down (new
+// connections refused, live ones reset — a process kill), SIGUSR2 brings
+// it back. SIGINT/SIGTERM print stats and exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/faultproxy"
+)
+
+type faultFlags struct {
+	script faultproxy.Script
+}
+
+func (f *faultFlags) String() string { return "" }
+
+func (f *faultFlags) Set(s string) error {
+	target, spec, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("fault spec %q: want TARGET=ACTION[,k=v...]", s)
+	}
+	pol, err := faultproxy.ParsePolicy(spec)
+	if err != nil {
+		return err
+	}
+	if target == "default" {
+		f.script.Default = pol
+		return nil
+	}
+	n, err := strconv.Atoi(target)
+	if err != nil || n < 1 {
+		return fmt.Errorf("fault spec %q: target must be a connection number >= 1 or \"default\"", s)
+	}
+	if f.script.Conns == nil {
+		f.script.Conns = map[int]faultproxy.Policy{}
+	}
+	f.script.Conns[n] = pol
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("faultproxy: ")
+	var (
+		listen  = flag.String("listen", "127.0.0.1:0", "address to listen on")
+		backend = flag.String("backend", "", "backend address to proxy to (required)")
+		seed    = flag.Int64("seed", 1, "seed for deterministic fault randomness")
+		faults  faultFlags
+	)
+	flag.Var(&faults, "fault", `fault policy: "default=ACTION[,k=v...]" or "CONN=ACTION[,k=v...]" (repeatable; actions: pass, refuse, blackhole, truncate, delay; fields: latency=DUR, frames=N, bytes=N)`)
+	flag.Parse()
+	if *backend == "" {
+		log.Fatal("-backend is required")
+	}
+
+	p := faultproxy.New(*backend, faults.script, *seed)
+	if err := p.Start(*listen); err != nil {
+		log.Fatal(err)
+	}
+	// The resolved address goes to stdout so scripts can capture it when
+	// listening on :0.
+	fmt.Println(p.Addr())
+	log.Printf("proxying %s -> %s (seed %d)", p.Addr(), *backend, *seed)
+
+	sigs := make(chan os.Signal, 4)
+	signal.Notify(sigs, syscall.SIGUSR1, syscall.SIGUSR2, syscall.SIGINT, syscall.SIGTERM)
+	for sig := range sigs {
+		switch sig {
+		case syscall.SIGUSR1:
+			p.SetDown(true)
+			log.Printf("DOWN (refusing + resetting connections)")
+		case syscall.SIGUSR2:
+			p.SetDown(false)
+			log.Printf("UP")
+		default:
+			st := p.Stats()
+			log.Printf("exiting: conns=%d refused=%d cut=%d blackholed=%d up=%dB down=%dB",
+				st.Conns, st.Refused, st.Cut, st.Blackholed, st.BytesUp, st.BytesDown)
+			p.Close()
+			return
+		}
+	}
+}

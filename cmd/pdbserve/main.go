@@ -36,6 +36,14 @@
 //	pdbserve -shard -addr :9102
 //	pdbserve -datadir data -coordinator -peers localhost:9101,localhost:9102
 //
+// The coordinator tolerates shard failure without changing a single
+// output bit: per-shard circuit breakers (-breaker-threshold) quarantine
+// dead shards, chunk ranges fail over to survivors, background probes
+// (-probe-interval) re-admit recovered shards, stragglers are hedged
+// (-hedge-after), and -local-fallback lets the coordinator sample
+// locally when every shard is gone. GET /readyz turns 503 when no shard
+// is healthy and local fallback is off.
+//
 // Quotas can be reloaded at runtime without a restart: put name=spec
 // lines in a file (tenant "default" sets the default quota), point
 // -quota-file at it, and send SIGHUP or POST /v1/admin/reload.
@@ -91,7 +99,11 @@ func run() error {
 	coordinator := fs.Bool("coordinator", false, "scatter sampling work across the -peers shard servers")
 	peersFlag := fs.String("peers", "", "comma-separated shard addresses (host:port); implies -coordinator")
 	clusterTimeout := fs.Duration("cluster-timeout", 0, "per-shard, per-attempt RPC deadline (0 = 2m)")
-	clusterRetries := fs.Int("cluster-retries", 2, "retries per failed shard RPC before the evaluation fails")
+	clusterRetries := fs.Int("cluster-retries", 2, "retries per failed shard RPC before failing over")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive exhausted-retry failures that trip a shard's circuit breaker (0 = default 3, negative disables)")
+	probeInterval := fs.Duration("probe-interval", 0, "how often tripped shards are probed for re-admission (0 = default 2s, negative disables)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "delay before hedging a straggling shard RPC to another shard (0 = adaptive p95-based, negative disables)")
+	localFallback := fs.Bool("local-fallback", false, "sample chunks on the coordinator itself when no healthy shard remains (bit-identical, but competes with HTTP serving for CPU)")
 	quotaFile := fs.String("quota-file", "", "file of name=quota-spec lines (tenant \"default\" sets the default quota); reloaded on SIGHUP or POST /v1/admin/reload")
 	maxInFlight := fs.Int("max-inflight", 0, "global cap on concurrent evaluations (0 disables admission control)")
 	admissionQueue := fs.Int("admission-queue", 0, "requests that may wait for an evaluation slot before new arrivals get 429")
@@ -177,9 +189,13 @@ func run() error {
 	engOpts := []pdb.EngineOption{pdb.WithEngineCacheSize(*cacheSize)}
 	if len(peers) > 0 {
 		engOpts = append(engOpts, pdb.WithEngineCluster(pdb.ClusterOptions{
-			Peers:          peers,
-			RequestTimeout: *clusterTimeout,
-			Retries:        *clusterRetries,
+			Peers:            peers,
+			RequestTimeout:   *clusterTimeout,
+			Retries:          *clusterRetries,
+			BreakerThreshold: *breakerThreshold,
+			ProbeInterval:    *probeInterval,
+			HedgeAfter:       *hedgeAfter,
+			LocalFallback:    *localFallback,
 		}))
 	}
 	eng, err := db.Engine(engOpts...)
@@ -188,15 +204,22 @@ func run() error {
 	}
 	defer eng.Close()
 	if len(peers) > 0 {
-		// Fail fast on an unreachable peer set rather than on the first
-		// query.
-		pingCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		err := eng.PingCluster(pingCtx)
+		// Probe the peer set at boot. Unreachable shards trip their
+		// breakers immediately (instead of on the first query), but only a
+		// fully-dead peer set with no local fallback is fatal — a partial
+		// outage is exactly what failover exists for.
+		probeCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		healthy, total := eng.ProbeCluster(probeCtx)
 		cancel()
-		if err != nil {
-			return fmt.Errorf("cluster ping: %w", err)
+		switch {
+		case healthy == total:
+			logger.Printf("coordinating %d shard(s): %s", total, strings.Join(peers, ", "))
+		case healthy > 0 || *localFallback:
+			logger.Printf("coordinating %d/%d healthy shard(s) (degraded; breakers open on the rest): %s",
+				healthy, total, strings.Join(peers, ", "))
+		default:
+			return fmt.Errorf("cluster probe: 0/%d shards reachable and -local-fallback is off", total)
 		}
-		logger.Printf("coordinating %d shard(s): %s", len(peers), strings.Join(peers, ", "))
 	}
 	handler, err := server.New(server.Config{
 		Engine:         eng,

@@ -1,0 +1,123 @@
+package cluster
+
+import "testing"
+
+// The breaker automaton drives the live placement view; its transitions
+// are load-bearing for both availability (skip dead shards) and
+// re-admission (stop skipping recovered ones).
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b := newBreaker(3)
+	if !b.admit() {
+		t.Fatal("fresh breaker not admitting")
+	}
+	if b.recordFailure() || b.recordFailure() {
+		t.Fatal("tripped before the threshold")
+	}
+	if !b.admit() {
+		t.Fatal("stopped admitting below the threshold")
+	}
+	if !b.recordFailure() {
+		t.Fatal("third consecutive failure did not trip")
+	}
+	if b.admit() {
+		t.Fatal("open breaker admitting")
+	}
+	if b.snapshot() != "open" {
+		t.Fatalf("snapshot = %q, want open", b.snapshot())
+	}
+	// Further failures while open neither re-trip nor panic.
+	if b.recordFailure() {
+		t.Error("failure while open reported a fresh trip")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := newBreaker(2)
+	b.recordFailure()
+	b.recordSuccess()
+	if b.recordFailure() {
+		t.Fatal("tripped after an interleaved success; the streak must reset")
+	}
+	if !b.recordFailure() {
+		t.Fatal("two consecutive failures after the reset did not trip")
+	}
+	// A racing successful RPC re-admits from any state.
+	b.recordSuccess()
+	if !b.admit() || b.snapshot() != "closed" {
+		t.Fatal("success did not close an open breaker")
+	}
+}
+
+func TestBreakerProbeCycle(t *testing.T) {
+	b := newBreaker(1)
+	b.recordFailure()
+	if !b.probeBegin() {
+		t.Fatal("open breaker declined a probe")
+	}
+	if b.snapshot() != "half-open" {
+		t.Fatalf("snapshot = %q, want half-open", b.snapshot())
+	}
+	if b.admit() {
+		t.Fatal("half-open breaker admitting planner work")
+	}
+	if b.probeBegin() {
+		t.Fatal("second concurrent probe admitted while one is in flight")
+	}
+	b.probeResult(false)
+	if b.snapshot() != "open" {
+		t.Fatal("failed probe did not re-open")
+	}
+	if !b.probeBegin() {
+		t.Fatal("re-opened breaker declined the next probe")
+	}
+	b.probeResult(true)
+	if !b.admit() || b.snapshot() != "closed" {
+		t.Fatal("successful probe did not re-admit")
+	}
+	// A stale probe result after the breaker already closed is a no-op.
+	b.probeResult(false)
+	if !b.admit() {
+		t.Fatal("stale probe result mutated a closed breaker")
+	}
+}
+
+func TestBreakerHalfOpenRacingFailureReopens(t *testing.T) {
+	b := newBreaker(1)
+	b.recordFailure()
+	b.probeBegin()
+	if !b.recordFailure() {
+		t.Fatal("racing failure during half-open did not re-open")
+	}
+	if b.snapshot() != "open" {
+		t.Fatalf("snapshot = %q, want open", b.snapshot())
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(0)
+	for i := 0; i < 100; i++ {
+		if b.recordFailure() {
+			t.Fatal("disabled breaker tripped")
+		}
+	}
+	b.forceOpen()
+	if !b.admit() {
+		t.Fatal("disabled breaker stopped admitting")
+	}
+}
+
+func TestBreakerForceOpen(t *testing.T) {
+	b := newBreaker(3)
+	b.forceOpen()
+	if b.admit() {
+		t.Fatal("forced-open breaker admitting")
+	}
+	if !b.probeBegin() {
+		t.Fatal("forced-open breaker declined a probe")
+	}
+	b.probeResult(true)
+	if !b.admit() {
+		t.Fatal("probe did not recover a forced-open breaker")
+	}
+}

@@ -5,12 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"repro/internal/core"
-	"repro/internal/sched"
 )
 
 // Config configures a coordinator.
@@ -23,16 +21,44 @@ type Config struct {
 	DialTimeout time.Duration
 	// RequestTimeout is the per-shard, per-attempt deadline covering
 	// write + remote sampling + read (0 = 2m). A shard that blows it is
-	// retried, then reported dead — the coordinator never hangs on it.
+	// retried, then failed over — the coordinator never hangs on it.
 	RequestTimeout time.Duration
 	// Retries is how many times a failed shard RPC is retried on a fresh
-	// connection before the batch fails (negative = 0; default 2).
+	// connection before its work fails over to the surviving shards
+	// (negative = 0; default 2).
 	Retries int
 	// RetryBackoff is the base delay before a retry, doubling per
 	// attempt (0 = 100ms).
 	RetryBackoff time.Duration
 	// VNodes is the number of ring points per peer (0 = 64).
 	VNodes int
+
+	// BreakerThreshold is how many consecutive exhausted-retry failures
+	// trip a shard's circuit breaker; a tripped shard is skipped at plan
+	// time until a background probe re-admits it (0 = 3, negative
+	// disables the breaker).
+	BreakerThreshold int
+	// ProbeInterval is how often the background prober pings tripped
+	// shards for re-admission (0 = 2s, negative disables probing —
+	// tripped shards then re-admit only via a successful racing RPC or
+	// an explicit Probe call).
+	ProbeInterval time.Duration
+	// HedgeAfter controls straggler hedging: after this delay a slow
+	// shard's in-flight work unit is re-issued to a second shard and the
+	// first complete response wins (duplicates are discarded by
+	// chunk-range dedupe, which is safe because chunk counts are
+	// deterministic). 0 derives the delay from a p95 of observed RPC
+	// latencies; negative disables hedging.
+	HedgeAfter time.Duration
+	// LocalFallback lets the coordinator sample chunk ranges itself when
+	// no shard is healthy (or every shard failed mid-batch), so a query
+	// succeeds as long as the coordinator lives. Results stay
+	// bit-identical — local sampling round-trips tasks through the wire
+	// codec so it replays exactly what a shard would.
+	LocalFallback bool
+	// LocalWorkers sizes the local-fallback sampling pool
+	// (0 = GOMAXPROCS). Ignored unless LocalFallback is set.
+	LocalWorkers int
 }
 
 // Error is the typed failure of a shard RPC: which shard, how many
@@ -50,22 +76,48 @@ func (e *Error) Error() string {
 
 func (e *Error) Unwrap() error { return e.Err }
 
+// ErrNoHealthyShards is the terminal failure of a batch that ran out of
+// shards: every peer is tripped or failed and local fallback is off.
+var ErrNoHealthyShards = errors.New("no healthy shards and local fallback is disabled")
+
 // Coordinator scatters estimation batches across shard servers and
 // gathers their counts. It implements core.Distributor. Connections are
-// pooled per peer and re-established transparently; a batch makes one
-// RPC per involved shard.
+// pooled per peer and re-established transparently. Failure handling is
+// layered: per-RPC retries with backoff, then chunk-range failover to
+// surviving shards, then (optionally) coordinator-local sampling — all
+// without changing a single output bit, because any executor samples a
+// chunk's fixed PRNG stream identically.
 type Coordinator struct {
 	cfg  Config
 	ring *ring
 	peer []*peer
 
-	batches    atomic.Int64
-	mergeNanos atomic.Int64
+	// local is the fallback sampler (an in-process Shard with no
+	// listener), built lazily when LocalFallback work first arrives.
+	localOnce sync.Once
+	local     *Shard
+
+	// stop/probeDone bound the background prober's lifetime.
+	stop      chan struct{}
+	probeDone chan struct{}
+	closeOnce sync.Once
+
+	lat latencyWindow
+
+	batches        atomic.Int64
+	mergeNanos     atomic.Int64
+	failovers      atomic.Int64
+	hedges         atomic.Int64
+	hedgeWins      atomic.Int64
+	localFallbacks atomic.Int64
+	probes         atomic.Int64
+	probeFailures  atomic.Int64
 }
 
-// peer is one shard endpoint: its connection pool and counters.
+// peer is one shard endpoint: its connection pool, breaker, and counters.
 type peer struct {
 	addr string
+	brk  *breaker
 
 	mu   sync.Mutex
 	idle []net.Conn
@@ -102,17 +154,38 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.VNodes <= 0 {
 		cfg.VNodes = 64
 	}
-	c := &Coordinator{cfg: cfg, ring: newRing(cfg.Peers, cfg.VNodes)}
+	switch {
+	case cfg.BreakerThreshold == 0:
+		cfg.BreakerThreshold = 3
+	case cfg.BreakerThreshold < 0:
+		cfg.BreakerThreshold = 0 // breaker disabled
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		ring:      newRing(cfg.Peers, cfg.VNodes),
+		stop:      make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
 	for _, addr := range cfg.Peers {
-		p := &peer{addr: addr}
+		p := &peer{addr: addr, brk: newBreaker(cfg.BreakerThreshold)}
 		p.healthy.Store(true)
 		c.peer = append(c.peer, p)
+	}
+	if cfg.BreakerThreshold > 0 && cfg.ProbeInterval > 0 {
+		go c.probeLoop()
+	} else {
+		close(c.probeDone)
 	}
 	return c, nil
 }
 
-// Close drops every pooled connection.
+// Close stops the background prober and drops every pooled connection.
 func (c *Coordinator) Close() error {
+	c.closeOnce.Do(func() { close(c.stop) })
+	<-c.probeDone
 	for _, p := range c.peer {
 		p.mu.Lock()
 		for _, conn := range p.idle {
@@ -125,7 +198,6 @@ func (c *Coordinator) Close() error {
 }
 
 // Ping round-trips every shard once, returning the first typed failure.
-// pdbserve calls it at boot so a misconfigured peer list fails fast.
 func (c *Coordinator) Ping(ctx context.Context) error {
 	for _, p := range c.peer {
 		if _, err := c.rpc(ctx, p, msgPing, nil); err != nil {
@@ -135,127 +207,89 @@ func (c *Coordinator) Ping(ctx context.Context) error {
 	return nil
 }
 
-// SampleChunks implements core.Distributor: place every task's chunks on
-// the ring, make one RPC per involved shard (all its sub-tasks batched),
-// and merge the returned counts back into per-task sums. Failed shards
-// are retried with backoff on fresh connections; a shard that stays down
-// fails the batch with a typed *Error — chunks are never silently
-// re-routed, because the caller's accounting assumes every assigned chunk
-// was sampled exactly once.
-func (c *Coordinator) SampleChunks(ctx context.Context, tasks []core.RemoteTask) ([]core.RemoteCounts, error) {
-	c.batches.Add(1)
-	// Scatter plan: per shard, a list of (task index, chunk subset).
-	type subtask struct {
-		task   int
-		chunks []sched.Chunk
-	}
-	plans := make([][]subtask, len(c.peer))
-	for ti := range tasks {
-		t := &tasks[ti]
-		per := make(map[int]*subtask)
-		var order []int
-		for _, ch := range t.Chunks {
-			pi := c.ring.place(t.KeyHi, t.KeyLo, ch.Index)
-			st, ok := per[pi]
-			if !ok {
-				st = &subtask{task: ti}
-				per[pi] = st
-				order = append(order, pi)
-			}
-			st.chunks = append(st.chunks, ch)
-		}
-		for _, pi := range order {
-			plans[pi] = append(plans[pi], *per[pi])
-		}
-	}
-	// One RPC per involved shard, in parallel; first failure cancels the
-	// rest.
-	gctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	type shardResult struct {
-		peer   int
-		subs   []subtask
-		counts []core.RemoteCounts
-		err    error
-	}
-	var wg sync.WaitGroup
-	results := make([]shardResult, 0, len(c.peer))
-	resCh := make(chan shardResult, len(c.peer))
-	for pi, subs := range plans {
-		if len(subs) == 0 {
+// Probe pings every shard once and folds the result straight into the
+// breaker state: an unreachable shard trips open immediately (so the
+// first plan already skips it) and a reachable one closes. It returns the
+// number of healthy shards. pdbserve calls it at boot: a partially-dead
+// peer set degrades instead of failing, and the background prober
+// re-admits shards as they come back.
+func (c *Coordinator) Probe(ctx context.Context) (healthy int) {
+	for _, p := range c.peer {
+		c.probes.Add(1)
+		if _, err := c.attempt(ctx, p, msgPing, nil); err != nil {
+			c.probeFailures.Add(1)
+			p.brk.forceOpen()
+			p.healthy.Store(false)
+			p.lastErr.Store(err.Error())
 			continue
 		}
-		wg.Add(1)
-		go func(pi int, subs []subtask) {
-			defer wg.Done()
-			req := make([]core.RemoteTask, len(subs))
-			for i, st := range subs {
-				rt := tasks[st.task]
-				rt.Chunks = st.chunks
-				req[i] = rt
-			}
-			payload, err := c.rpc(gctx, c.peer[pi], msgSample, encodeSampleRequest(req))
-			if err != nil {
-				cancel()
-				resCh <- shardResult{peer: pi, err: err}
-				return
-			}
-			counts, err := decodeSampleResult(payload)
-			if err == nil && len(counts) != len(subs) {
-				err = fmt.Errorf("cluster: shard %s returned %d results for %d tasks", c.peer[pi].addr, len(counts), len(subs))
-			}
-			if err != nil {
-				cancel()
-				resCh <- shardResult{peer: pi, err: &Error{Shard: c.peer[pi].addr, Attempts: 1, Err: err}}
-				return
-			}
-			resCh <- shardResult{peer: pi, subs: subs, counts: counts}
-		}(pi, subs)
+		p.brk.recordSuccess()
+		p.healthy.Store(true)
+		healthy++
 	}
-	wg.Wait()
-	close(resCh)
-	for r := range resCh {
-		results = append(results, r)
-	}
-	var firstErr error
-	for _, r := range results {
-		if r.err != nil && firstErr == nil {
-			firstErr = r.err
+	return healthy
+}
+
+// probeLoop is the background half-open prober: every ProbeInterval it
+// pings each open-breaker peer once with a short deadline; success
+// re-admits the peer into the placement view.
+func (c *Coordinator) probeLoop() {
+	defer close(c.probeDone)
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		for _, p := range c.peer {
+			if !p.brk.probeBegin() {
+				continue
+			}
+			c.probePeer(p)
 		}
 	}
-	if firstErr != nil {
-		return nil, firstErr
+}
+
+// probePeer sends one half-open probe ping (single attempt, bounded by
+// the dial timeout) and resolves the breaker with the outcome.
+func (c *Coordinator) probePeer(p *peer) {
+	c.probes.Add(1)
+	timeout := c.cfg.DialTimeout
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
 	}
-	// Gather: sum each shard's sub-task counts into the task totals.
-	start := time.Now()
-	out := make([]core.RemoteCounts, len(tasks))
-	for _, r := range results {
-		for i, st := range r.subs {
-			rc := r.counts[i]
-			var want int64
-			for _, ch := range st.chunks {
-				want += ch.N
-			}
-			if rc.Trials != want {
-				return nil, &Error{Shard: c.peer[r.peer].addr, Attempts: 1,
-					Err: fmt.Errorf("cluster: shard returned %d trials for a sub-task assigned %d", rc.Trials, want)}
-			}
-			o := &out[st.task]
-			o.Hits += rc.Hits
-			o.Trials += rc.Trials
-			o.PartialHits += rc.PartialHits
-			o.PartialTrials += rc.PartialTrials
-			o.ReusedTrials += rc.ReusedTrials
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	_, err := c.attempt(ctx, p, msgPing, nil)
+	if err != nil {
+		c.probeFailures.Add(1)
+		p.brk.probeResult(false)
+		p.lastErr.Store(err.Error())
+		return
+	}
+	p.brk.probeResult(true)
+	p.healthy.Store(true)
+}
+
+// admitting returns the peer indexes whose breakers admit work, in peer
+// order (deterministic).
+func (c *Coordinator) admitting() []int {
+	out := make([]int, 0, len(c.peer))
+	for i, p := range c.peer {
+		if p.brk.admit() {
+			out = append(out, i)
 		}
 	}
-	c.mergeNanos.Add(time.Since(start).Nanoseconds())
-	return out, nil
+	return out
 }
 
 // rpc performs one request/response on a pooled connection to p, retrying
 // transient transport failures with exponential backoff on fresh
 // connections. Every failure path is bounded: dial and request deadlines
 // come from the config, and ctx cancellation aborts between attempts.
+// Success and exhausted-retry failure both feed the peer's breaker.
 func (c *Coordinator) rpc(ctx context.Context, p *peer, typ byte, payload []byte) ([]byte, error) {
 	attempts := c.cfg.Retries + 1
 	var lastErr error
@@ -272,9 +306,14 @@ func (c *Coordinator) rpc(ctx context.Context, p *peer, typ byte, payload []byte
 		if err := ctx.Err(); err != nil {
 			return nil, &Error{Shard: p.addr, Attempts: attempt + 1, Err: err}
 		}
+		start := time.Now()
 		resp, err := c.attempt(ctx, p, typ, payload)
 		if err == nil {
+			if typ == msgSample {
+				c.lat.observe(time.Since(start))
+			}
 			p.healthy.Store(true)
+			p.brk.recordSuccess()
 			return resp, nil
 		}
 		lastErr = err
@@ -282,10 +321,18 @@ func (c *Coordinator) rpc(ctx context.Context, p *peer, typ byte, payload []byte
 	}
 	p.failures.Add(1)
 	p.healthy.Store(false)
+	p.brk.recordFailure()
 	return nil, &Error{Shard: p.addr, Attempts: attempts, Err: lastErr}
 }
 
 // attempt runs one RPC attempt on one connection (pooled or fresh).
+//
+// Connection-pool hygiene invariant: a connection returns to the pool
+// only after a complete, well-typed response frame — every other path
+// (write error, deadline expiry, mid-frame read error, decode failure,
+// error frame, unexpected type) closes and drops it. A half-read stream
+// must never be reused: the next request would read the remainder of the
+// poisoned frame as its own response.
 func (c *Coordinator) attempt(ctx context.Context, p *peer, typ byte, payload []byte) ([]byte, error) {
 	conn, err := p.get(ctx, c.cfg.DialTimeout)
 	if err != nil {
@@ -370,10 +417,80 @@ func (p *peer) put(conn net.Conn) {
 	p.idle = append(p.idle, conn)
 }
 
+// latencyWindow tracks recent successful sample-RPC latencies for the
+// adaptive hedge delay. Fixed-size ring, coarse by design: hedging only
+// needs "clearly slower than its cohort", not a precise percentile.
+type latencyWindow struct {
+	mu  sync.Mutex
+	buf [64]time.Duration
+	n   int // observations recorded (saturates at len(buf) for reads)
+	idx int
+}
+
+// minHedgeObservations gates adaptive hedging until the window has
+// enough samples to call something a straggler.
+const minHedgeObservations = 8
+
+func (l *latencyWindow) observe(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.idx] = d
+	l.idx = (l.idx + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// p95 returns the 95th-percentile latency of the window, or ok=false
+// when there are too few observations to hedge on.
+func (l *latencyWindow) p95() (time.Duration, bool) {
+	l.mu.Lock()
+	n := l.n
+	tmp := make([]time.Duration, n)
+	copy(tmp, l.buf[:n])
+	l.mu.Unlock()
+	if n < minHedgeObservations {
+		return 0, false
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	return tmp[(n*95+99)/100-1], true
+}
+
+// hedgeDelay resolves the straggler delay: a fixed HedgeAfter wins,
+// 0 adapts from the latency window (1.5 × p95, floored at 25ms), and a
+// negative setting — or a window still warming up — disables hedging.
+func (c *Coordinator) hedgeDelay() (time.Duration, bool) {
+	switch {
+	case c.cfg.HedgeAfter > 0:
+		return c.cfg.HedgeAfter, true
+	case c.cfg.HedgeAfter < 0:
+		return 0, false
+	}
+	p95, ok := c.lat.p95()
+	if !ok {
+		return 0, false
+	}
+	d := p95 + p95/2
+	if d < 25*time.Millisecond {
+		d = 25 * time.Millisecond
+	}
+	return d, true
+}
+
+// localShard returns the coordinator-local fallback sampler, building it
+// on first use.
+func (c *Coordinator) localShard() *Shard {
+	c.localOnce.Do(func() {
+		c.local = NewShard(ShardConfig{Workers: c.cfg.LocalWorkers})
+	})
+	return c.local
+}
+
 // ShardStatus is one peer's health and traffic counters.
 type ShardStatus struct {
 	Addr      string
-	Healthy   bool // last RPC (if any) succeeded
+	Healthy   bool   // last RPC (if any) succeeded
+	Breaker   string // circuit-breaker state: closed, half-open, open
 	RPCs      int64
 	Failures  int64 // RPCs that exhausted all retries
 	Retries   int64
@@ -384,18 +501,36 @@ type ShardStatus struct {
 
 // Stats is a snapshot of the coordinator's counters.
 type Stats struct {
-	Batches    int64 // scatter-gather batches dispatched
-	MergeNanos int64 // cumulative time merging gathered counts
-	Shards     []ShardStatus
+	Batches        int64 // scatter-gather batches dispatched
+	MergeNanos     int64 // cumulative time merging gathered counts
+	Failovers      int64 // chunk-range re-dispatches after a shard failed
+	Hedges         int64 // hedged duplicate dispatches issued
+	HedgeWins      int64 // hedged dispatches that finished first
+	LocalFallbacks int64 // dispatches sampled coordinator-locally
+	Probes         int64 // breaker re-admission probes sent
+	ProbeFailures  int64 // probes that failed
+	LocalFallback  bool  // whether coordinator-local sampling is enabled
+	Shards         []ShardStatus
 }
 
 // Stats returns a snapshot of coordinator and per-shard counters.
 func (c *Coordinator) Stats() Stats {
-	st := Stats{Batches: c.batches.Load(), MergeNanos: c.mergeNanos.Load()}
+	st := Stats{
+		Batches:        c.batches.Load(),
+		MergeNanos:     c.mergeNanos.Load(),
+		Failovers:      c.failovers.Load(),
+		Hedges:         c.hedges.Load(),
+		HedgeWins:      c.hedgeWins.Load(),
+		LocalFallbacks: c.localFallbacks.Load(),
+		Probes:         c.probes.Load(),
+		ProbeFailures:  c.probeFailures.Load(),
+		LocalFallback:  c.cfg.LocalFallback,
+	}
 	for _, p := range c.peer {
 		s := ShardStatus{
 			Addr:      p.addr,
 			Healthy:   p.healthy.Load(),
+			Breaker:   p.brk.snapshot(),
 			RPCs:      p.rpcs.Load(),
 			Failures:  p.failures.Load(),
 			Retries:   p.retries.Load(),
@@ -408,4 +543,14 @@ func (c *Coordinator) Stats() Stats {
 		st.Shards = append(st.Shards, s)
 	}
 	return st
+}
+
+// BreakerStates returns each peer's numeric breaker state in peer order
+// (0 closed, 1 half-open, 2 open) — the metrics gauge source.
+func (c *Coordinator) BreakerStates() []int {
+	out := make([]int, len(c.peer))
+	for i, p := range c.peer {
+		out[i] = p.brk.stateCode()
+	}
+	return out
 }

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Connection-pool hygiene: a connection that produced any error — a
+// half-read frame, a deadline expiry, a malformed response — must be
+// closed and dropped, never returned to the idle pool, because its
+// stream position is unknown and the next RPC would read leftover bytes
+// as its own response.
+
+// evilShard is a protocol double that handshakes correctly, then
+// misbehaves on the first connection per the mode and behaves on later
+// ones — so a test can assert the poisoned connection was abandoned and
+// the next call dialed fresh.
+type evilShard struct {
+	ln    net.Listener
+	conns atomic.Int64
+	mode  string // "halfframe" (write a partial frame, stall) | "garbage"
+}
+
+func startEvilShard(t *testing.T, mode string) *evilShard {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &evilShard{ln: ln, mode: mode}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n := ev.conns.Add(1)
+			go ev.serve(conn, n)
+		}
+	}()
+	return ev
+}
+
+func (ev *evilShard) serve(conn net.Conn, n int64) {
+	defer conn.Close()
+	typ, payload, err := readFrame(conn)
+	if err != nil || checkHello(typ, payload) != nil {
+		return
+	}
+	var ack enc
+	ack.uv(protocolVersion)
+	if writeFrame(conn, msgHelloAck, ack.b) != nil {
+		return
+	}
+	for {
+		typ, _, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if n == 1 {
+			switch ev.mode {
+			case "halfframe":
+				// Claim a 64-byte frame, deliver 10 bytes, stall: the
+				// client's deadline fires mid-frame.
+				conn.Write([]byte{0, 0, 0, 64, msgPong, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+				time.Sleep(10 * time.Second)
+				return
+			case "garbage":
+				// A complete frame of an unexpected type.
+				_ = writeFrame(conn, msgHello, []byte("surprise"))
+				continue
+			}
+		}
+		if typ == msgPing {
+			if writeFrame(conn, msgPong, nil) != nil {
+				return
+			}
+		}
+	}
+}
+
+func poolTestCoordinator(t *testing.T, addr string) *Coordinator {
+	t.Helper()
+	c, err := New(Config{
+		Peers:            []string{addr},
+		DialTimeout:      time.Second,
+		RequestTimeout:   300 * time.Millisecond,
+		Retries:          0,
+		RetryBackoff:     time.Millisecond,
+		BreakerThreshold: -1, // keep admitting; this test is about the pool
+		ProbeInterval:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// SHALL: a connection poisoned mid-frame (deadline expiry while a frame
+// is half-read) is closed and dropped; the next RPC dials fresh and
+// succeeds.
+func TestPoolDropsConnectionPoisonedMidFrame(t *testing.T) {
+	ev := startEvilShard(t, "halfframe")
+	c := poolTestCoordinator(t, ev.ln.Addr().String())
+	p := c.peer[0]
+
+	if _, err := c.rpc(context.Background(), p, msgPing, nil); err == nil {
+		t.Fatal("RPC against a stalling half-frame peer succeeded")
+	}
+	p.mu.Lock()
+	idle := len(p.idle)
+	p.mu.Unlock()
+	if idle != 0 {
+		t.Fatalf("poisoned connection returned to the pool (%d idle)", idle)
+	}
+	if _, err := c.rpc(context.Background(), p, msgPing, nil); err != nil {
+		t.Fatalf("fresh RPC after poisoning failed: %v", err)
+	}
+	if n := ev.conns.Load(); n != 2 {
+		t.Errorf("server saw %d connections, want 2 (poisoned one abandoned, second dialed fresh)", n)
+	}
+}
+
+// SHALL: a complete but ill-typed response also poisons the connection —
+// the stream may hold more unexpected bytes.
+func TestPoolDropsConnectionAfterUnexpectedFrame(t *testing.T) {
+	ev := startEvilShard(t, "garbage")
+	c := poolTestCoordinator(t, ev.ln.Addr().String())
+	p := c.peer[0]
+
+	if _, err := c.rpc(context.Background(), p, msgPing, nil); err == nil {
+		t.Fatal("RPC answered with a wrong-typed frame succeeded")
+	}
+	p.mu.Lock()
+	idle := len(p.idle)
+	p.mu.Unlock()
+	if idle != 0 {
+		t.Fatalf("connection with an ill-typed response returned to the pool (%d idle)", idle)
+	}
+	if _, err := c.rpc(context.Background(), p, msgPing, nil); err != nil {
+		t.Fatalf("fresh RPC after ill-typed response failed: %v", err)
+	}
+	if n := ev.conns.Load(); n != 2 {
+		t.Errorf("server saw %d connections, want 2", n)
+	}
+}
+
+// SHALL: a healthy round trip does pool its connection (the hygiene rule
+// drops only poisoned ones).
+func TestPoolReusesHealthyConnection(t *testing.T) {
+	ev := startEvilShard(t, "") // always well-behaved
+	c := poolTestCoordinator(t, ev.ln.Addr().String())
+	p := c.peer[0]
+	for i := 0; i < 3; i++ {
+		if _, err := c.rpc(context.Background(), p, msgPing, nil); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+	if n := ev.conns.Load(); n != 1 {
+		t.Errorf("server saw %d connections for 3 healthy pings, want 1 (pooled reuse)", n)
+	}
+}

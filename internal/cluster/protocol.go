@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"net"
 
 	"repro/internal/core"
 	"repro/internal/dnf"
@@ -76,19 +75,69 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	if n == 0 || n > maxFrame {
 		return 0, nil, fmt.Errorf("cluster: invalid frame length %d", n)
 	}
-	payload := make([]byte, n-1)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	payload, err := readBounded(r, int(n-1))
+	if err != nil {
 		return 0, nil, err
 	}
 	return hdr[4], payload, nil
 }
 
+// readChunk bounds each allocation step while reading a frame body.
+const readChunk = 64 << 10
+
+// readBounded reads exactly n bytes, but allocates in readChunk steps as
+// the bytes actually arrive: a forged length prefix near maxFrame from an
+// untrusted peer costs one 64KB buffer and a read error, not a 256MB
+// up-front allocation.
+func readBounded(r io.Reader, n int) ([]byte, error) {
+	if n <= readChunk {
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, err
+		}
+		return payload, nil
+	}
+	payload := make([]byte, 0, readChunk)
+	for len(payload) < n {
+		step := n - len(payload)
+		if step > readChunk {
+			step = readChunk
+		}
+		off := len(payload)
+		payload = append(payload, make([]byte, step)...)
+		if _, err := io.ReadFull(r, payload[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return payload, nil
+}
+
 // frameSize reports the on-wire size of a frame with the given payload.
 func frameSize(payload []byte) int64 { return int64(5 + len(payload)) }
 
+// checkHello validates the server half of the handshake: the first frame
+// of a connection must be a hello carrying the magic and a matching
+// protocol version. Malformed magic, version skew, and truncated
+// payloads each yield a typed error (and never a panic), so the shard
+// can answer with msgError before dropping the connection.
+func checkHello(typ byte, payload []byte) error {
+	if typ != msgHello {
+		return fmt.Errorf("cluster: first frame is message type %d, want hello", typ)
+	}
+	d := dec{b: payload}
+	if magic := d.u32(); d.err == nil && magic != protocolMagic {
+		return fmt.Errorf("cluster: bad magic %#x", magic)
+	}
+	if v := d.uv(); d.err == nil && v != protocolVersion {
+		return fmt.Errorf("cluster: client speaks protocol version %d, want %d", v, protocolVersion)
+	}
+	return d.err
+}
+
 // handshake performs the client half of hello/helloAck on a fresh
-// connection.
-func handshake(conn net.Conn) error {
+// connection. It takes the bare stream so tests can drive it against
+// arbitrary (including adversarial) server bytes.
+func handshake(conn io.ReadWriter) error {
 	var e enc
 	e.u32(protocolMagic)
 	e.uv(protocolVersion)
@@ -98,6 +147,10 @@ func handshake(conn net.Conn) error {
 	typ, payload, err := readFrame(conn)
 	if err != nil {
 		return err
+	}
+	if typ == msgError {
+		d := dec{b: payload}
+		return fmt.Errorf("cluster: shard rejected handshake: %s", d.str())
 	}
 	if typ != msgHelloAck {
 		return fmt.Errorf("cluster: handshake got message type %d", typ)

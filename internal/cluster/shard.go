@@ -192,11 +192,10 @@ func (s *Shard) serveConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
-	d := dec{b: payload}
-	if typ != msgHello || d.u32() != protocolMagic || d.uv() != protocolVersion || d.err != nil {
-		logf("cluster: %s: bad handshake", conn.RemoteAddr())
+	if err := checkHello(typ, payload); err != nil {
+		logf("cluster: %s: %v", conn.RemoteAddr(), err)
 		var e enc
-		e.str("bad handshake")
+		e.str(err.Error())
 		_ = writeFrame(conn, msgError, e.b)
 		return
 	}

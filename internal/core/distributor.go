@@ -15,7 +15,10 @@ import (
 // are absorbed into the same merge targets. Because a chunk's PRNG stream
 // is fixed by (task seed, plan index) and merged counts are commutative
 // integer sums, results are bit-identical to local execution for any
-// placement of chunks onto shards.
+// placement of chunks onto shards — which also licenses implementations
+// to re-place chunks mid-batch (failover to a surviving shard, hedged
+// duplicates, coordinator-local fallback) without changing a bit, as
+// long as each chunk's counts are merged exactly once.
 //
 // The contract per task: for every listed chunk, sample exactly Chunk.N
 // trials from the stream seeded by sched.ChunkSeed(Seed, Chunk.Index)

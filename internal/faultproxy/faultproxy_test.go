@@ -1,0 +1,198 @@
+package faultproxy
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// frameBackend accepts connections and immediately writes `frames`
+// length-prefixed frames of the given body, then holds the connection
+// open — enough protocol shape for the frame-aware fault paths.
+func frameBackend(t *testing.T, frames int, body []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				var hdr [4]byte
+				binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+				for i := 0; i < frames; i++ {
+					if _, err := c.Write(append(hdr[:], body...)); err != nil {
+						return
+					}
+				}
+				// Hold open until the peer goes away.
+				io.Copy(io.Discard, c)
+				c.Close()
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func startProxy(t *testing.T, backend string, script Script) *Proxy {
+	t.Helper()
+	p := New(backend, script, 42)
+	if err := p.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func readAll(t *testing.T, addr string, timeout time.Duration) []byte {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		// A reset can race the connect itself on loopback; to the
+		// client that is the same refusal.
+		return nil
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	data, _ := io.ReadAll(conn)
+	return data
+}
+
+func TestPassRelaysFrames(t *testing.T) {
+	backend := frameBackend(t, 2, []byte("hello"))
+	p := startProxy(t, backend, Script{})
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 18) // two 9-byte frames
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatalf("reading through pass proxy: %v", err)
+	}
+	if string(buf[4:9]) != "hello" {
+		t.Errorf("frame body corrupted: %q", buf)
+	}
+	if st := p.Stats(); st.Conns != 1 || st.BytesDown == 0 {
+		t.Errorf("stats = %+v, want 1 conn with downstream bytes", st)
+	}
+}
+
+func TestRefuseClosesImmediately(t *testing.T) {
+	backend := frameBackend(t, 1, []byte("hello"))
+	p := startProxy(t, backend, Script{Default: Policy{Action: Refuse}})
+	if data := readAll(t, p.Addr(), time.Second); len(data) != 0 {
+		t.Errorf("refused connection delivered %d bytes", len(data))
+	}
+	if st := p.Stats(); st.Refused != 1 {
+		t.Errorf("stats = %+v, want 1 refused", st)
+	}
+}
+
+// SHALL: truncate forwards exactly CutFrames complete frames, then cuts
+// the next one mid-frame — deterministically, per the script.
+func TestTruncateCutsAfterScriptedFrames(t *testing.T) {
+	backend := frameBackend(t, 3, []byte("abcdef"))
+	// The latency spaces the frames out so the client has consumed frame
+	// 1 before the reset lands (an RST discards unread buffered bytes).
+	p := startProxy(t, backend, Script{
+		Default: Policy{Action: Truncate, CutFrames: 1, CutBytes: 3, Latency: 50 * time.Millisecond},
+	})
+	data := readAll(t, p.Addr(), 2*time.Second)
+	// One complete 10-byte frame, plus up to 3 leaked bytes of the next
+	// (the reset may destroy the leak in flight, never the read frame).
+	if len(data) < 10 || len(data) > 13 {
+		t.Fatalf("received %d bytes, want 10–13 (one frame + cut leak)", len(data))
+	}
+	if st := p.Stats(); st.Cut != 1 {
+		t.Errorf("stats = %+v, want 1 cut", st)
+	}
+}
+
+func TestBlackholeNeverAnswers(t *testing.T) {
+	backend := frameBackend(t, 1, []byte("hello"))
+	p := startProxy(t, backend, Script{Default: Policy{Action: Blackhole}})
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("ping"))
+	conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("blackholed connection answered")
+	}
+	if st := p.Stats(); st.Blackholed != 1 {
+		t.Errorf("stats = %+v, want 1 blackholed", st)
+	}
+}
+
+// SHALL: SetDown(true) refuses new connections and resets live ones;
+// SetDown(false) restores service — the reversible process-kill.
+func TestSetDownAndRecovery(t *testing.T) {
+	backend := frameBackend(t, 1, []byte("hello"))
+	p := startProxy(t, backend, Script{})
+	// Live connection, then kill.
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	frame := make([]byte, 9)
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := io.ReadFull(conn, frame); err != nil {
+		t.Fatalf("pre-down read: %v", err)
+	}
+	p.SetDown(true)
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	if extra, _ := io.ReadAll(conn); len(extra) != 0 {
+		t.Errorf("reset connection delivered %d more bytes", len(extra))
+	}
+	if data := readAll(t, p.Addr(), time.Second); len(data) != 0 {
+		t.Errorf("down proxy delivered %d bytes", len(data))
+	}
+	p.SetDown(false)
+	conn2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	conn2.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := io.ReadFull(conn2, frame); err != nil {
+		t.Fatalf("post-recovery read: %v", err)
+	}
+	if st := p.Stats(); st.DownRefused == 0 {
+		t.Errorf("stats = %+v, want down-refused connections", st)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	pol, err := ParsePolicy("truncate,frames=2,bytes=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Action != Truncate || pol.CutFrames != 2 || pol.CutBytes != 7 {
+		t.Errorf("parsed %+v", pol)
+	}
+	pol, err = ParsePolicy("delay,latency=300ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Action != Pass || pol.Latency != 300*time.Millisecond {
+		t.Errorf("parsed %+v", pol)
+	}
+	for _, bad := range []string{"", "explode", "pass,latency=soon", "truncate,frames=x", "pass,unknown=1"} {
+		if _, err := ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", bad)
+		}
+	}
+}

@@ -20,6 +20,7 @@ type serverMetrics struct {
 	duration     *metrics.HistogramVec // pdb_http_request_duration_seconds{route}
 	httpInFlight *metrics.Gauge        // pdb_http_in_flight_requests
 	rowsStreamed *metrics.Counter      // pdb_http_rows_streamed_total
+	httpPanics   *metrics.Counter      // pdb_http_panics_total
 
 	limitErrors      *metrics.CounterVec // pdb_limit_errors_total{resource}
 	tenantRequests   *metrics.CounterVec // pdb_tenant_requests_total{tenant}
@@ -42,6 +43,8 @@ func newServerMetrics(reg *metrics.Registry, eng *pdb.Engine, adm *admission) *s
 			"HTTP requests currently being served."),
 		rowsStreamed: reg.Counter("pdb_http_rows_streamed_total",
 			"Result rows streamed to clients."),
+		httpPanics: reg.Counter("pdb_http_panics_total",
+			"HTTP handlers that panicked and were recovered into a typed 500."),
 		limitErrors: reg.CounterVec("pdb_limit_errors_total",
 			"Evaluations aborted by a per-request resource limit, by resource (trials, memory).", "resource"),
 		tenantRequests: reg.CounterVec("pdb_tenant_requests_total",
@@ -138,6 +141,20 @@ func newServerMetrics(reg *metrics.Registry, eng *pdb.Engine, adm *admission) *s
 				}
 				return 0
 			}))
+		reg.GaugeVecFunc("pdb_cluster_shard_breaker_state",
+			"Circuit-breaker state per shard: 0 closed, 1 half-open, 2 open.", shard,
+			func() []metrics.LabeledValue {
+				cs := eng.ClusterStats()
+				states := eng.ClusterBreakerStates()
+				if cs == nil || len(states) != len(cs.Shards) {
+					return nil
+				}
+				out := make([]metrics.LabeledValue, len(cs.Shards))
+				for i, sh := range cs.Shards {
+					out[i] = metrics.LabeledValue{Labels: []string{sh.Addr}, Value: float64(states[i])}
+				}
+				return out
+			})
 		reg.CounterFunc("pdb_cluster_batches_total",
 			"Scatter-gather round trips across the shard cluster.",
 			func() float64 {
@@ -154,6 +171,32 @@ func newServerMetrics(reg *metrics.Registry, eng *pdb.Engine, adm *admission) *s
 				}
 				return 0
 			})
+		clusterCounter := func(read func(*pdb.ClusterStats) int64) func() float64 {
+			return func() float64 {
+				if cs := eng.ClusterStats(); cs != nil {
+					return float64(read(cs))
+				}
+				return 0
+			}
+		}
+		reg.CounterFunc("pdb_cluster_failovers_total",
+			"Chunk ranges re-dispatched to a surviving shard (or locally) after their owner exhausted retries.",
+			clusterCounter(func(cs *pdb.ClusterStats) int64 { return cs.Failovers }))
+		reg.CounterFunc("pdb_cluster_hedges_total",
+			"Hedged duplicate dispatches launched against straggling shards.",
+			clusterCounter(func(cs *pdb.ClusterStats) int64 { return cs.Hedges }))
+		reg.CounterFunc("pdb_cluster_hedge_wins_total",
+			"Hedged dispatches whose response arrived before the original's.",
+			clusterCounter(func(cs *pdb.ClusterStats) int64 { return cs.HedgeWins }))
+		reg.CounterFunc("pdb_cluster_local_fallbacks_total",
+			"Chunk ranges sampled on the coordinator itself because no healthy shard remained.",
+			clusterCounter(func(cs *pdb.ClusterStats) int64 { return cs.LocalFallbacks }))
+		reg.CounterFunc("pdb_cluster_probes_total",
+			"Half-open breaker probes sent to tripped shards.",
+			clusterCounter(func(cs *pdb.ClusterStats) int64 { return cs.Probes }))
+		reg.CounterFunc("pdb_cluster_probe_failures_total",
+			"Breaker probes that failed, keeping the shard quarantined.",
+			clusterCounter(func(cs *pdb.ClusterStats) int64 { return cs.ProbeFailures }))
 	}
 
 	reg.GaugeFunc("pdb_admission_in_flight",

@@ -1,0 +1,265 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/pdb"
+)
+
+// Panic containment: a handler bug must cost one request, not the
+// process — and it must not leak capacity (in-flight gauge, admission
+// slots) or skip the request counters.
+
+// scrapeMetrics fetches /metrics and returns the exposition text.
+func scrapeMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func metricLine(text, name string) (string, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, name+" ") || strings.HasPrefix(line, name+"{") {
+			return line, true
+		}
+	}
+	return "", false
+}
+
+// SHALL: a panicking handler yields a typed 500 ("internal"), increments
+// pdb_http_panics_total, balances the in-flight gauge and any admission
+// slot held across the panic, and leaves the server serving.
+func TestPanicRecoveryTyped500(t *testing.T) {
+	srv := testServer(t, Config{MaxInFlight: 2})
+
+	// Inject a panicking route through the same instrument middleware the
+	// real routes use; it holds an admission slot exactly the way
+	// handleQuery does (deferred release), so the unwind must balance it.
+	srv.mux.HandleFunc("GET /boom", srv.instrument("/boom", func(w http.ResponseWriter, r *http.Request) {
+		release, _, _, ok := srv.adm.acquire(context.Background())
+		if !ok {
+			t.Error("admission rejected the panicking request")
+			return
+		}
+		defer release()
+		panic("handler bug")
+	}))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatalf("panicking handler killed the connection: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("500 body is not the typed error JSON: %v", err)
+	}
+	if er.Kind != "internal" {
+		t.Errorf("error kind = %q, want \"internal\"", er.Kind)
+	}
+
+	if got := srv.adm.inFlight(); got != 0 {
+		t.Errorf("admission slots leaked across the panic: in-flight = %d, want 0", got)
+	}
+
+	// The server keeps serving, and the panic is on the books.
+	text := scrapeMetrics(t, ts)
+	if line, ok := metricLine(text, "pdb_http_panics_total"); !ok || !strings.HasSuffix(line, " 1") {
+		t.Errorf("pdb_http_panics_total = %q, want 1", line)
+	}
+	if line, ok := metricLine(text, "pdb_http_in_flight_requests"); ok && !strings.HasSuffix(line, " 1") {
+		// The /metrics scrape itself is the one in-flight request.
+		t.Errorf("in-flight gauge unbalanced after panic: %q", line)
+	}
+	if !strings.Contains(text, `pdb_http_requests_total{route="/boom",status="500"} 1`) {
+		t.Error("panicked request missing from pdb_http_requests_total{status=\"500\"}")
+	}
+}
+
+// SHALL: a panic after the response started cannot rewrite headers; the
+// stream just ends, but the panic still counts and later requests work.
+func TestPanicAfterFirstByteStillCounted(t *testing.T) {
+	srv := testServer(t, Config{})
+	srv.mux.HandleFunc("GET /late-boom", srv.instrument("/late-boom", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "partial")
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic("bug after first byte")
+	}))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/late-boom")
+	if err != nil {
+		t.Fatalf("request did not complete: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(body), "partial") {
+		t.Errorf("started response rewritten: status %d body %q", resp.StatusCode, body)
+	}
+
+	// Still standing, still counting.
+	status, _, rows, _ := postQuery(t, ts, `{"program": "`+testProgram+`"}`)
+	if status != http.StatusOK || len(rows) == 0 {
+		t.Fatalf("server broken after mid-stream panic: status %d, %d rows", status, len(rows))
+	}
+	if line, ok := metricLine(scrapeMetrics(t, ts), "pdb_http_panics_total"); !ok || !strings.HasSuffix(line, " 1") {
+		t.Errorf("pdb_http_panics_total = %q, want 1", line)
+	}
+}
+
+func getReadyz(t *testing.T, ts *httptest.Server) (int, readyzResponse) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rz readyzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
+		t.Fatalf("readyz body: %v", err)
+	}
+	return resp.StatusCode, rz
+}
+
+// SHALL: single-node deployments are always ready; /healthz never flips.
+func TestReadyzSingleNodeAlwaysReady(t *testing.T) {
+	ts := httptest.NewServer(testServer(t, Config{}))
+	defer ts.Close()
+	status, rz := getReadyz(t, ts)
+	if status != http.StatusOK || !rz.Ready {
+		t.Errorf("single-node /readyz = %d %+v, want 200 ready", status, rz)
+	}
+}
+
+// deadPeerServer builds a server whose engine is clustered onto n dead
+// shard addresses (listeners opened and immediately closed), with a
+// trip-on-first-failure breaker. The database is the multi-clause Obs
+// relation, so conf queries genuinely sample — and genuinely scatter.
+func deadPeerServer(t *testing.T, n int, localFallback bool) *Server {
+	t.Helper()
+	deadPeers := make([]string, n)
+	for i := range deadPeers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadPeers[i] = ln.Addr().String()
+		ln.Close()
+	}
+	rows := [][]any{}
+	probs := []float64{}
+	for s := 0; s < 4; s++ {
+		for r := 0; r < 4; r++ {
+			rows = append(rows, []any{fmt.Sprintf("s%d", s), r})
+			probs = append(probs, 0.3)
+		}
+	}
+	db, err := pdb.NewBuilder().
+		Independent("Obs", []string{"Sensor", "Reading"}, rows, probs).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := db.Engine(pdb.WithEngineCluster(pdb.ClusterOptions{
+		Peers:            deadPeers,
+		DialTimeout:      200 * time.Millisecond,
+		Retries:          0,
+		RetryBackoff:     time.Millisecond,
+		BreakerThreshold: 1,
+		ProbeInterval:    -1,
+		LocalFallback:    localFallback,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	srv, err := New(Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// SHALL: when every shard breaker is open and local fallback is off,
+// /readyz returns 503 so the balancer drains the node — while /healthz
+// stays 200 (restarting the coordinator would not revive the shards).
+func TestReadyzAllShardsDown(t *testing.T) {
+	ts := httptest.NewServer(deadPeerServer(t, 2, false))
+	defer ts.Close()
+
+	// Breakers start closed: the node is (optimistically) ready.
+	if status, rz := getReadyz(t, ts); status != http.StatusOK || !rz.Ready {
+		t.Fatalf("pre-trip /readyz = %d %+v, want 200 ready", status, rz)
+	}
+
+	// One failing query trips both breakers (threshold 1).
+	status, _, _, _ := postQuery(t, ts, `{"program": "`+testProgram+`"}`)
+	if status == http.StatusOK {
+		t.Fatal("query against dead shards succeeded")
+	}
+
+	status, rz := getReadyz(t, ts)
+	if status != http.StatusServiceUnavailable || rz.Ready {
+		t.Errorf("/readyz with all breakers open = %d %+v, want 503 not-ready", status, rz)
+	}
+	if rz.ShardsTotal != 2 || rz.ShardsDown != 2 {
+		t.Errorf("shard accounting = %+v, want 2/2 down", rz)
+	}
+
+	// Liveness is about the process, not the cluster.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d during shard outage, want 200", resp.StatusCode)
+	}
+}
+
+// SHALL: with local fallback enabled, dead shards degrade the node but
+// never make it unready — queries still succeed on the coordinator.
+func TestReadyzLocalFallbackStaysReady(t *testing.T) {
+	ts := httptest.NewServer(deadPeerServer(t, 1, true))
+	defer ts.Close()
+
+	status, _, rows, _ := postQuery(t, ts, `{"program": "`+testProgram+`"}`)
+	if status != http.StatusOK || len(rows) == 0 {
+		t.Fatalf("fallback query: status %d, %d rows", status, len(rows))
+	}
+	rstatus, rz := getReadyz(t, ts)
+	if rstatus != http.StatusOK || !rz.Ready {
+		t.Errorf("/readyz with local fallback = %d %+v, want 200 ready", rstatus, rz)
+	}
+	if !rz.LocalFallback {
+		t.Error("readyz body does not advertise local fallback")
+	}
+	if !rz.Degraded || rz.ShardsDown == 0 {
+		t.Errorf("degradation not reported: %+v", rz)
+	}
+}

@@ -14,6 +14,9 @@
 //	GET  /metrics    Prometheus text exposition (internal/metrics) —
 //	                 request, latency, quota, admission, and engine series.
 //	GET  /healthz    liveness probe.
+//	GET  /readyz     readiness probe: 503 when every shard breaker is open
+//	                 and local fallback is off (single-node deployments are
+//	                 always ready).
 //
 // Per-request timeouts and resource limits map onto context deadlines and
 // the pdb WithMaxTrials / WithMaxMemory options; server-level caps clamp
@@ -184,6 +187,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/admin/reload", s.instrument("/v1/admin/reload", s.handleReload))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	s.mux.Handle("GET /metrics", s.instrumentHandler("/metrics", cfg.Registry.Handler()))
 	return s, nil
 }
@@ -260,17 +264,26 @@ func (s *Server) reloadQuotas() error {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// statusWriter records the response status for instrumentation while
-// passing Flush through to the underlying writer (the query stream needs
-// it).
+// statusWriter records the response status for instrumentation — and
+// whether anything was written at all, which decides if a recovered
+// panic can still produce a typed 500 body — while passing Flush through
+// to the underlying writer (the query stream needs it).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	// The embedded Write's implicit WriteHeader bypasses our override.
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 func (w *statusWriter) Flush() {
@@ -280,16 +293,44 @@ func (w *statusWriter) Flush() {
 }
 
 // instrument wraps a handler with the per-route request counter, latency
-// histogram, and in-flight gauge.
+// histogram, in-flight gauge, and panic recovery. A panicking handler
+// must not take the process down — it becomes a typed 500 (when no bytes
+// have been written yet) and a pdb_http_panics_total increment. Slot
+// bookkeeping (admission, tenant quotas) is deferred inside the handlers
+// themselves, so it balances during the unwind and a panic can never
+// leak capacity.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.met.httpInFlight.Inc()
-		defer s.met.httpInFlight.Dec()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler { // deliberate stream abort
+					s.met.httpInFlight.Dec()
+					panic(rec)
+				}
+				s.met.httpPanics.Inc()
+				s.failures.Add(1)
+				if s.cfg.Logger != nil {
+					stack := make([]byte, 16<<10)
+					stack = stack[:runtime.Stack(stack, false)]
+					s.cfg.Logger.Printf("panic serving %s: %v\n%s", route, rec, stack)
+				}
+				sw.status = http.StatusInternalServerError
+				if !sw.wrote {
+					// Headers are still ours; send the typed error body.
+					sw.Header().Set("Content-Type", "application/json")
+					sw.WriteHeader(http.StatusInternalServerError)
+					_ = json.NewEncoder(sw).Encode(errorResponse{
+						Error: "internal server error", Kind: "internal"})
+				}
+			}
+			s.met.httpInFlight.Dec()
+			s.met.requests.With(route, strconv.Itoa(sw.status)).Inc()
+			s.met.duration.With(route).Observe(time.Since(start).Seconds())
+		}()
 		h(sw, r)
-		s.met.requests.With(route, strconv.Itoa(sw.status)).Inc()
-		s.met.duration.With(route).Observe(time.Since(start).Seconds())
 	}
 }
 
@@ -756,16 +797,24 @@ type admissionStats struct {
 }
 
 type clusterStats struct {
-	Batches     int64              `json:"batches"`
-	MergeNanos  int64              `json:"merge_nanos"`
-	Shards      []clusterShardJSON `json:"shards"`
-	ShardsTotal int                `json:"shards_total"`
-	ShardsDown  int                `json:"shards_down"`
+	Batches        int64              `json:"batches"`
+	MergeNanos     int64              `json:"merge_nanos"`
+	Failovers      int64              `json:"failovers"`
+	Hedges         int64              `json:"hedges"`
+	HedgeWins      int64              `json:"hedge_wins"`
+	LocalFallbacks int64              `json:"local_fallbacks"`
+	Probes         int64              `json:"probes"`
+	ProbeFailures  int64              `json:"probe_failures"`
+	LocalFallback  bool               `json:"local_fallback"`
+	Shards         []clusterShardJSON `json:"shards"`
+	ShardsTotal    int                `json:"shards_total"`
+	ShardsDown     int                `json:"shards_down"`
 }
 
 type clusterShardJSON struct {
 	Addr      string `json:"addr"`
 	Healthy   bool   `json:"healthy"`
+	Breaker   string `json:"breaker"`
 	RPCs      int64  `json:"rpcs"`
 	Failures  int64  `json:"failures"`
 	Retries   int64  `json:"retries"`
@@ -780,7 +829,18 @@ func clusterSection(cs *pdb.ClusterStats) *clusterStats {
 	if cs == nil {
 		return nil
 	}
-	out := &clusterStats{Batches: cs.Batches, MergeNanos: cs.MergeNanos, ShardsTotal: len(cs.Shards)}
+	out := &clusterStats{
+		Batches:        cs.Batches,
+		MergeNanos:     cs.MergeNanos,
+		Failovers:      cs.Failovers,
+		Hedges:         cs.Hedges,
+		HedgeWins:      cs.HedgeWins,
+		LocalFallbacks: cs.LocalFallbacks,
+		Probes:         cs.Probes,
+		ProbeFailures:  cs.ProbeFailures,
+		LocalFallback:  cs.LocalFallback,
+		ShardsTotal:    len(cs.Shards),
+	}
 	for _, sh := range cs.Shards {
 		if !sh.Healthy {
 			out.ShardsDown++
@@ -788,6 +848,7 @@ func clusterSection(cs *pdb.ClusterStats) *clusterStats {
 		out.Shards = append(out.Shards, clusterShardJSON{
 			Addr:      sh.Addr,
 			Healthy:   sh.Healthy,
+			Breaker:   sh.Breaker,
 			RPCs:      sh.RPCs,
 			Failures:  sh.Failures,
 			Retries:   sh.Retries,
@@ -836,4 +897,39 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = io.WriteString(w, "{\"ok\":true}\n")
+}
+
+// readyzResponse is the body of GET /readyz.
+type readyzResponse struct {
+	Ready         bool `json:"ready"`
+	Degraded      bool `json:"degraded,omitempty"`
+	ShardsTotal   int  `json:"shards_total,omitempty"`
+	ShardsDown    int  `json:"shards_down,omitempty"`
+	LocalFallback bool `json:"local_fallback,omitempty"`
+}
+
+// handleReadyz is the load-balancer readiness probe. Liveness (/healthz)
+// never flips on shard trouble — restarting the coordinator won't revive
+// a dead shard — but readiness does: when every shard breaker is open
+// and local fallback is off, new queries can only fail, so the node asks
+// to be drained with a 503. A partially-degraded cluster stays ready
+// (failover reroutes around the tripped shards) and reports degraded
+// instead.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := readyzResponse{Ready: s.eng.ClusterReady()}
+	if cs := s.eng.ClusterStats(); cs != nil {
+		resp.ShardsTotal = len(cs.Shards)
+		for _, sh := range cs.Shards {
+			if sh.Breaker == "open" {
+				resp.ShardsDown++
+			}
+		}
+		resp.Degraded = resp.ShardsDown > 0
+		resp.LocalFallback = cs.LocalFallback
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !resp.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(resp)
 }

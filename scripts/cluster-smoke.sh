@@ -4,11 +4,15 @@
 # server, and assert (1) the coordinator's NDJSON query output is
 # byte-identical to the single-node server's under one seed — the
 # bit-identity contract across process boundaries — (2) the per-shard
-# pdb_cluster_* metric series move, (3) killing a shard turns the next
-# query into a fast typed error rather than a hang, (4) a SIGHUP quota
-# reload takes effect without a restart, and (5) everything shuts down
-# gracefully. CI's `cluster` job runs exactly this script (via
-# `make cluster-smoke`), so a local pass means a green job.
+# pdb_cluster_* metric series move, (3) killing a shard does NOT fail
+# queries: the breaker trips, chunk ranges fail over to the survivor, and
+# the rows stay byte-identical to the single-node answer, (4) killing the
+# last shard yields a fast typed error (and /readyz goes 503) rather than
+# a hang, (5) a SIGHUP quota reload takes effect without a restart, and
+# (6) everything shuts down gracefully. CI's `cluster` job runs exactly
+# this script (via `make cluster-smoke`), so a local pass means a green
+# job. Deterministic fault shapes beyond a clean kill (resets, latency,
+# truncated frames) live in scripts/chaos-smoke.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +32,7 @@ trap cleanup EXIT
 
 echo "== boot two shards, the coordinator, and a single-node comparison server"
 "$bin" -shard -addr "$shard1" & pids+=($!)
+shard1_pid=$!
 "$bin" -shard -addr "$shard2" & pids+=($!)
 shard2_pid=$!
 sleep 0.5
@@ -50,7 +55,7 @@ for a in "$coord" "$single"; do
     curl -sf "http://$a/healthz" >/dev/null 2>&1 && break
     sleep 0.2
   done
-  curl -sf "http://$a/healthz" | grep -q '"ok":true'
+  curl -sf "http://$a/healthz" | grep '"ok":true' >/dev/null
 done
 
 req='{"program":"conf as P (project[sensor](select[temp >= 21](repairkey[sensor @ w](sensors))));","seed":7}'
@@ -88,26 +93,45 @@ code="$(curl -s -o /dev/null -w '%{http_code}' -H 'X-Pdb-Tenant: bursty' "http:/
 [ "$code" = "200" ]
 code="$(curl -s -o /dev/null -w '%{http_code}' -H 'X-Pdb-Tenant: bursty' "http://$coord/v1/query" -d "$treq")"
 [ "$code" = "429" ]
-curl -sf "http://$coord/metrics" | grep -qE '^pdb_quota_reloads_total\{outcome="ok"\} [1-9]'
+curl -sf "http://$coord/metrics" | grep -E '^pdb_quota_reloads_total\{outcome="ok"\} [1-9]' >/dev/null
 
-echo "== killing a shard yields a fast typed error, not a hang"
+echo "== killing a shard fails over: queries still succeed, bit-identically"
+curl -sf "http://$coord/readyz" | grep '"ready":true' >/dev/null
 kill "$shard2_pid"
 wait "$shard2_pid" 2>/dev/null || true
-# A fresh seed forces sampling (and with it shard RPCs); the retry budget
-# bounds the failure to seconds.
+# A fresh seed forces sampling (and with it shard RPCs); the victim's
+# chunk ranges are re-dispatched to the survivor, so the rows match the
+# single-node answer byte for byte.
 freq='{"program":"conf as P (project[sensor](select[temp >= 21](repairkey[sensor @ w](sensors))));","seed":23}'
-body="$(curl -s -m 120 "http://$coord/v1/query" -d "$freq")"
-echo "$body"
-echo "$body" | grep -q '"kind":"internal"'
-echo "$body" | grep -q 'cluster shard'
-echo "$body" | grep -qi 'attempt'
-curl -sf "http://$coord/metrics" | grep -q "^pdb_cluster_shard_healthy{shard=\"$shard2\"} 0$"
-curl -sf "http://$coord/metrics" | grep -qE "^pdb_cluster_shard_failures_total\{shard=\"$shard2\"\} [1-9]"
+fcl="$(curl -sf -m 120 "http://$coord/v1/query" -d "$freq" | grep '"row"')"
+fsn="$(curl -sf "http://$single/v1/query" -d "$freq" | grep '"row"')"
+echo "$fcl"
+[ -n "$fcl" ]
+[ "$fcl" = "$fsn" ]
+metrics="$(curl -sf "http://$coord/metrics")"
+echo "$metrics" | grep -q "^pdb_cluster_shard_healthy{shard=\"$shard2\"} 0$"
+echo "$metrics" | grep -qE "^pdb_cluster_shard_failures_total\{shard=\"$shard2\"\} [1-9]"
+echo "$metrics" | grep -qE '^pdb_cluster_failovers_total [1-9]'
+# Degraded but serving: the node stays ready while one shard survives.
+curl -sf "http://$coord/readyz" | grep '"ready":true' >/dev/null
 
 echo "== warm queries (cached, no sampling) still succeed with a shard down"
 out="$(curl -sf "http://$coord/v1/query" -d "$req")"
 echo "$out" | grep -q '"sampled_trials":0'
 [ "$(echo "$out" | grep '"row"')" = "$cl" ]
+
+echo "== killing the last shard yields a fast typed error and a 503 readyz"
+kill "$shard1_pid"
+wait "$shard1_pid" 2>/dev/null || true
+dreq='{"program":"conf as P (project[sensor](select[temp >= 21](repairkey[sensor @ w](sensors))));","seed":31}'
+body="$(curl -s -m 120 "http://$coord/v1/query" -d "$dreq")"
+echo "$body"
+echo "$body" | grep -q '"kind":"internal"'
+echo "$body" | grep -qE 'cluster shard|no healthy shard'
+code="$(curl -s -o /dev/null -w '%{http_code}' "http://$coord/readyz")"
+[ "$code" = "503" ]
+# Liveness is about the process, not the cluster.
+curl -sf "http://$coord/healthz" | grep '"ok":true' >/dev/null
 
 echo "== graceful shutdown exits 0 everywhere"
 kill -TERM "$coord_pid"

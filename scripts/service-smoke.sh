@@ -27,7 +27,7 @@ for _ in $(seq 1 50); do
   curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
   sleep 0.2
 done
-curl -sf "http://$addr/healthz" | grep -q '"ok":true'
+curl -sf "http://$addr/healthz" | grep '"ok":true' >/dev/null
 
 req='{"program":"conf as P (project[sensor](select[temp >= 21](repairkey[sensor @ w](sensors))));","seed":7}'
 
@@ -80,7 +80,7 @@ grep -i '^HTTP/' "$hdrs" | grep -q 429
 grep -iqE '^Retry-After: [1-9]' "$hdrs"
 echo "$body" | grep -q '"kind":"overloaded"'
 curl -sf "http://$addr/v1/query" -d "$req" >/dev/null   # untenanted: still 200
-curl -sf "http://$addr/metrics" | grep -q '^pdb_tenant_rejections_total{tenant="bursty",reason="rate"} 1$'
+curl -sf "http://$addr/metrics" | grep '^pdb_tenant_rejections_total{tenant="bursty",reason="rate"} 1$' >/dev/null
 
 echo "== per-request trial limit maps to 422"
 code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/query" \
