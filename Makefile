@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json conformance fuzz vet fmt-check docs-check links-check examples service-smoke cluster-smoke chaos-smoke ci
+.PHONY: build test race bench bench-json conformance fuzz vet fmt-check docs-check links-check examples service-smoke cluster-smoke chaos-smoke storage-smoke ci
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,13 @@ cluster-smoke:
 chaos-smoke:
 	./scripts/chaos-smoke.sh
 
+# Storage-layer smoke: pdbcli convert over the examples/ data, byte-stable
+# CSV ↔ pdbstore round trip, bit-identical query output across formats
+# (CLI and pdbserve NDJSON), and out-of-core -spill-dir completion of an
+# over-budget join.
+storage-smoke:
+	./scripts/storage-smoke.sh
+
 # One pass over every benchmark — the trajectory baseline CI uploads as an
 # artifact; not a statistically stable measurement. -benchmem puts B/op
 # and allocs/op into the baseline so the benchstat gate can flag
@@ -73,6 +80,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=10s ./internal/cluster
 	$(GO) test -fuzz=FuzzClientHandshake -fuzztime=10s ./internal/cluster
 	$(GO) test -fuzz=FuzzDecodeSampleResult -fuzztime=10s ./internal/cluster
+	$(GO) test -fuzz=FuzzStore -fuzztime=10s ./internal/store
 
 vet:
 	$(GO) vet ./...
@@ -94,4 +102,4 @@ docs-check:
 links-check:
 	./scripts/check-links.sh
 
-ci: vet fmt-check docs-check links-check build test race fuzz examples service-smoke cluster-smoke chaos-smoke
+ci: vet fmt-check docs-check links-check build test race fuzz examples service-smoke cluster-smoke chaos-smoke storage-smoke

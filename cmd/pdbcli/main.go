@@ -9,6 +9,18 @@
 //	pdbcli -rel R=r.csv -queryfile program.ua -approx -eps0 0.05 -delta 0.1 \
 //	       -timeout 30s -progress
 //
+// Relations load from CSV or from pdbstore columnar files (the typed
+// on-disk format of docs/STORAGE.md), detected by content; -format
+// csv|pdbstore forces one loader. Convert between the formats with
+//
+//	pdbcli convert relation.csv relation.pdbs     # CSV → pdbstore
+//	pdbcli convert relation.pdbs relation.csv     # pdbstore → CSV
+//
+// -max-memory caps the evaluation's materialized bytes; adding -spill-dir
+// turns that cap into out-of-core execution — over-budget intermediates
+// spill to disk and the query completes, bit-identically, instead of
+// aborting.
+//
 // The query language is documented in internal/parser. Probabilistic data
 // is introduced with repairkey[...@W](...) over the loaded complete
 // relations; -approx switches confidence computation and σ̂ decisions to
@@ -27,9 +39,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/parser"
+	"repro/internal/rel"
+	"repro/internal/store"
 	"repro/pdb"
 )
 
@@ -58,9 +74,19 @@ type cliConfig struct {
 	timeout    time.Duration
 	cpuprofile string
 	memprofile string
+	format     string
+	spillDir   string
+	maxMemory  int64
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "convert" {
+		if err := runConvert(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pdbcli:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var cfg cliConfig
 	flag.StringVar(&cfg.query, "query", "", "UA query text")
 	flag.StringVar(&cfg.queryFile, "queryfile", "", "file containing the UA query program")
@@ -75,7 +101,10 @@ func main() {
 	flag.BoolVar(&cfg.explain, "explain", false, "print the plan with inferred schemas instead of evaluating")
 	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the evaluation to this file (inspect with go tool pprof)")
 	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile (after evaluation and a final GC) to this file")
-	flag.Var(&cfg.rels, "rel", "Name=path.csv — a complete relation to load (repeatable)")
+	flag.StringVar(&cfg.format, "format", "auto", "relation file format: auto (sniff per file), csv, or pdbstore")
+	flag.StringVar(&cfg.spillDir, "spill-dir", "", "with -max-memory: spill over-budget intermediates here instead of aborting (out-of-core evaluation)")
+	flag.Int64Var(&cfg.maxMemory, "max-memory", 0, "cap on estimated materialized bytes (0 = unlimited); aborts with a limit error unless -spill-dir is set")
+	flag.Var(&cfg.rels, "rel", "Name=path — a complete relation to load, CSV or pdbstore (repeatable)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -151,11 +180,11 @@ func run(cfg cliConfig) (err error) {
 	for _, spec := range cfg.rels {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
-			return fmt.Errorf("bad -rel %q; want Name=path.csv", spec)
+			return fmt.Errorf("bad -rel %q; want Name=path", spec)
 		}
 		sources[name] = path
 	}
-	db, err := pdb.Open(sources)
+	db, err := openDB(cfg.format, sources)
 	if err != nil {
 		return err
 	}
@@ -178,8 +207,16 @@ func run(cfg cliConfig) (err error) {
 		defer cancel()
 	}
 
+	var limitOpts []pdb.Option
+	if cfg.maxMemory > 0 {
+		limitOpts = append(limitOpts, pdb.WithMaxMemory(cfg.maxMemory))
+	}
+	if cfg.spillDir != "" {
+		limitOpts = append(limitOpts, pdb.WithSpillDir(cfg.spillDir))
+	}
+
 	if !cfg.approx {
-		res, err := q.EvalExact(ctx, pdb.WithWorkers(cfg.workers))
+		res, err := q.EvalExact(ctx, append([]pdb.Option{pdb.WithWorkers(cfg.workers)}, limitOpts...)...)
 		if err != nil {
 			return timeoutErr(err, cfg.timeout)
 		}
@@ -187,12 +224,12 @@ func run(cfg cliConfig) (err error) {
 		return nil
 	}
 
-	opts := []pdb.Option{
+	opts := append([]pdb.Option{
 		pdb.WithEpsilon(cfg.eps0),
 		pdb.WithDelta(cfg.delta),
 		pdb.WithSeed(cfg.seed),
 		pdb.WithWorkers(cfg.workers),
-	}
+	}, limitOpts...)
 	if !cfg.resume {
 		opts = append(opts, pdb.WithNoResume())
 	}
@@ -228,4 +265,82 @@ func printResult(res *pdb.Result, stats bool) {
 		fmt.Printf("\n# rounds=%d restarts=%d sampled-trials=%d reused-trials=%d decisions=%d singular-drops=%d\n",
 			s.FinalRounds, s.Restarts, s.SampledTrials, s.ReusedTrials, s.Decisions, s.SingularDrops)
 	}
+}
+
+// / openDB loads the -rel sources honouring -format: auto (the default,
+// and what a zero config means) sniffs each file's content, csv and
+// pdbstore force one loader for every file.
+func openDB(format string, sources map[string]string) (*pdb.DB, error) {
+	switch format {
+	case "", "auto":
+		return pdb.Open(sources)
+	case "csv", "pdbstore":
+	default:
+		return nil, fmt.Errorf("-format must be auto, csv, or pdbstore; got %q", format)
+	}
+	b := pdb.NewBuilder()
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic load order, like pdb.Open
+	for _, name := range names {
+		if format == "pdbstore" {
+			b.Store(name, sources[name])
+			continue
+		}
+		f, err := os.Open(sources[name])
+		if err != nil {
+			return nil, fmt.Errorf("opening relation %q: %w", name, err)
+		}
+		b.CSV(name, f)
+		f.Close()
+	}
+	return b.Build()
+}
+
+// runConvert implements `pdbcli convert <in> <out>`: a pdbstore input
+// converts to CSV, anything else parses as CSV and converts to pdbstore.
+// CSV → pdbstore is lossless (the stored file loads bit-identically to the
+// CSV); pdbstore → CSV re-types on reload for values CSV cannot represent,
+// such as strings that look like numbers (see docs/STORAGE.md).
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("pdbcli convert", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: pdbcli convert <in.csv|in.pdbs> <out>")
+		fmt.Fprintln(fs.Output(), "converts CSV to the pdbstore columnar format, or a pdbstore file back to CSV")
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("convert wants exactly two arguments, got %d", fs.NArg())
+	}
+	in, out := fs.Arg(0), fs.Arg(1)
+	if store.Sniff(in) {
+		r, err := store.ReadRelation(in, rel.NewInterner())
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := parser.SaveCSV(f, r); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	r, err := parser.LoadCSV(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	return store.WriteRelation(out, r)
 }

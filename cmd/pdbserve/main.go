@@ -7,7 +7,14 @@
 // explicitly or from a directory:
 //
 //	pdbserve -table people=data/people.csv -table obs=data/obs.csv
-//	pdbserve -datadir examples/data            # every *.csv, named by stem
+//	pdbserve -datadir examples/data            # every *.csv and *.pdbs, named by stem
+//
+// Relations may also be pdbstore columnar files (docs/STORAGE.md; produce
+// them with pdbcli convert) — formats are detected by content, and -format
+// csv|pdbstore restricts what -datadir picks up. -spill-dir enables
+// out-of-core evaluation for memory-limited requests: instead of failing
+// with a memory limit error, over-budget intermediates spill to disk and
+// the query completes with bit-identical results.
 //
 // Query it:
 //
@@ -82,7 +89,9 @@ func main() {
 func run() error {
 	fs := flag.NewFlagSet("pdbserve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	datadir := fs.String("datadir", "", "load every *.csv in this directory as a relation named by its file stem")
+	datadir := fs.String("datadir", "", "load every relation file in this directory, named by file stem (see -format)")
+	format := fs.String("format", "auto", "-datadir formats: auto (*.csv and *.pdbs), csv, or pdbstore; -table files are content-sniffed regardless")
+	spillDir := fs.String("spill-dir", "", "spill directory for out-of-core evaluation of memory-limited requests (empty disables)")
 	cacheSize := fs.Int("cache", 4096, "engine estimator-cache entries (LRU beyond)")
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-request evaluation timeout (0 disables)")
 	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "upper bound on client-requested timeouts (0 disables)")
@@ -152,15 +161,28 @@ func run() error {
 		return errors.New("-coordinator needs -peers host:port[,host:port...]")
 	}
 
+	var globs []string
+	switch *format {
+	case "auto":
+		globs = []string{"*.csv", "*.pdbs"}
+	case "csv":
+		globs = []string{"*.csv"}
+	case "pdbstore":
+		globs = []string{"*.pdbs"}
+	default:
+		return fmt.Errorf("-format must be auto, csv, or pdbstore; got %q", *format)
+	}
 	if *datadir != "" {
-		matches, err := filepath.Glob(filepath.Join(*datadir, "*.csv"))
-		if err != nil {
-			return err
-		}
-		for _, m := range matches {
-			name := strings.TrimSuffix(filepath.Base(m), ".csv")
-			if _, dup := tables[name]; !dup {
-				tables[name] = m
+		for _, g := range globs {
+			matches, err := filepath.Glob(filepath.Join(*datadir, g))
+			if err != nil {
+				return err
+			}
+			for _, m := range matches {
+				name := strings.TrimSuffix(strings.TrimSuffix(filepath.Base(m), ".csv"), ".pdbs")
+				if _, dup := tables[name]; !dup {
+					tables[name] = m
+				}
 			}
 		}
 	}
@@ -228,6 +250,7 @@ func run() error {
 		MaxTrials:      *maxTrials,
 		MaxMemory:      *maxMemory,
 		MaxWorkers:     *maxWorkers,
+		SpillDir:       *spillDir,
 		TenantHeader:   *tenantHeader,
 		RequireTenant:  *requireTenant,
 		StrictTenants:  *strictTenants,

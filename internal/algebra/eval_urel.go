@@ -20,6 +20,12 @@ type URelResult struct {
 	Rel      *urel.Relation
 	Complete bool
 	Ops      urel.StatsMap
+	// SpilledBytes and SpillFiles report out-of-core activity (WithSpill):
+	// total bytes written to spill files and the number of spill files
+	// created. Zero without spilling. Like Ops, set only on top-level
+	// results.
+	SpilledBytes int64
+	SpillFiles   int
 }
 
 // URelEvaluator evaluates UA queries exactly on a U-relational database:
@@ -50,6 +56,10 @@ type URelEvaluator struct {
 	// mem, when non-nil, bounds the evaluation's materialized bytes (see
 	// WithBudget); checked next to ctx at every operator.
 	mem *urel.MemBudget
+	// spill, when non-nil alongside mem, turns the budget into a
+	// high-water mark: over-budget intermediates move to spill files
+	// instead of aborting the evaluation (see WithSpill).
+	spill *urel.Spill
 }
 
 // NewURelEvaluator clones db and returns a sequential evaluator over the
@@ -89,6 +99,20 @@ func (e *URelEvaluator) WithBudget(b *urel.MemBudget) *URelEvaluator {
 	return e
 }
 
+// WithSpill attaches a spill manager for out-of-core execution: combined
+// with WithBudget, intermediate relations whose footprint pushes the
+// budget over its limit are shed to spill files and transparently reloaded
+// when a later operator needs them, so the evaluation completes instead of
+// aborting with a memory-limit error. Results are bit-identical to an
+// unspilled run. Spilled evaluation disables concurrent branch evaluation
+// (the residency bookkeeping is single-threaded); operators themselves
+// still run across the pool's workers. The caller owns s's lifecycle
+// (Close removes the directory). A nil s disables spilling.
+func (e *URelEvaluator) WithSpill(s *urel.Spill) *URelEvaluator {
+	e.spill = s
+	return e
+}
+
 // Eval evaluates the query and returns the result relation.
 func (e *URelEvaluator) Eval(q Query) (URelResult, error) {
 	return e.EvalContext(context.Background(), q)
@@ -106,13 +130,24 @@ func (e *URelEvaluator) EvalContext(ctx context.Context, q Query) (URelResult, e
 	// Fresh statistics per evaluation, so URelResult.Ops reports this
 	// call's work even when the evaluator is reused for several queries.
 	e.ctrs = urel.NewCounters()
-	e.exec = urel.NewExec(e.pool, e.ctrs).WithBudget(e.mem)
+	e.exec = urel.NewExec(e.pool, e.ctrs).WithBudget(e.mem).WithSpill(e.spill)
 	e.ctx = ctx
 	res, err := e.eval(q)
 	if err != nil {
 		return res, err
 	}
+	// The final result may itself have been shed while later operators ran;
+	// callers read it directly, so bring it home and surface any I/O
+	// failure from doing so.
+	e.exec.Ensure(res.Rel)
+	if err := e.exec.Err(); err != nil {
+		return URelResult{}, err
+	}
 	res.Ops = e.ctrs.Snapshot()
+	if e.spill != nil {
+		res.SpilledBytes = e.spill.Bytes()
+		res.SpillFiles = e.spill.Files()
+	}
 	return res, nil
 }
 
@@ -130,8 +165,17 @@ func (e *URelEvaluator) eval(q Query) (URelResult, error) {
 	if err != nil {
 		return URelResult{}, err
 	}
-	if err := e.mem.Err(); err != nil {
+	if err := e.exec.Err(); err != nil {
+		// A spill I/O failure means some operator saw incomplete inputs;
+		// the whole evaluation is abandoned, never silently wrong.
 		return URelResult{}, err
+	}
+	// Under out-of-core execution the budget is a residency high-water
+	// mark, not an abort condition — only spill I/O failures end the run.
+	if e.spill == nil {
+		if err := e.mem.Err(); err != nil {
+			return URelResult{}, err
+		}
 	}
 	return res, nil
 }
@@ -286,7 +330,9 @@ func (e *URelEvaluator) evalNode(q Query) (URelResult, error) {
 // Cancellation stays at node granularity — every eval call checks the
 // evaluator's context.
 func (e *URelEvaluator) evalPair(l, r Query) (URelResult, URelResult, error) {
-	if e.pool.Workers() > 1 && branchSafe(l) && branchSafe(r) {
+	// Out-of-core execution forces sequential branches: the Exec's
+	// spill-residency bookkeeping assumes one operator at a time.
+	if e.spill == nil && e.pool.Workers() > 1 && branchSafe(l) && branchSafe(r) {
 		select {
 		case e.branchSem <- struct{}{}:
 			defer func() { <-e.branchSem }()

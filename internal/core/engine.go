@@ -80,6 +80,17 @@ type Options struct {
 	// budget trips, and the evaluation aborts with a *LimitError at the
 	// next operator boundary. 0 disables the limit.
 	MaxMemory int64
+	// SpillDir, when non-empty alongside MaxMemory, switches the memory
+	// limit from a hard abort to out-of-core execution: intermediate
+	// relations whose footprint pushes the running estimate over MaxMemory
+	// are shed to temp files under SpillDir (a fresh pdb-spill-*
+	// subdirectory, removed when the evaluation finishes) and transparently
+	// reloaded when a later operator needs them. MaxMemory then acts as a
+	// high-water mark for the live set — any single operator's working set
+	// still peaks in memory — and the evaluation completes instead of
+	// returning a memory *LimitError. Results are bit-identical to an
+	// unspilled run. Ignored when MaxMemory is 0.
+	SpillDir string
 	// NoSingletonShortcut disables the optimization that treats
 	// single-clause lineages as exact values (δᵢ = 0) in σ̂ decisions:
 	// with it set, every σ̂ confidence goes through the Karp–Luby
@@ -267,6 +278,11 @@ type Stats struct {
 	// materialized) across every pass of the evaluation, including
 	// restarted passes.
 	Ops urel.StatsMap
+	// SpilledBytes and SpillFiles report out-of-core activity
+	// (Options.SpillDir): total bytes written to spill files and the number
+	// of spill files created, across every pass. Zero without spilling.
+	SpilledBytes int64
+	SpillFiles   int
 }
 
 // Result is the outcome of an (approximate) query evaluation.
@@ -352,11 +368,22 @@ func (e *Engine) EvalExact(q algebra.Query) (algebra.URelResult, error) {
 
 // EvalExactContext is EvalExact with cooperative cancellation between plan
 // operators. Options.MaxMemory bounds the evaluation's materialized bytes
-// exactly like the approximate path (a trip aborts with a *LimitError);
+// exactly like the approximate path (a trip aborts with a *LimitError —
+// unless Options.SpillDir enables out-of-core execution, in which case
+// over-budget intermediates spill to disk and the evaluation completes);
 // Options.MaxTrials does not apply — exact evaluation samples nothing.
 func (e *Engine) EvalExactContext(ctx context.Context, q algebra.Query) (algebra.URelResult, error) {
 	mem := urel.NewMemBudget(e.opts.MaxMemory)
-	res, err := algebra.NewParallelURelEvaluator(e.db, e.pool).WithBudget(mem).EvalContext(ctx, q)
+	ev := algebra.NewParallelURelEvaluator(e.db, e.pool).WithBudget(mem)
+	spill, err := e.newSpill()
+	if err != nil {
+		return algebra.URelResult{}, err
+	}
+	if spill != nil {
+		defer spill.Close()
+		ev.WithSpill(spill)
+	}
+	res, err := ev.EvalContext(ctx, q)
 	if err != nil {
 		var me *urel.MemLimitError
 		if errors.As(err, &me) {
@@ -364,6 +391,16 @@ func (e *Engine) EvalExactContext(ctx context.Context, q algebra.Query) (algebra
 		}
 	}
 	return res, err
+}
+
+// newSpill creates the evaluation's spill manager when out-of-core
+// execution is configured (Options.SpillDir set alongside a MaxMemory
+// budget), nil otherwise.
+func (e *Engine) newSpill() (*urel.Spill, error) {
+	if e.opts.SpillDir == "" || e.opts.MaxMemory <= 0 {
+		return nil, nil
+	}
+	return urel.NewSpill(e.opts.SpillDir)
 }
 
 // EvalApprox evaluates the query approximately per Theorem 6.7: it runs
@@ -418,6 +455,15 @@ func (e *Engine) EvalApproxContext(ctx context.Context, q algebra.Query) (*Resul
 	// Resource limits span all restarts too: trials and bytes accumulate
 	// over the whole evaluation, not per pass.
 	limits := newEvalLimits(e.opts)
+	// So does the spill manager (Options.SpillDir): one directory serves
+	// every pass, removed when the evaluation returns.
+	spill, err := e.newSpill()
+	if err != nil {
+		return nil, err
+	}
+	if spill != nil {
+		defer spill.Close()
+	}
 	// One operator-statistics collector spans all restarts, so Stats.Ops
 	// reports the evaluation's total exact-algebra work.
 	ctrs := urel.NewCounters()
@@ -426,9 +472,9 @@ func (e *Engine) EvalApproxContext(ctx context.Context, q algebra.Query) (*Resul
 			return nil, err
 		}
 		run := &evalRun{engine: e, ctx: ctx, db: e.db.Clone(), rounds: l, cache: cache,
-			limits: limits, exec: urel.NewExec(e.pool, ctrs)}
+			limits: limits, spill: spill, exec: urel.NewExec(e.pool, ctrs)}
 		if limits != nil {
-			run.exec.WithBudget(limits.mem)
+			run.exec.WithBudget(limits.mem).WithSpill(spill)
 		}
 		res, err := run.eval(q)
 		if err != nil {
@@ -477,6 +523,16 @@ func (e *Engine) EvalApproxContext(ctx context.Context, q algebra.Query) (*Resul
 				EarlyStops:      run.earlyStops,
 				ExactFactored:   run.exactFactored,
 				Ops:             ctrs.Snapshot(),
+			}
+			if spill != nil {
+				stats.SpilledBytes = spill.Bytes()
+				stats.SpillFiles = spill.Files()
+			}
+			// The result relation may itself have been shed; callers read
+			// it directly once the spill directory is gone.
+			run.exec.Ensure(res.rel)
+			if err := run.exec.Err(); err != nil {
+				return nil, err
 			}
 			return finishResult(res, stats), nil
 		}
@@ -545,6 +601,10 @@ type evalRun struct {
 	// limits carries the evaluation's resource accounting (nil when no
 	// limit is configured); see limits.go.
 	limits *evalLimits
+	// spill, when non-nil, is the evaluation's out-of-core manager
+	// (Options.SpillDir): the memory budget sheds intermediates to it
+	// instead of aborting.
+	spill *urel.Spill
 	// exec runs the exact-algebra operators of this pass across the
 	// engine's worker pool, recording per-operator statistics.
 	exec *urel.Exec
@@ -602,6 +662,11 @@ func (run *evalRun) eval(q algebra.Query) (*evalResult, error) {
 	}
 	res, err := run.evalNode(q)
 	if err != nil {
+		return nil, err
+	}
+	if err := run.exec.Err(); err != nil {
+		// A spill I/O failure means some operator saw incomplete inputs;
+		// the pass is abandoned, never silently wrong.
 		return nil, err
 	}
 	if err := run.memoryErr(); err != nil {

@@ -76,6 +76,11 @@ func (run *evalRun) memoryErr() error {
 	if run.limits == nil || run.limits.mem == nil || !run.limits.mem.Exceeded() {
 		return nil
 	}
+	if run.spill != nil {
+		// Out-of-core execution: the budget is a residency high-water mark,
+		// never an abort — shedding happens inside the Exec.
+		return nil
+	}
 	return &LimitError{
 		Resource: "memory",
 		Limit:    run.limits.mem.Limit(),

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 
 	"repro/internal/rel"
 )
@@ -40,5 +41,59 @@ func LoadCSV(r io.Reader) (*rel.Relation, error) {
 			row[i] = intern.ParseInterned(field)
 		}
 		out.AddOwned(row)
+	}
+}
+
+// SaveCSV writes r as CSV (header record first) in a form LoadCSV reads
+// back to the same typed relation for CSV-representable data: NULL renders
+// as the empty field, booleans as true/false, integers in decimal, and
+// floats with a decimal point or exponent so integral floats stay floats
+// on reload. The lossy cases are inherent to CSV's untyped fields — a
+// string whose text parses as a number or boolean, or an empty string,
+// re-types on reload; the pdbstore columnar format exists to avoid exactly
+// this (see docs/STORAGE.md).
+func SaveCSV(w io.Writer, r *rel.Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Schema()); err != nil {
+		return fmt.Errorf("parser: writing CSV header: %w", err)
+	}
+	fields := make([]string, len(r.Schema()))
+	for _, t := range r.Tuples() {
+		for i, v := range t {
+			fields[i] = csvField(v)
+		}
+		if err := cw.Write(fields); err != nil {
+			return fmt.Errorf("parser: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("parser: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// csvField renders one value so rel.Parse recovers the same typed value.
+func csvField(v rel.Value) string {
+	switch v.Kind() {
+	case rel.NullKind:
+		return ""
+	case rel.BoolKind:
+		if v.AsBool() {
+			return "true"
+		}
+		return "false"
+	case rel.IntKind:
+		return strconv.FormatInt(v.AsInt(), 10)
+	case rel.FloatKind:
+		s := strconv.FormatFloat(v.AsFloat(), 'g', -1, 64)
+		// An integral float renders without point or exponent and would
+		// re-parse as an int; pin its kind.
+		if _, err := strconv.ParseInt(s, 10, 64); err == nil {
+			s += ".0"
+		}
+		return s
+	default:
+		return v.AsString()
 	}
 }

@@ -68,6 +68,12 @@ type Config struct {
 	// (results never depend on it — only goroutine fan-out does). 0
 	// selects GOMAXPROCS; negative disables the cap.
 	MaxWorkers int
+	// SpillDir, when non-empty, turns each request's memory limit into
+	// out-of-core execution (pdb.WithSpillDir): over-budget intermediates
+	// shed to temp files under this directory and the evaluation completes
+	// instead of failing with a memory limit error. Only effective for
+	// requests that carry a memory limit (their own, or the MaxMemory cap).
+	SpillDir string
 	// MaxBodyBytes bounds the request body (default 1 MiB).
 	MaxBodyBytes int64
 
@@ -415,6 +421,8 @@ type queryStats struct {
 	Strata        int64   `json:"strata,omitempty"`
 	EarlyStops    int64   `json:"early_stops,omitempty"`
 	ExactFactored int64   `json:"exact_factored,omitempty"`
+	SpilledBytes  int64   `json:"spilled_bytes,omitempty"`
+	SpillFiles    int     `json:"spill_files,omitempty"`
 	ElapsedMS     int64   `json:"elapsed_ms"`
 }
 
@@ -576,6 +584,9 @@ func (s *Server) buildOptions(req queryRequest, q Quota) []pdb.Option {
 	}
 	if n := clampLimit(req.MaxMemoryBytes, tightestCap(s.cfg.MaxMemory, q.MaxMemory)); n > 0 {
 		opts = append(opts, pdb.WithMaxMemory(n))
+		if s.cfg.SpillDir != "" {
+			opts = append(opts, pdb.WithSpillDir(s.cfg.SpillDir))
+		}
 	}
 	return opts
 }
@@ -733,6 +744,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Strata:        st.Strata,
 		EarlyStops:    st.EarlyStops,
 		ExactFactored: st.ExactFactored,
+		SpilledBytes:  st.SpilledBytes,
+		SpillFiles:    st.SpillFiles,
 		ElapsedMS:     time.Since(start).Milliseconds(),
 	}})
 	flush()

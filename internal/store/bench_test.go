@@ -1,0 +1,136 @@
+package store_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/rel"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// benchCorpus generates the sensor-dedup corpus once per benchmark
+// process and returns the pdbstore path plus a CSV conversion of it.
+func benchCorpus(b *testing.B, rows int64) (pdbs, csv string) {
+	b.Helper()
+	dir := b.TempDir()
+	sc, err := workload.ScenarioByName("sensor-dedup")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sources, err := sc.Generate(dir, rows, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pdbs = sources["Readings"]
+	r, err := store.ReadRelation(pdbs, rel.NewInterner())
+	if err != nil {
+		b.Fatal(err)
+	}
+	csv = filepath.Join(dir, "Readings.csv")
+	f, err := os.Create(csv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := parser.SaveCSV(f, r); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return pdbs, csv
+}
+
+// BenchmarkStoreColdLoad measures fully materializing a pdbstore
+// relation from a cold Reader — the out-of-core cold-start path.
+func BenchmarkStoreColdLoad(b *testing.B) {
+	pdbs, _ := benchCorpus(b, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := store.ReadRelation(pdbs, rel.NewInterner())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Len() == 0 {
+			b.Fatal("empty relation")
+		}
+	}
+}
+
+// BenchmarkStoreLazyScan measures a single-column streaming aggregate
+// over the columnar file — the access pattern the lazy layout exists
+// for: one column's bytes move, the other three stay on disk.
+func BenchmarkStoreLazyScan(b *testing.B) {
+	pdbs, _ := benchCorpus(b, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := store.Open(pdbs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		if err := r.ScanColumn(2, func(_ int64, v rel.Value) error { // Value column
+			sum += v.AsFloat()
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if sum == 0 {
+			b.Fatal("no data scanned")
+		}
+		r.Close()
+	}
+}
+
+// BenchmarkCSVLoad is the row-major baseline for the two benchmarks
+// above: parsing the same relation from CSV, which always pays for every
+// column and re-infers value kinds from text.
+func BenchmarkCSVLoad(b *testing.B) {
+	_, csv := benchCorpus(b, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := os.Open(csv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := parser.LoadCSV(f)
+		f.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Len() == 0 {
+			b.Fatal("empty relation")
+		}
+	}
+}
+
+// BenchmarkStoreWrite measures streaming generation throughput: rows in,
+// columnar file out, dictionary interning included.
+func BenchmarkStoreWrite(b *testing.B) {
+	dir := b.TempDir()
+	schema := rel.NewSchema("ID", "Name", "Score")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("w%d.pdbs", i))
+		w, err := store.NewWriter(path, schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 50_000; j++ {
+			if err := w.Write(rel.Tuple{
+				rel.Int(int64(j)),
+				rel.String(fmt.Sprintf("n%d", j%100)),
+				rel.Float(float64(j) / 3),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		os.Remove(path)
+	}
+}

@@ -1,0 +1,21 @@
+// Package store implements pdbstore, the engine's columnar on-disk
+// relation format: one file per relation holding fixed-width typed column
+// segments, an interned string dictionary, and a versioned footer with
+// per-segment offsets and checksums (see docs/STORAGE.md for the byte-level
+// specification and compatibility rules).
+//
+// The layout is mmap-friendly: every column is a contiguous segment of
+// fixed 9-byte entries (a type tag plus a 64-bit payload), so value (row,
+// column) lives at a computable offset and a reader can map or fetch a
+// single column without touching the others. String payloads are indexes
+// into the per-relation dictionary, which stores each distinct string once
+// — the on-disk mirror of rel.Interner.
+//
+// Writer streams rows with O(columns) buffering (column segments build in
+// temp files that are concatenated on Close), so generating a 10⁸-tuple
+// relation needs RAM proportional to the dictionary, not the data. Reader
+// opens a file by reading only the fixed-size trailer and the footer;
+// column segments decode lazily on first access, and Relation materializes
+// the full rel.Relation in row order, bit-identical to the relation the
+// writer saw.
+package store

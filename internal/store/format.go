@@ -1,0 +1,290 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rel"
+)
+
+// On-disk constants of pdbstore format version 1. The byte-level layout is
+// specified in docs/STORAGE.md; this file is the single place the numbers
+// live in code.
+const (
+	// Magic opens every pdbstore file; MagicEnd closes it (the last 8
+	// bytes of the fixed-size trailer). Both carry the major version in
+	// their final byte, so a breaking layout change is unreadable — not
+	// misread — by old binaries.
+	Magic    = "PDBSTOR1"
+	MagicEnd = "PDBSEND1"
+
+	// Version is the format's minor version. Readers accept any file whose
+	// version is <= the version they were built with (additions are
+	// append-only; see docs/STORAGE.md "Forward compatibility").
+	Version uint16 = 1
+
+	// entrySize is the fixed width of one column entry: a 1-byte type tag
+	// followed by a 64-bit little-endian payload.
+	entrySize = 9
+
+	// trailerSize is the fixed-size trailer at the end of the file:
+	// footer offset (8) + footer length (8) + footer CRC32 (4) +
+	// MagicEnd (8).
+	trailerSize = 28
+)
+
+// Value tags. They deliberately mirror rel.Kind but are pinned
+// independently: rel.Kind is an in-memory enum free to change, the tag
+// bytes are a wire contract.
+const (
+	tagNull   = 0
+	tagBool   = 1
+	tagInt    = 2
+	tagFloat  = 3
+	tagString = 4
+)
+
+// ErrFormat is wrapped by every error reporting a structurally invalid
+// pdbstore file (bad magic, truncated or corrupt footer, checksum
+// mismatch, out-of-bounds segment). I/O errors are returned unwrapped.
+var ErrFormat = errors.New("invalid pdbstore file")
+
+func formatErr(format string, args ...any) error {
+	return fmt.Errorf("store: %w: %s", ErrFormat, fmt.Sprintf(format, args...))
+}
+
+// encodeEntry writes v's fixed-width entry into e. String values must
+// already be resolved to a dictionary index by the caller.
+func encodeEntry(e *[entrySize]byte, tag byte, payload uint64) {
+	e[0] = tag
+	binary.LittleEndian.PutUint64(e[1:], payload)
+}
+
+// valueEntry maps a rel.Value onto its (tag, payload) pair, interning
+// strings through dict.
+func valueEntry(v rel.Value, dict func(string) uint64) (byte, uint64) {
+	switch v.Kind() {
+	case rel.NullKind:
+		return tagNull, 0
+	case rel.BoolKind:
+		if v.AsBool() {
+			return tagBool, 1
+		}
+		return tagBool, 0
+	case rel.IntKind:
+		return tagInt, uint64(v.AsInt())
+	case rel.FloatKind:
+		return tagFloat, math.Float64bits(v.AsFloat())
+	default:
+		return tagString, dict(v.AsString())
+	}
+}
+
+// decodeEntry rebuilds a rel.Value from its on-disk entry. The dictionary
+// is resolved by the caller (dict may be nil when the column is known to
+// hold no strings). Unknown tags are a format error — version 1 defines
+// exactly five.
+func decodeEntry(tag byte, payload uint64, dict []string) (rel.Value, error) {
+	switch tag {
+	case tagNull:
+		return rel.Null(), nil
+	case tagBool:
+		return rel.Bool(payload != 0), nil
+	case tagInt:
+		return rel.Int(int64(payload)), nil
+	case tagFloat:
+		return rel.Float(math.Float64frombits(payload)), nil
+	case tagString:
+		if payload >= uint64(len(dict)) {
+			return rel.Value{}, formatErr("string index %d outside dictionary of %d entries", payload, len(dict))
+		}
+		return rel.String(dict[payload]), nil
+	default:
+		return rel.Value{}, formatErr("unknown value tag %d", tag)
+	}
+}
+
+// footer is the parsed footer of a pdbstore file.
+type footer struct {
+	version uint16
+	flags   uint16
+	rows    uint64
+	cols    []colMeta
+	dictOff uint64
+	dictLen uint64
+	dictN   uint64
+	dictCRC uint32
+}
+
+// colMeta locates one column segment.
+type colMeta struct {
+	name string
+	off  uint64
+	len  uint64
+	crc  uint32
+}
+
+// maxColumns bounds the column count a reader will accept; far above any
+// real schema, low enough that a crafted footer cannot force large
+// allocations before validation.
+const maxColumns = 1 << 16
+
+// encodeFooter renders the footer bytes (excluding the trailer).
+func encodeFooter(f *footer) []byte {
+	var buf []byte
+	var u64 [8]byte
+	put16 := func(v uint16) { buf = append(buf, byte(v), byte(v>>8)) }
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u64[:4], v)
+		buf = append(buf, u64[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		buf = append(buf, u64[:]...)
+	}
+	put16(f.version)
+	put16(f.flags)
+	put64(f.rows)
+	put32(uint32(len(f.cols)))
+	for _, c := range f.cols {
+		buf = binary.AppendUvarint(buf, uint64(len(c.name)))
+		buf = append(buf, c.name...)
+		binary.LittleEndian.PutUint64(u64[:], c.off)
+		buf = append(buf, u64[:]...)
+		binary.LittleEndian.PutUint64(u64[:], c.len)
+		buf = append(buf, u64[:]...)
+		put32(c.crc)
+	}
+	put64(f.dictOff)
+	put64(f.dictLen)
+	put64(f.dictN)
+	put32(f.dictCRC)
+	return buf
+}
+
+// decodeFooter parses and validates footer bytes against the file size.
+// Every offset/length is bounds-checked before any size-dependent
+// allocation, so a crafted footer fails cleanly instead of forcing large
+// reads (this path is fuzzed).
+func decodeFooter(buf []byte, fileSize int64) (*footer, error) {
+	cur := buf
+	take := func(n int) ([]byte, bool) {
+		if len(cur) < n {
+			return nil, false
+		}
+		out := cur[:n]
+		cur = cur[n:]
+		return out, true
+	}
+	b, ok := take(2)
+	if !ok {
+		return nil, formatErr("footer truncated")
+	}
+	f := &footer{version: binary.LittleEndian.Uint16(b)}
+	if f.version == 0 || f.version > Version {
+		return nil, formatErr("unsupported format version %d (reader supports <= %d)", f.version, Version)
+	}
+	if b, ok = take(2); !ok {
+		return nil, formatErr("footer truncated")
+	}
+	f.flags = binary.LittleEndian.Uint16(b)
+	if f.flags != 0 {
+		return nil, formatErr("unknown flag bits %#x (version-1 readers require flags == 0)", f.flags)
+	}
+	if b, ok = take(8); !ok {
+		return nil, formatErr("footer truncated")
+	}
+	f.rows = binary.LittleEndian.Uint64(b)
+	if f.rows > uint64(fileSize)/entrySize && f.rows > 0 {
+		// With at least one column, rows*entrySize bytes must exist.
+		return nil, formatErr("row count %d impossible for %d-byte file", f.rows, fileSize)
+	}
+	if b, ok = take(4); !ok {
+		return nil, formatErr("footer truncated")
+	}
+	nCols := binary.LittleEndian.Uint32(b)
+	if nCols == 0 || nCols > maxColumns {
+		return nil, formatErr("column count %d outside [1, %d]", nCols, maxColumns)
+	}
+	seen := make(map[string]bool, nCols)
+	f.cols = make([]colMeta, 0, min(int(nCols), 64))
+	for i := uint32(0); i < nCols; i++ {
+		nameLen, n := binary.Uvarint(cur)
+		if n <= 0 || nameLen > uint64(len(cur)-n) {
+			return nil, formatErr("column %d name truncated", i)
+		}
+		cur = cur[n:]
+		nb, _ := take(int(nameLen))
+		name := string(nb)
+		if name == "" {
+			return nil, formatErr("column %d has an empty name", i)
+		}
+		if seen[name] {
+			return nil, formatErr("duplicate column name %q", name)
+		}
+		seen[name] = true
+		if b, ok = take(20); !ok {
+			return nil, formatErr("column %q metadata truncated", name)
+		}
+		c := colMeta{
+			name: name,
+			off:  binary.LittleEndian.Uint64(b[0:8]),
+			len:  binary.LittleEndian.Uint64(b[8:16]),
+			crc:  binary.LittleEndian.Uint32(b[16:20]),
+		}
+		if c.len != f.rows*entrySize {
+			return nil, formatErr("column %q segment is %d bytes, want rows(%d) * %d", name, c.len, f.rows, entrySize)
+		}
+		if !segmentInFile(c.off, c.len, fileSize) {
+			return nil, formatErr("column %q segment [%d, +%d) outside file of %d bytes", name, c.off, c.len, fileSize)
+		}
+		f.cols = append(f.cols, c)
+	}
+	if b, ok = take(28); !ok {
+		return nil, formatErr("dictionary metadata truncated")
+	}
+	f.dictOff = binary.LittleEndian.Uint64(b[0:8])
+	f.dictLen = binary.LittleEndian.Uint64(b[8:16])
+	f.dictN = binary.LittleEndian.Uint64(b[16:24])
+	f.dictCRC = binary.LittleEndian.Uint32(b[24:28])
+	if !segmentInFile(f.dictOff, f.dictLen, fileSize) {
+		return nil, formatErr("dictionary segment [%d, +%d) outside file of %d bytes", f.dictOff, f.dictLen, fileSize)
+	}
+	// Every dictionary entry takes at least one byte (its length prefix).
+	if f.dictN > f.dictLen {
+		return nil, formatErr("dictionary claims %d entries in %d bytes", f.dictN, f.dictLen)
+	}
+	// Trailing footer bytes beyond what this reader parses are allowed:
+	// minor versions may append fields (covered by the footer CRC).
+	return f, nil
+}
+
+// segmentInFile reports whether [off, off+len) lies inside a file of the
+// given size without overflowing.
+func segmentInFile(off, length uint64, fileSize int64) bool {
+	if fileSize < 0 {
+		return false
+	}
+	end := off + length
+	return end >= off && end <= uint64(fileSize)
+}
+
+// decodeDict parses the dictionary segment: dictN entries of uvarint
+// length + bytes.
+func decodeDict(buf []byte, n uint64) ([]string, error) {
+	out := make([]string, 0, min(int(n), 1<<16))
+	for i := uint64(0); i < n; i++ {
+		l, sz := binary.Uvarint(buf)
+		if sz <= 0 || l > uint64(len(buf)-sz) {
+			return nil, formatErr("dictionary entry %d truncated", i)
+		}
+		out = append(out, string(buf[sz:sz+int(l)]))
+		buf = buf[sz+int(l):]
+	}
+	if len(buf) != 0 {
+		return nil, formatErr("%d trailing bytes after dictionary", len(buf))
+	}
+	return out, nil
+}

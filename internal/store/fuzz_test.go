@@ -1,0 +1,73 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rel"
+)
+
+// FuzzStore feeds arbitrary bytes to the full open-and-materialize path.
+// The decoder must either load a relation or fail with ErrFormat (or an
+// I/O error) — never panic, never allocate unboundedly from attacker
+// controlled sizes. Wired into `make fuzz`.
+func FuzzStore(f *testing.F) {
+	// Seed with a valid file so mutations explore near-valid inputs.
+	dir := f.TempDir()
+	path := filepath.Join(dir, "seed.pdbs")
+	r := rel.NewRelation(rel.NewSchema("id", "name", "p"))
+	r.Add(rel.Tuple{rel.Int(1), rel.String("a"), rel.Float(0.5)})
+	r.Add(rel.Tuple{rel.Int(2), rel.String("b"), rel.Null()})
+	r.Add(rel.Tuple{rel.Int(3), rel.Bool(true), rel.Float(1)})
+	if err := WriteRelation(path, r); err != nil {
+		f.Fatalf("seed write: %v", err)
+	}
+	seed, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatalf("seed read: %v", err)
+	}
+	f.Add(seed)
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	f.Add([]byte(Magic + "xxxxxxxxxxxxxxxxxxxx" + MagicEnd))
+
+	// One scratch file per worker process: a per-exec t.TempDir() costs
+	// more than the decoder under test and starves the fuzzer.
+	scratch, err := os.CreateTemp("", "pdbstore-fuzz-*")
+	if err != nil {
+		f.Fatalf("scratch: %v", err)
+	}
+	scratchPath := scratch.Name()
+	scratch.Close()
+	f.Cleanup(func() { os.Remove(scratchPath) })
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := scratchPath
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Skip()
+		}
+		rd, err := Open(p)
+		if err != nil {
+			if !errors.Is(err, ErrFormat) && !isIOErr(err) {
+				t.Fatalf("Open: unexpected error class: %v", err)
+			}
+			return
+		}
+		defer rd.Close()
+		if _, err := rd.Relation(rel.NewInterner()); err != nil {
+			if !errors.Is(err, ErrFormat) && !isIOErr(err) {
+				t.Fatalf("Relation: unexpected error class: %v", err)
+			}
+		}
+	})
+}
+
+// isIOErr matches read failures that are about the file being short, not
+// about format validation (a segment read hitting EOF before validation
+// can describe the damage).
+func isIOErr(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}

@@ -1,0 +1,261 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/rel"
+)
+
+// maxFooterLen caps the footer allocation before its CRC is verified. A
+// 64 MiB footer would describe ~10⁶ columns; real footers are a few KiB.
+const maxFooterLen = 64 << 20
+
+// Reader provides lazy, column-granular access to a pdbstore file. Open
+// reads only the trailer and footer; column segments and the string
+// dictionary are fetched and decoded on first use, and cached thereafter.
+// A Reader is not safe for concurrent use.
+type Reader struct {
+	f      *os.File
+	size   int64
+	ft     *footer
+	schema rel.Schema
+
+	cols [][]rel.Value // decoded column cache, nil until first access
+	dict []string      // decoded dictionary, nil until first access
+}
+
+// Open reads and validates a pdbstore file's trailer and footer. Column
+// data is untouched until Column, ScanColumn, or Relation ask for it.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := newReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func newReader(f *os.File) (*Reader, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < int64(len(Magic))+trailerSize {
+		return nil, formatErr("file of %d bytes is smaller than magic plus trailer", size)
+	}
+	var head [len(Magic)]byte
+	if _, err := f.ReadAt(head[:], 0); err != nil {
+		return nil, err
+	}
+	if string(head[:]) != Magic {
+		return nil, formatErr("bad magic %q", head[:])
+	}
+	var tr [trailerSize]byte
+	if _, err := f.ReadAt(tr[:], size-trailerSize); err != nil {
+		return nil, err
+	}
+	if string(tr[20:28]) != MagicEnd {
+		return nil, formatErr("bad end magic %q", tr[20:28])
+	}
+	footOff := binary.LittleEndian.Uint64(tr[0:8])
+	footLen := binary.LittleEndian.Uint64(tr[8:16])
+	footCRC := binary.LittleEndian.Uint32(tr[16:20])
+	if footLen > maxFooterLen {
+		return nil, formatErr("footer of %d bytes exceeds the %d-byte cap", footLen, maxFooterLen)
+	}
+	if footOff < uint64(len(Magic)) || !segmentInFile(footOff, footLen, size-trailerSize) {
+		return nil, formatErr("footer segment [%d, +%d) outside file body", footOff, footLen)
+	}
+	fb := make([]byte, footLen)
+	if _, err := f.ReadAt(fb, int64(footOff)); err != nil {
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(fb); got != footCRC {
+		return nil, formatErr("footer checksum mismatch (got %08x, want %08x)", got, footCRC)
+	}
+	ft, err := decodeFooter(fb, int64(footOff))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ft.cols))
+	for i, c := range ft.cols {
+		names[i] = c.name
+	}
+	return &Reader{
+		f:      f,
+		size:   size,
+		ft:     ft,
+		schema: rel.NewSchema(names...),
+		cols:   make([][]rel.Value, len(ft.cols)),
+	}, nil
+}
+
+// Close releases the underlying file. Cached columns stay usable.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// Schema returns the stored schema in column order.
+func (r *Reader) Schema() rel.Schema { return r.schema }
+
+// Rows returns the stored row count.
+func (r *Reader) Rows() int64 { return int64(r.ft.rows) }
+
+// dictionary loads and caches the string dictionary.
+func (r *Reader) dictionary() ([]string, error) {
+	if r.dict != nil || r.ft.dictN == 0 {
+		return r.dict, nil
+	}
+	buf := make([]byte, r.ft.dictLen)
+	if _, err := r.f.ReadAt(buf, int64(r.ft.dictOff)); err != nil {
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(buf); got != r.ft.dictCRC {
+		return nil, formatErr("dictionary checksum mismatch (got %08x, want %08x)", got, r.ft.dictCRC)
+	}
+	dict, err := decodeDict(buf, r.ft.dictN)
+	if err != nil {
+		return nil, err
+	}
+	r.dict = dict
+	return dict, nil
+}
+
+// Column decodes and caches column i (0-based, schema order). The
+// returned slice is owned by the Reader and must not be modified.
+func (r *Reader) Column(i int) ([]rel.Value, error) {
+	if i < 0 || i >= len(r.ft.cols) {
+		return nil, fmt.Errorf("store: column index %d outside schema of %d columns", i, len(r.ft.cols))
+	}
+	if r.cols[i] != nil || r.ft.rows == 0 {
+		return r.cols[i], nil
+	}
+	out := make([]rel.Value, 0, r.ft.rows)
+	err := r.scan(i, func(_ int64, v rel.Value) error {
+		out = append(out, v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.cols[i] = out
+	return out, nil
+}
+
+// ScanColumn streams column i in row order without caching the decoded
+// values, calling fn(row, value) for each entry. The segment checksum is
+// verified over the whole stream; a mismatch is reported after the last
+// callback, so callers that need integrity before acting on values should
+// use Column instead.
+func (r *Reader) ScanColumn(i int, fn func(row int64, v rel.Value) error) error {
+	if i < 0 || i >= len(r.ft.cols) {
+		return fmt.Errorf("store: column index %d outside schema of %d columns", i, len(r.ft.cols))
+	}
+	if cached := r.cols[i]; cached != nil {
+		for row, v := range cached {
+			if err := fn(int64(row), v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return r.scan(i, fn)
+}
+
+// scan reads column i's segment sequentially, decoding entries and
+// verifying the running CRC at the end.
+func (r *Reader) scan(i int, fn func(row int64, v rel.Value) error) error {
+	c := r.ft.cols[i]
+	br := bufio.NewReaderSize(io.NewSectionReader(r.f, int64(c.off), int64(c.len)), 1<<16)
+	var e [entrySize]byte
+	crc := uint32(0)
+	var dict []string
+	dictLoaded := false
+	for row := int64(0); row < int64(r.ft.rows); row++ {
+		if _, err := io.ReadFull(br, e[:]); err != nil {
+			return err
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, e[:])
+		tag, payload := e[0], binary.LittleEndian.Uint64(e[1:])
+		if tag == tagString && !dictLoaded {
+			d, err := r.dictionary()
+			if err != nil {
+				return err
+			}
+			dict, dictLoaded = d, true
+		}
+		v, err := decodeEntry(tag, payload, dict)
+		if err != nil {
+			return fmt.Errorf("%w (column %q row %d)", err, c.name, row)
+		}
+		if err := fn(row, v); err != nil {
+			return err
+		}
+	}
+	if crc != c.crc {
+		return formatErr("column %q checksum mismatch (got %08x, want %08x)", c.name, crc, c.crc)
+	}
+	return nil
+}
+
+// Relation materializes the full relation in stored row order, so the
+// result is bit-identical (schema, tuple order, values) to the relation
+// the writer was given. When in is non-nil, string payloads are
+// canonicalized through it, matching how the CSV loader builds relations.
+func (r *Reader) Relation(in *rel.Interner) (*rel.Relation, error) {
+	cols := make([][]rel.Value, len(r.ft.cols))
+	for i := range cols {
+		c, err := r.Column(i)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	out := rel.NewRelation(r.schema)
+	for row := int64(0); row < int64(r.ft.rows); row++ {
+		t := make(rel.Tuple, len(cols))
+		for i, c := range cols {
+			v := c[row]
+			if in != nil && v.Kind() == rel.StringKind {
+				v = in.Value(v)
+			}
+			t[i] = v
+		}
+		out.AddOwned(t)
+	}
+	return out, nil
+}
+
+// ReadRelation opens path and materializes its relation in one call.
+func ReadRelation(path string, in *rel.Interner) (*rel.Relation, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return r.Relation(in)
+}
+
+// Sniff reports whether path begins with the pdbstore magic. It is how
+// `-format auto` distinguishes pdbstore files from CSV without relying on
+// file extensions.
+func Sniff(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var head [len(Magic)]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return false
+	}
+	return string(head[:]) == Magic
+}

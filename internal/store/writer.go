@@ -1,0 +1,210 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/rel"
+)
+
+// Writer streams tuples into a pdbstore file. Rows arrive row-major but the
+// file is column-major, so each column accumulates in its own temp file
+// (with an incremental CRC) and Close concatenates them, appends the
+// dictionary and footer, and atomically renames the result into place. RAM
+// use is O(columns + distinct strings) regardless of row count, which is
+// what lets internal/workload generate 10⁸-tuple relations directly to
+// disk.
+type Writer struct {
+	path   string
+	schema rel.Schema
+	rows   uint64
+
+	cols []*colWriter
+
+	dict    map[string]uint64 // string -> dictionary index
+	dictOrd []string          // index -> string, insertion order
+
+	closed bool
+}
+
+// colWriter buffers one column segment in a temp file.
+type colWriter struct {
+	f   *os.File
+	buf *bufio.Writer
+	crc uint32
+}
+
+// NewWriter creates a writer that will produce path on Close. The temp
+// files live next to path so the final rename stays on one filesystem.
+func NewWriter(path string, schema rel.Schema) (*Writer, error) {
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("store: cannot write a relation with an empty schema")
+	}
+	w := &Writer{
+		path:   path,
+		schema: schema.Clone(),
+		dict:   make(map[string]uint64),
+	}
+	dir := filepath.Dir(path)
+	for range schema {
+		f, err := os.CreateTemp(dir, ".pdbstore-col-*")
+		if err != nil {
+			w.Abort()
+			return nil, err
+		}
+		w.cols = append(w.cols, &colWriter{f: f, buf: bufio.NewWriterSize(f, 1<<16)})
+	}
+	return w, nil
+}
+
+// Write appends one row. The tuple arity must match the schema.
+func (w *Writer) Write(t rel.Tuple) error {
+	if len(t) != len(w.schema) {
+		return fmt.Errorf("store: tuple arity %d does not match schema of %d columns", len(t), len(w.schema))
+	}
+	var e [entrySize]byte
+	for i, v := range t {
+		tag, payload := valueEntry(v, w.intern)
+		encodeEntry(&e, tag, payload)
+		c := w.cols[i]
+		if _, err := c.buf.Write(e[:]); err != nil {
+			return err
+		}
+		c.crc = crc32.Update(c.crc, crc32.IEEETable, e[:])
+	}
+	w.rows++
+	return nil
+}
+
+func (w *Writer) intern(s string) uint64 {
+	if i, ok := w.dict[s]; ok {
+		return i
+	}
+	i := uint64(len(w.dictOrd))
+	w.dict[s] = i
+	w.dictOrd = append(w.dictOrd, s)
+	return i
+}
+
+// Close assembles the final file and renames it into place. The writer is
+// unusable afterwards whether or not Close succeeds.
+func (w *Writer) Close() (err error) {
+	if w.closed {
+		return fmt.Errorf("store: writer for %q already closed", w.path)
+	}
+	w.closed = true
+	defer w.cleanup()
+
+	out, err := os.CreateTemp(filepath.Dir(w.path), ".pdbstore-out-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			out.Close()
+			os.Remove(out.Name())
+		}
+	}()
+
+	bw := bufio.NewWriterSize(out, 1<<16)
+	if _, err = bw.WriteString(Magic); err != nil {
+		return err
+	}
+	off := uint64(len(Magic))
+
+	ft := &footer{version: Version, rows: w.rows}
+	for i, c := range w.cols {
+		if err = c.buf.Flush(); err != nil {
+			return err
+		}
+		if _, err = c.f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		n, cerr := io.Copy(bw, c.f)
+		if cerr != nil {
+			return cerr
+		}
+		ft.cols = append(ft.cols, colMeta{
+			name: w.schema[i],
+			off:  off,
+			len:  uint64(n),
+			crc:  c.crc,
+		})
+		off += uint64(n)
+	}
+
+	var dictBuf []byte
+	for _, s := range w.dictOrd {
+		dictBuf = binary.AppendUvarint(dictBuf, uint64(len(s)))
+		dictBuf = append(dictBuf, s...)
+	}
+	if _, err = bw.Write(dictBuf); err != nil {
+		return err
+	}
+	ft.dictOff = off
+	ft.dictLen = uint64(len(dictBuf))
+	ft.dictN = uint64(len(w.dictOrd))
+	ft.dictCRC = crc32.ChecksumIEEE(dictBuf)
+	off += ft.dictLen
+
+	fb := encodeFooter(ft)
+	if _, err = bw.Write(fb); err != nil {
+		return err
+	}
+	var tr [trailerSize]byte
+	binary.LittleEndian.PutUint64(tr[0:8], off)
+	binary.LittleEndian.PutUint64(tr[8:16], uint64(len(fb)))
+	binary.LittleEndian.PutUint32(tr[16:20], crc32.ChecksumIEEE(fb))
+	copy(tr[20:28], MagicEnd)
+	if _, err = bw.Write(tr[:]); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = out.Sync(); err != nil {
+		return err
+	}
+	if err = out.Close(); err != nil {
+		return err
+	}
+	return os.Rename(out.Name(), w.path)
+}
+
+// Abort discards everything without producing the output file. Safe to
+// call after Close (it is then a no-op).
+func (w *Writer) Abort() {
+	w.closed = true
+	w.cleanup()
+}
+
+func (w *Writer) cleanup() {
+	for _, c := range w.cols {
+		if c.f != nil {
+			c.f.Close()
+			os.Remove(c.f.Name())
+			c.f = nil
+		}
+	}
+}
+
+// WriteRelation writes r to path in one call, preserving tuple insertion
+// order (so a later Reader.Relation reproduces r exactly).
+func WriteRelation(path string, r *rel.Relation) error {
+	w, err := NewWriter(path, r.Schema())
+	if err != nil {
+		return err
+	}
+	for _, t := range r.Tuples() {
+		if err := w.Write(t); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	return w.Close()
+}

@@ -30,6 +30,13 @@ type Exec struct {
 	pool *sched.Pool
 	ctrs *Counters
 	mem  *MemBudget
+	// spill, when set together with mem, switches the budget from a hard
+	// abort to out-of-core execution: see WithSpill.
+	spill *Spill
+	// reg tracks this evaluation's spill-eligible intermediates (every
+	// operator output produced under spill mode) in production order — the
+	// order manage sheds them in when the budget is over its limit.
+	reg []*Relation
 }
 
 // NewExec returns an Exec over the pool (nil selects a one-worker pool)
@@ -48,6 +55,122 @@ func NewExec(pool *sched.Pool, ctrs *Counters) *Exec {
 func (x *Exec) WithBudget(b *MemBudget) *Exec {
 	x.mem = b
 	return x
+}
+
+// WithSpill attaches a spill manager, turning the memory budget into
+// out-of-core execution instead of a hard limit: operators always produce
+// their complete output (the mid-range early stops are disabled — a
+// truncated output that later continued would be silently wrong), and
+// after each operator the Exec sheds intermediate relations to spill
+// files, oldest first, until the live charged set is back under the
+// budget. Spilled inputs rehydrate transparently when a later operator
+// needs them, and a rehydrated relation is bit-identical to one that
+// never spilled, so results match the in-memory evaluation exactly.
+//
+// The budget is then a high-water mark, not a bound: the working set of
+// any single operator (its inputs plus its output) stays resident
+// regardless of the limit. Spill I/O failures are sticky on the manager;
+// evaluators check Err at each operator boundary and abort, so a failed
+// spill never yields partial results. Callers driving an Exec concurrently
+// (parallel plan branches) must serialize under spill — the shed registry
+// is not synchronized.
+func (x *Exec) WithSpill(s *Spill) *Exec {
+	x.spill = s
+	return x
+}
+
+// Err reports the evaluation's first spill I/O failure (nil without a
+// spill manager or before any failure). Evaluators check it at operator
+// boundaries, next to the memory budget.
+func (x *Exec) Err() error {
+	if x.spill == nil {
+		return nil
+	}
+	return x.spill.Err()
+}
+
+// outOfCore reports whether spill-backed execution is active (it needs
+// both the shed target — a budget — and somewhere to shed to).
+func (x *Exec) outOfCore() bool { return x.spill != nil && x.mem != nil }
+
+// probeStop is the operators' mid-range budget probe: under out-of-core
+// execution it never stops production (outputs must be complete — the
+// budget overshoot is resolved by shedding afterwards), otherwise it is
+// MemBudget.Probe.
+func (x *Exec) probeStop(inflight int64) bool {
+	if x.outOfCore() {
+		return false
+	}
+	return x.mem.Probe(inflight)
+}
+
+// ensure rehydrates any spilled inputs before an operator touches their
+// tuples, re-charging their footprint against the budget. Hydration
+// failures are sticky on the spill manager (the operator then sees an
+// empty input; the evaluator aborts on Err before the bogus result is
+// used).
+func (x *Exec) ensure(rs ...*Relation) {
+	for _, r := range rs {
+		if r == nil || !r.spilled {
+			continue
+		}
+		if err := r.hydrate(); err != nil {
+			x.spill.fail(err)
+			continue
+		}
+		x.mem.Add(r.bytes)
+	}
+}
+
+// Ensure is the exported form of ensure for evaluation drivers: final
+// results and relations read outside the Exec's own operators must be
+// resident before their tuples are touched.
+func (x *Exec) Ensure(rs ...*Relation) { x.ensure(rs...) }
+
+// produced registers out as spill-eligible and sheds intermediates while
+// the budget is over its limit, keeping the current operator's relations
+// (its output and inputs — the caller reads them right after) resident.
+// No-op outside out-of-core mode.
+func (x *Exec) produced(out *Relation, ins ...*Relation) {
+	if !x.outOfCore() {
+		return
+	}
+	if out != nil {
+		x.reg = append(x.reg, out)
+	}
+	x.manage(out, ins)
+}
+
+// manage sheds registered intermediates, oldest first, until the charged
+// live set is back under the budget, then clears the tripped flag: under
+// out-of-core execution the budget never aborts the evaluation, it only
+// decides what lives in memory.
+func (x *Exec) manage(out *Relation, ins []*Relation) {
+	pinned := func(r *Relation) bool {
+		if r == out {
+			return true
+		}
+		for _, in := range ins {
+			if r == in {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range x.reg {
+		if x.mem.Used() <= x.mem.Limit() {
+			break
+		}
+		if r.spilled || pinned(r) {
+			continue
+		}
+		x.spill.spillOut(r)
+		if !r.spilled {
+			break // write failed (sticky on the manager); stop shedding
+		}
+		x.mem.Release(r.bytes)
+	}
+	x.mem.untrip()
 }
 
 // seqExec backs the package-level operator functions: one worker, no
@@ -120,6 +243,7 @@ func (x *Exec) relBytes(r *Relation) int64 { return r.bytes }
 // Select implements σ_φ: a single pass reusing the input's stored pair
 // hashes, so surviving tuples are re-indexed without hashing or cloning.
 func (x *Exec) Select(r *Relation, pred expr.Pred) *Relation {
+	x.ensure(r)
 	out := NewRelation(r.schema)
 	for i, t := range r.tuples {
 		if pred.Holds(expr.Env{Schema: r.schema, Tuple: t.Row}) {
@@ -127,12 +251,14 @@ func (x *Exec) Select(r *Relation, pred expr.Pred) *Relation {
 		}
 	}
 	x.record("select", int64(len(r.tuples)), int64(out.Len()), x.relBytes(out))
+	x.produced(out, r)
 	return out
 }
 
 // Project implements π with expression targets. Output rows are built
 // once and handed to the relation without a defensive clone.
 func (x *Exec) Project(r *Relation, targets []expr.Target) *Relation {
+	x.ensure(r)
 	schema := make(rel.Schema, len(targets))
 	for i, tg := range targets {
 		schema[i] = tg.As
@@ -147,6 +273,7 @@ func (x *Exec) Project(r *Relation, targets []expr.Target) *Relation {
 		out.addPair(utHash(t.D, row), t.D, row, false)
 	}
 	x.record("project", int64(len(r.tuples)), int64(out.Len()), x.relBytes(out))
+	x.produced(out, r)
 	return out
 }
 
@@ -177,6 +304,7 @@ func (x *Exec) Product(a, b *Relation) (*Relation, error) {
 			return nil, fmt.Errorf("urel: product schemas share attribute %q; rename first", attr)
 		}
 	}
+	x.ensure(a, b)
 	schema := append(a.schema.Clone(), b.schema...)
 	out := NewRelation(rel.NewSchema(schema...))
 	la := len(a.schema)
@@ -190,7 +318,7 @@ func (x *Exec) Product(a, b *Relation) (*Relation, error) {
 		// relation between checks). Once the budget trips — possibly on
 		// another worker's range — stop enumerating; the evaluation aborts
 		// between operators and the partial output is discarded.
-		for i := lo; i < hi && !x.mem.Probe(localBytes); i++ {
+		for i := lo; i < hi && !x.probeStop(localBytes); i++ {
 			ta := a.tuples[i]
 			for _, tb := range b.tuples {
 				d, ok := ta.D.Union(tb.D)
@@ -202,7 +330,7 @@ func (x *Exec) Product(a, b *Relation) (*Relation, error) {
 				copy(row[la:], tb.Row)
 				buf = append(buf, pairOut{h: utHash(d, row), d: d, row: row})
 				localBytes += pairBytes(d, row)
-				if len(buf)&0x3ff == 0 && x.mem.Probe(localBytes) {
+				if len(buf)&0x3ff == 0 && x.probeStop(localBytes) {
 					break
 				}
 			}
@@ -211,6 +339,7 @@ func (x *Exec) Product(a, b *Relation) (*Relation, error) {
 	})
 	out.mergeRanges(outs)
 	x.record("product", int64(len(a.tuples)+len(b.tuples)), int64(out.Len()), x.relBytes(out))
+	x.produced(out, a, b)
 	return out, nil
 }
 
@@ -221,6 +350,7 @@ func (x *Exec) Product(a, b *Relation) (*Relation, error) {
 // order. Bucket candidates filtered by the 64-bit join-key hash are
 // confirmed by value equality on the join columns.
 func (x *Exec) Join(a, b *Relation) *Relation {
+	x.ensure(a, b)
 	common := a.schema.Common(b.schema)
 	var bExtra []string
 	for _, attr := range b.schema {
@@ -269,7 +399,7 @@ func (x *Exec) Join(a, b *Relation) *Relation {
 		var localBytes int64
 		// Cooperative memory limit, probed per probe tuple and per 1024
 		// emitted pairs (a skewed key's chain is unbounded); see Product.
-		for i := lo; i < hi && !x.mem.Probe(localBytes); i++ {
+		for i := lo; i < hi && !x.probeStop(localBytes); i++ {
 			ta := a.tuples[i]
 			head, ok := bHead[ta.Row.HashAt(aIdx)]
 			if !ok {
@@ -291,7 +421,7 @@ func (x *Exec) Join(a, b *Relation) *Relation {
 				}
 				buf = append(buf, pairOut{h: utHash(d, row), d: d, row: row})
 				localBytes += pairBytes(d, row)
-				if len(buf)&0x3ff == 0 && x.mem.Probe(localBytes) {
+				if len(buf)&0x3ff == 0 && x.probeStop(localBytes) {
 					break
 				}
 			}
@@ -300,6 +430,7 @@ func (x *Exec) Join(a, b *Relation) *Relation {
 	})
 	out.mergeRanges(outs)
 	x.record("join", int64(len(a.tuples)+len(b.tuples)), int64(out.Len()), x.relBytes(out))
+	x.produced(out, a, b)
 	return out
 }
 
@@ -308,11 +439,13 @@ func (x *Exec) Union(a, b *Relation) (*Relation, error) {
 	if !a.schema.Equal(b.schema) {
 		return nil, fmt.Errorf("urel: union schema mismatch %v vs %v", a.schema, b.schema)
 	}
+	x.ensure(a, b)
 	out := a.Clone()
 	for i, t := range b.tuples {
 		out.addPair(b.hashes[i], t.D, t.Row, false)
 	}
 	x.record("union", int64(len(a.tuples)+len(b.tuples)), int64(out.Len()), x.relBytes(out))
+	x.produced(out, a, b)
 	return out, nil
 }
 
@@ -320,6 +453,7 @@ func (x *Exec) Union(a, b *Relation) (*Relation, error) {
 // empty D columns, so their stored pair hashes are pure row hashes and the
 // membership probes reuse them unchanged.
 func (x *Exec) DiffComplete(a, b *Relation) (*Relation, error) {
+	x.ensure(a, b)
 	if !a.IsComplete() || !b.IsComplete() {
 		return nil, fmt.Errorf("urel: -c requires complete relations")
 	}
@@ -333,17 +467,20 @@ func (x *Exec) DiffComplete(a, b *Relation) (*Relation, error) {
 		}
 	}
 	x.record("diffc", int64(len(a.tuples)+len(b.tuples)), int64(out.Len()), x.relBytes(out))
+	x.produced(out, a, b)
 	return out, nil
 }
 
 // Poss implements poss(R): row-level dedup through the hashed index, with
 // output rows shared with the (immutable) input.
 func (x *Exec) Poss(r *Relation) *rel.Relation {
+	x.ensure(r)
 	out := rel.NewRelation(r.schema)
 	for _, t := range r.tuples {
 		out.AddOwned(t.Row)
 	}
 	x.record("poss", int64(len(r.tuples)), int64(out.Len()), int64(out.Len())*pairOverheadBytes)
+	x.produced(nil, r)
 	return out
 }
 
@@ -425,6 +562,7 @@ func (g *lineageGrouper) addClause(h uint64, row rel.Tuple, d vars.Assignment) {
 // sequential scan for any worker count. Rows are shared with the input,
 // clause lists hold the input's assignments — no copies.
 func (x *Exec) lineage(r *Relation) ([]TupleConf, int64) {
+	x.ensure(r)
 	n := len(r.tuples)
 	if n == 0 {
 		return nil, 0
@@ -466,6 +604,7 @@ func (x *Exec) lineage(r *Relation) ([]TupleConf, int64) {
 func (x *Exec) Lineage(r *Relation) []TupleConf {
 	groups, bytes := x.lineage(r)
 	x.record("lineage", int64(len(r.tuples)), int64(len(groups)), bytes)
+	x.produced(nil, r)
 	return groups
 }
 
@@ -477,6 +616,7 @@ func (x *Exec) LineageSeq(r *Relation) iter.Seq[TupleConf] {
 	return func(yield func(TupleConf) bool) {
 		groups, bytes := x.lineage(r)
 		x.record("lineage", int64(len(r.tuples)), int64(len(groups)), bytes)
+		x.produced(nil, r)
 		for _, tc := range groups {
 			if !yield(tc) {
 				return
@@ -509,6 +649,7 @@ func (x *Exec) ConfExact(r *Relation, table *vars.Table, pcol string) (*rel.Rela
 	// plus the probability), so the estimate counts the whole row payload.
 	x.record("conf", int64(len(r.tuples)), int64(out.Len()),
 		int64(out.Len())*(int64(len(out.Schema()))*valueBytes+pairOverheadBytes))
+	x.produced(nil, r)
 	return out, nil
 }
 
@@ -527,6 +668,7 @@ func (x *Exec) CertExact(r *Relation, table *vars.Table) *rel.Relation {
 		}
 	}
 	x.record("cert", int64(len(r.tuples)), int64(out.Len()), int64(out.Len())*pairOverheadBytes)
+	x.produced(nil, r)
 	return out
 }
 
@@ -536,6 +678,7 @@ func (x *Exec) CertExact(r *Relation, table *vars.Table) *rel.Relation {
 // variable names need are built once per group and per alternative, never
 // per tuple.
 func (x *Exec) RepairKey(r *Relation, key []string, weight string, table *vars.Table, prefix string) (*Relation, error) {
+	x.ensure(r)
 	keyIdx := make([]int, len(key))
 	for i, a := range key {
 		j := r.schema.Index(a)
@@ -671,6 +814,7 @@ func (x *Exec) RepairKey(r *Relation, key []string, weight string, table *vars.T
 		out.addPair(utHash(d, t.Row), d, t.Row, false)
 	}
 	x.record("repairkey", int64(len(r.tuples)), int64(out.Len()), x.relBytes(out))
+	x.produced(out, r)
 	return out, nil
 }
 

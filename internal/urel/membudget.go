@@ -29,9 +29,12 @@ func (e *MemLimitError) Error() string {
 // partitioned operators with multiplicative blow-up potential (join,
 // product) additionally probe the budget with their in-flight range-local
 // bytes, stopping production mid-range once it trips. A tripped budget
-// never un-trips; the evaluator turns it into a typed limit error between
-// operators, and whatever partial output the aborted operator produced is
-// discarded with the evaluation.
+// un-trips only through Release (bytes leaving memory for a spill file);
+// without spilling, the evaluator turns the trip into a typed limit error
+// between operators, and whatever partial output the aborted operator
+// produced is discarded with the evaluation. With spilling enabled the
+// limit is a high-water mark for the live set, not a hard bound — see
+// Exec.WithSpill.
 //
 // A MemBudget is safe for concurrent use (operators record from pool
 // workers). All methods are nil-receiver safe, so call sites need no
@@ -77,6 +80,28 @@ func (b *MemBudget) Probe(inflight int64) bool {
 		b.tripped.Store(true)
 	}
 	return b.tripped.Load()
+}
+
+// Release subtracts n estimated bytes — a spilled relation's footprint
+// leaving memory — and clears the tripped flag when the total is back
+// under the limit, so an evaluation that sheds enough weight to disk
+// continues instead of aborting.
+func (b *MemBudget) Release(n int64) {
+	if b == nil {
+		return
+	}
+	if b.used.Add(-n) <= b.limit {
+		b.tripped.Store(false)
+	}
+}
+
+// untrip clears the tripped flag unconditionally: under out-of-core
+// execution (Exec.WithSpill) the budget decides residency, never aborts,
+// even when one operator's working set alone exceeds the limit.
+func (b *MemBudget) untrip() {
+	if b != nil {
+		b.tripped.Store(false)
+	}
 }
 
 // Exceeded reports whether the budget has tripped.

@@ -1,0 +1,322 @@
+package urel
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/rel"
+	"repro/internal/vars"
+)
+
+// Spill manages one evaluation's spill directory: when an Exec runs with
+// both a memory budget and a Spill attached, intermediate relations whose
+// combined footprint exceeds the budget are written to temp files and
+// dropped from memory, then transparently rehydrated when a later operator
+// needs them. The budget then acts as a high-water mark for the live set
+// instead of a hard abort — see docs/STORAGE.md "Spill files".
+//
+// Spill files are private to the evaluation (row-oriented, unversioned —
+// the columnar pdbstore format in internal/store is the durable one) and
+// the whole directory is removed by Close. A relation's file is written at
+// most once: stored tuples are immutable, so re-spilling a rehydrated
+// relation just drops its in-memory state again.
+//
+// I/O errors are sticky: the first failure is recorded and reported by
+// Err, operators keep going (possibly with empty inputs), and the
+// evaluator aborts the evaluation at the next operator boundary — results
+// are discarded, never silently wrong.
+type Spill struct {
+	dir     string
+	seq     int
+	written atomic.Int64
+	files   int
+	err     error
+}
+
+// NewSpill creates a fresh spill directory under parent ("" selects the
+// system temp directory).
+func NewSpill(parent string) (*Spill, error) {
+	dir, err := os.MkdirTemp(parent, "pdb-spill-*")
+	if err != nil {
+		return nil, fmt.Errorf("urel: creating spill directory: %w", err)
+	}
+	return &Spill{dir: dir}, nil
+}
+
+// Dir returns the spill directory path.
+func (s *Spill) Dir() string { return s.dir }
+
+// Bytes returns the total bytes written to spill files so far.
+func (s *Spill) Bytes() int64 { return s.written.Load() }
+
+// Files returns the number of spill files created so far.
+func (s *Spill) Files() int { return s.files }
+
+// Err returns the first spill I/O failure, nil before any.
+func (s *Spill) Err() error { return s.err }
+
+func (s *Spill) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Close removes the spill directory and every file in it.
+func (s *Spill) Close() error { return os.RemoveAll(s.dir) }
+
+// spillState is a Relation's connection to its spill file.
+type spillState struct {
+	sp      *Spill
+	path    string
+	n       int  // pair count in the file
+	written bool // file holds the relation's pairs
+}
+
+// Spilled reports whether the relation's tuples currently live on disk.
+func (r *Relation) Spilled() bool { return r.spilled }
+
+// mustResident guards the direct accessors: reading a spilled relation's
+// tuples is a sequencing bug (the Exec hydrates inputs before every
+// operator), and returning empty data would silently corrupt results.
+func (r *Relation) mustResident(op string) {
+	if r.spilled {
+		panic("urel: " + op + " on a spilled relation (operator access must go through Exec, which rehydrates inputs)")
+	}
+}
+
+// spillOut writes r's pairs to its spill file (first spill only — tuples
+// are immutable) and drops the in-memory tuple storage. The footprint
+// estimate r.bytes survives for budget re-accounting on hydrate. On I/O
+// failure the relation stays resident and the error is sticky on s.
+func (s *Spill) spillOut(r *Relation) {
+	if r.spilled || s.err != nil {
+		return
+	}
+	if r.sp == nil {
+		s.seq++
+		s.files++
+		r.sp = &spillState{sp: s, path: fmt.Sprintf("%s/rel-%06d.spill", s.dir, s.seq)}
+	}
+	if !r.sp.written {
+		n, err := writePairs(r.sp.path, r)
+		if err != nil {
+			s.fail(fmt.Errorf("urel: spilling relation: %w", err))
+			return
+		}
+		r.sp.written = true
+		r.sp.n = len(r.tuples)
+		s.written.Add(n)
+	}
+	r.tuples, r.hashes, r.next, r.index = nil, nil, nil, nil
+	r.spilled = true
+}
+
+// hydrate reloads a spilled relation from its file, rebuilding the tuple
+// list, stored hashes, and dedup index in the original insertion order —
+// the rebuilt relation is indistinguishable from one that never spilled,
+// which is what keeps spilled evaluations bit-identical to in-memory ones.
+func (r *Relation) hydrate() error {
+	if !r.spilled {
+		return nil
+	}
+	f, err := os.Open(r.sp.path)
+	if err != nil {
+		return fmt.Errorf("urel: rehydrating relation: %w", err)
+	}
+	defer f.Close()
+	r.index = make(map[uint64]int32, r.sp.n)
+	r.tuples = make([]UTuple, 0, r.sp.n)
+	r.hashes = make([]uint64, 0, r.sp.n)
+	r.next = make([]int32, 0, r.sp.n)
+	r.bytes = 0
+	br := bufio.NewReaderSize(f, 1<<16)
+	for i := 0; i < r.sp.n; i++ {
+		h, d, row, err := readPair(br, len(r.schema))
+		if err != nil {
+			return fmt.Errorf("urel: rehydrating relation: %w", err)
+		}
+		r.addPair(h, d, row, false)
+	}
+	r.spilled = false
+	return nil
+}
+
+// writePairs streams r's (hash, D, row) pairs to path, returning the bytes
+// written.
+func writePairs(path string, r *Relation) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var scratch [binary.MaxVarintLen64]byte
+	n := int64(0)
+	put := func(b []byte) error {
+		n += int64(len(b))
+		_, err := bw.Write(b)
+		return err
+	}
+	putUvarint := func(v uint64) error {
+		return put(scratch[:binary.PutUvarint(scratch[:], v)])
+	}
+	for i, t := range r.tuples {
+		binary.LittleEndian.PutUint64(scratch[:8], r.hashes[i])
+		if err := put(scratch[:8]); err != nil {
+			f.Close()
+			return n, err
+		}
+		if err := putUvarint(uint64(len(t.D))); err != nil {
+			f.Close()
+			return n, err
+		}
+		for _, b := range t.D {
+			if err := putUvarint(uint64(uint32(b.Var))); err != nil {
+				f.Close()
+				return n, err
+			}
+			if err := putUvarint(uint64(uint32(b.Alt))); err != nil {
+				f.Close()
+				return n, err
+			}
+		}
+		for _, v := range t.Row {
+			if err := writeValue(put, putUvarint, scratch[:], v); err != nil {
+				f.Close()
+				return n, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return n, err
+	}
+	return n, f.Close()
+}
+
+// Spill-file value tags (internal; distinct from the pdbstore wire tags,
+// which are a versioned on-disk contract — these files never outlive the
+// evaluation that wrote them).
+const (
+	spNull = iota
+	spBool0
+	spBool1
+	spInt
+	spFloat
+	spString
+)
+
+func writeValue(put func([]byte) error, putUvarint func(uint64) error, scratch []byte, v rel.Value) error {
+	switch v.Kind() {
+	case rel.NullKind:
+		scratch[0] = spNull
+		return put(scratch[:1])
+	case rel.BoolKind:
+		tag := byte(spBool0)
+		if v.AsBool() {
+			tag = spBool1
+		}
+		scratch[0] = tag
+		return put(scratch[:1])
+	case rel.IntKind:
+		scratch[0] = spInt
+		if err := put(scratch[:1]); err != nil {
+			return err
+		}
+		return put(scratch[:binary.PutVarint(scratch, v.AsInt())])
+	case rel.FloatKind:
+		scratch[0] = spFloat
+		binary.LittleEndian.PutUint64(scratch[1:9], math.Float64bits(v.AsFloat()))
+		return put(scratch[:9])
+	default:
+		scratch[0] = spString
+		if err := put(scratch[:1]); err != nil {
+			return err
+		}
+		s := v.AsString()
+		if err := putUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		return put([]byte(s))
+	}
+}
+
+// readPair decodes one (hash, D, row) record.
+func readPair(br *bufio.Reader, arity int) (uint64, vars.Assignment, rel.Tuple, error) {
+	var hb [8]byte
+	if _, err := io.ReadFull(br, hb[:]); err != nil {
+		return 0, nil, nil, err
+	}
+	h := binary.LittleEndian.Uint64(hb[:])
+	nd, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	var d vars.Assignment
+	if nd > 0 {
+		d = make(vars.Assignment, nd)
+		for i := range d {
+			vv, err := binary.ReadUvarint(br)
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			av, err := binary.ReadUvarint(br)
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			d[i] = vars.Binding{Var: vars.Var(uint32(vv)), Alt: int32(uint32(av))}
+		}
+	}
+	row := make(rel.Tuple, arity)
+	for i := range row {
+		v, err := readValue(br)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		row[i] = v
+	}
+	return h, d, row, nil
+}
+
+func readValue(br *bufio.Reader) (rel.Value, error) {
+	tag, err := br.ReadByte()
+	if err != nil {
+		return rel.Value{}, err
+	}
+	switch tag {
+	case spNull:
+		return rel.Null(), nil
+	case spBool0:
+		return rel.Bool(false), nil
+	case spBool1:
+		return rel.Bool(true), nil
+	case spInt:
+		i, err := binary.ReadVarint(br)
+		if err != nil {
+			return rel.Value{}, err
+		}
+		return rel.Int(i), nil
+	case spFloat:
+		var fb [8]byte
+		if _, err := io.ReadFull(br, fb[:]); err != nil {
+			return rel.Value{}, err
+		}
+		return rel.Float(math.Float64frombits(binary.LittleEndian.Uint64(fb[:]))), nil
+	case spString:
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return rel.Value{}, err
+		}
+		buf := make([]byte, l)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return rel.Value{}, err
+		}
+		return rel.String(string(buf)), nil
+	default:
+		return rel.Value{}, fmt.Errorf("corrupt spill record: tag %d", tag)
+	}
+}

@@ -55,6 +55,12 @@ type Relation struct {
 	index  map[uint64]int32 // pair hash -> most recent position with it
 	next   []int32          // position -> previous position with same hash, -1 ends
 	bytes  int64            // running footprint estimate, maintained on insert
+
+	// Out-of-core state (see spill.go): when spilled, the tuple storage
+	// above is dropped and sp locates the file holding the pairs; bytes
+	// keeps the footprint estimate for budget re-accounting.
+	sp      *spillState
+	spilled bool
 }
 
 // NewRelation creates an empty U-relation with the given data schema (the
@@ -77,11 +83,21 @@ func FromComplete(r *rel.Relation) *Relation {
 // Schema returns the data schema.
 func (r *Relation) Schema() rel.Schema { return r.schema }
 
-// Len returns the number of distinct (D, tuple) pairs.
-func (r *Relation) Len() int { return len(r.tuples) }
+// Len returns the number of distinct (D, tuple) pairs (known without
+// rehydration for a spilled relation).
+func (r *Relation) Len() int {
+	if r.spilled {
+		return r.sp.n
+	}
+	return len(r.tuples)
+}
 
-// Tuples returns the underlying rows; the slice must not be modified.
-func (r *Relation) Tuples() []UTuple { return r.tuples }
+// Tuples returns the underlying rows; the slice must not be modified. It
+// panics on a spilled relation — see mustResident.
+func (r *Relation) Tuples() []UTuple {
+	r.mustResident("Tuples")
+	return r.tuples
+}
 
 // find returns the position of the stored pair equal to (d, row) under
 // hash h, or -1.
@@ -151,6 +167,7 @@ func (r *Relation) addPair(h uint64, d vars.Assignment, row rel.Tuple, clone boo
 // IsComplete reports whether every tuple carries the empty assignment,
 // i.e. the relation is a classical complete relation.
 func (r *Relation) IsComplete() bool {
+	r.mustResident("IsComplete")
 	for _, t := range r.tuples {
 		if len(t.D) > 0 {
 			return false
@@ -163,6 +180,7 @@ func (r *Relation) IsComplete() bool {
 // clone shares their backing arrays and only copies the relation's own
 // bookkeeping (tuple list, hashes, dedup index).
 func (r *Relation) Clone() *Relation {
+	r.mustResident("Clone")
 	out := &Relation{
 		schema: r.schema.Clone(),
 		tuples: append([]UTuple(nil), r.tuples...),

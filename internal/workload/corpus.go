@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+
+	"repro/internal/rel"
+	"repro/internal/store"
+)
+
+// Scenario is one member of the generated benchmark corpus: a named data
+// generator that streams pdbstore relations to disk plus a UA query (in
+// the parser's surface syntax) exercising them. Generators are
+// deterministic in (rows, seed) and stream through store.NewWriter, so
+// memory stays O(columns + distinct strings) regardless of rows — the
+// corpus scales from quick CI sizes to the 10⁶–10⁸-tuple runs the
+// benchmark methodology in docs/BENCHMARKS.md uses.
+type Scenario struct {
+	// Name identifies the scenario ("sensor-dedup", "entity-resolution",
+	// "repair-whatif").
+	Name string
+	// Description says what real workload the scenario models.
+	Description string
+	// Relations lists the relation names Generate produces, in order.
+	Relations []string
+	// Query is a UA program over Relations, runnable as-is via pdbcli or
+	// pdb.DB.Prepare.
+	Query string
+	// Generate writes one pdbstore file per relation under dir
+	// (<Name>.pdbs) totalling about rows tuples, and returns the
+	// relation-name → path map in pdb.Open's source format.
+	Generate func(dir string, rows, seed int64) (map[string]string, error)
+}
+
+// Scenarios returns the corpus registry in stable order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name: "sensor-dedup",
+			Description: "duplicate sensor readings per (sensor, epoch); repair-key " +
+				"deduplicates by calibration confidence and conf scores hot sensors",
+			Relations: []string{"Readings"},
+			Query: `conf(project[Sensor](select[Value >= 27.5](` +
+				`repairkey[Sensor, Epoch @ Conf](Readings))))`,
+			Generate: generateSensorDedup,
+		},
+		{
+			Name: "entity-resolution",
+			Description: "candidate canonical records per duplicate customer cluster " +
+				"joined against orders; conf ranks names by large-order probability",
+			Relations: []string{"Candidates", "Orders"},
+			Query: `R := project[Cluster, Name](repairkey[Cluster @ Weight](Candidates));
+conf(project[Name](join(R, select[Amount >= 900](Orders))))`,
+			Generate: generateEntityResolution,
+		},
+		{
+			Name: "repair-whatif",
+			Description: "supplier offers per part; repair-key models the sourcing " +
+				"choice and conf asks which parts risk exceeding the cost budget",
+			Relations: []string{"Parts"},
+			Query: `conf(project[Part](select[Cost >= 75](` +
+				`repairkey[Part @ Weight](Parts))))`,
+			Generate: generateRepairWhatIf,
+		},
+	}
+}
+
+// ScenarioByName returns the named corpus scenario.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("workload: no corpus scenario %q", name)
+}
+
+// relStream writes one relation through a store.Writer, aborting the
+// writer if the row producer fails.
+func relStream(dir, name string, schema rel.Schema, emit func(write func(rel.Tuple) error) error) (string, error) {
+	path := filepath.Join(dir, name+".pdbs")
+	w, err := store.NewWriter(path, schema)
+	if err != nil {
+		return "", err
+	}
+	if err := emit(w.Write); err != nil {
+		w.Abort()
+		return "", err
+	}
+	if err := w.Close(); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// generateSensorDedup emits Readings(Sensor, Epoch, Value, Conf): each
+// (sensor, epoch) key carries 1–3 duplicate readings from redundant
+// acquisition, each with a calibration confidence used as the repair-key
+// weight. All columns are numeric, so the dictionary stays empty and the
+// file is pure fixed-width columns.
+func generateSensorDedup(dir string, rows, seed int64) (map[string]string, error) {
+	rng := rand.New(rand.NewSource(seed))
+	const epochs = 24
+	schema := rel.NewSchema("Sensor", "Epoch", "Value", "Conf")
+	path, err := relStream(dir, "Readings", schema, func(write func(rel.Tuple) error) error {
+		var written int64
+		for key := int64(0); written < rows; key++ {
+			sensor, epoch := key/epochs, key%epochs
+			base := 20 + 10*rng.Float64() // per-key true temperature
+			dups := 1 + rng.Intn(3)
+			for d := 0; d < dups && written < rows; d++ {
+				if err := write(rel.Tuple{
+					rel.Int(sensor),
+					rel.Int(epoch),
+					rel.Float(base + 0.5*rng.NormFloat64()),
+					rel.Float(0.05 + 0.95*rng.Float64()),
+				}); err != nil {
+					return err
+				}
+				written++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return map[string]string{"Readings": path}, nil
+}
+
+// nameParts bounds the string dictionary of the entity-resolution
+// scenario: candidate names combine a first and a last name from fixed
+// pools, so distinct strings stay ≤ len(first)·len(last) at any scale.
+var (
+	firstNames = []string{
+		"Alex", "Bo", "Casey", "Dana", "Eli", "Fran", "Gray", "Hanna",
+		"Ira", "Jo", "Kim", "Lee", "Mika", "Noor", "Olga", "Pat",
+		"Quinn", "Ray", "Sam", "Tess", "Uma", "Val", "Wen", "Yuri",
+	}
+	lastNames = []string{
+		"Adler", "Brook", "Chen", "Diaz", "Egan", "Fox", "Gupta", "Hale",
+		"Ito", "Jones", "Khan", "Lund", "Mori", "Nunez", "Ochoa", "Park",
+		"Quist", "Rossi", "Silva", "Tran", "Ueda", "Vance", "Wong", "Zhu",
+	}
+)
+
+// generateEntityResolution emits Candidates(Cluster, Name, Weight) — 2–4
+// alternative canonical records per duplicate cluster with match weights
+// — and Orders(Cluster, Amount). Roughly 60% of the row budget goes to
+// candidates and 40% to orders, with order clusters drawn from the same
+// id space so the join hits.
+func generateEntityResolution(dir string, rows, seed int64) (map[string]string, error) {
+	rng := rand.New(rand.NewSource(seed))
+	candRows := rows * 6 / 10
+	if candRows < 1 {
+		candRows = 1
+	}
+	orderRows := rows - candRows
+	if orderRows < 1 {
+		orderRows = 1
+	}
+	var clusters int64
+	cand, err := relStream(dir, "Candidates", rel.NewSchema("Cluster", "Name", "Weight"), func(write func(rel.Tuple) error) error {
+		var written int64
+		for ; written < candRows; clusters++ {
+			alts := 2 + rng.Intn(3)
+			used := make(map[string]bool, alts)
+			for a := 0; a < alts && written < candRows; a++ {
+				// Distinct names within a cluster: repair-key reads the
+				// tuple minus the weight column as the alternative, so a
+				// repeated (Cluster, Name) with a different weight would
+				// be rejected as conflicting.
+				name := firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+				for used[name] {
+					name = firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+				}
+				used[name] = true
+				w := 0.1 + rng.Float64()
+				if a == 0 && rng.Intn(2) == 0 {
+					w += 2 // dominant candidate: cleanly resolvable cluster
+				}
+				if err := write(rel.Tuple{
+					rel.Int(clusters),
+					rel.String(name),
+					rel.Float(w),
+				}); err != nil {
+					return err
+				}
+				written++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	orders, err := relStream(dir, "Orders", rel.NewSchema("Cluster", "Amount"), func(write func(rel.Tuple) error) error {
+		for i := int64(0); i < orderRows; i++ {
+			if err := write(rel.Tuple{
+				rel.Int(rng.Int63n(clusters)),
+				rel.Int(1 + rng.Int63n(1000)),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return map[string]string{"Candidates": cand, "Orders": orders}, nil
+}
+
+// supplierNames is the fixed supplier pool of the repair-whatif scenario.
+var supplierNames = []string{
+	"acme", "borealis", "cirrus", "dynamo", "ember", "forge", "gale",
+	"harbor", "ion", "junction", "keystone", "lumen", "meridian",
+	"nimbus", "orbit", "pylon",
+}
+
+// generateRepairWhatIf emits Parts(Part, Supplier, Cost, Weight): 2–5
+// supplier offers per part, each with a cost and a sourcing-preference
+// weight. repair-key over Part models the what-if sourcing choice.
+func generateRepairWhatIf(dir string, rows, seed int64) (map[string]string, error) {
+	rng := rand.New(rand.NewSource(seed))
+	schema := rel.NewSchema("Part", "Supplier", "Cost", "Weight")
+	path, err := relStream(dir, "Parts", schema, func(write func(rel.Tuple) error) error {
+		var written int64
+		for part := int64(0); written < rows; part++ {
+			offers := 2 + rng.Intn(4)
+			base := 40 + 50*rng.Float64() // per-part reference cost
+			for o := 0; o < offers && written < rows; o++ {
+				if err := write(rel.Tuple{
+					rel.Int(part),
+					rel.String(supplierNames[rng.Intn(len(supplierNames))]),
+					rel.Float(base * (0.8 + 0.4*rng.Float64())),
+					rel.Float(0.1 + rng.Float64()),
+				}); err != nil {
+					return err
+				}
+				written++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return map[string]string{"Parts": path}, nil
+}

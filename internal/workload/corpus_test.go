@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"repro/internal/rel"
+	"repro/internal/store"
+
+	"repro/pdb"
+)
+
+// TestCorpusScenarios generates a small instance of every scenario and
+// checks the files are valid pdbstore, the registry metadata matches what
+// Generate produced, and the scenario query runs over the loaded corpus.
+func TestCorpusScenarios(t *testing.T) {
+	for _, sc := range Scenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			dir := t.TempDir()
+			sources, err := sc.Generate(dir, 600, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sources) != len(sc.Relations) {
+				t.Fatalf("Generate produced %d relations, registry lists %d", len(sources), len(sc.Relations))
+			}
+			var total int
+			for _, name := range sc.Relations {
+				path, ok := sources[name]
+				if !ok {
+					t.Fatalf("registry relation %q missing from Generate output %v", name, sources)
+				}
+				if !store.Sniff(path) {
+					t.Fatalf("%s is not a pdbstore file", path)
+				}
+				r, err := store.ReadRelation(path, rel.NewInterner())
+				if err != nil {
+					t.Fatal(err)
+				}
+				total += r.Len()
+			}
+			if total < 550 || total > 650 {
+				t.Errorf("corpus totals %d tuples, want ~600", total)
+			}
+
+			db, err := pdb.Open(sources)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := db.Prepare(sc.Query)
+			if err != nil {
+				t.Fatalf("scenario query does not parse: %v", err)
+			}
+			res, err := q.EvalExact(context.Background(), pdb.WithWorkers(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Len() == 0 {
+				t.Error("scenario query produced no rows")
+			}
+		})
+	}
+}
+
+// TestCorpusDeterminism re-generates a scenario with the same (rows,
+// seed) and requires byte-identical files; a different seed must change
+// them.
+func TestCorpusDeterminism(t *testing.T) {
+	sc, err := ScenarioByName("entity-resolution")
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func(rows, seed int64) map[string][]byte {
+		dir := t.TempDir()
+		sources, err := sc.Generate(dir, 400, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string][]byte{}
+		for name, path := range sources {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[name] = b
+		}
+		return out
+	}
+	a, b, c := read(400, 3), read(400, 3), read(400, 4)
+	for name := range a {
+		if string(a[name]) != string(b[name]) {
+			t.Errorf("%s: same seed produced different bytes", name)
+		}
+		if string(a[name]) == string(c[name]) {
+			t.Errorf("%s: different seed produced identical bytes", name)
+		}
+	}
+}
+
+func TestScenarioByNameUnknown(t *testing.T) {
+	if _, err := ScenarioByName("nope"); err == nil {
+		t.Fatal("expected an error for an unknown scenario")
+	}
+}

@@ -1,0 +1,27 @@
+// Package workload generates the synthetic databases, clause sets, and
+// on-disk corpora the experiments and benchmarks run on.
+//
+// The in-memory generators (TupleIndependent, MultiClause, CoinBag,
+// DirtyCustomers, SensorReadings) build small urel databases directly:
+// tuple-independent relations, multi-clause lineages requiring genuine
+// Karp–Luby estimation, generalized coin bags (Example 2.2 at scale), and
+// the data-cleaning / sensor use cases the paper's introduction motivates.
+// All are deterministic given their *rand.Rand.
+//
+// The corpus generators (Scenarios, Scenario.Generate) instead stream
+// pdbstore files (internal/store) to disk for out-of-core benchmarking:
+//
+//   - sensor-dedup: duplicate sensor readings deduplicated by
+//     repair-key over a calibration confidence;
+//   - entity-resolution: candidate canonical records per duplicate
+//     cluster joined against an orders relation;
+//   - repair-whatif: supplier offers per part with a what-if sourcing
+//     choice under a cost budget.
+//
+// Each scenario pairs its generator with a runnable UA query, is
+// deterministic in (rows, seed), and writes through store.NewWriter so
+// generation memory is O(columns + distinct strings) — string domains are
+// drawn from fixed pools precisely so the dictionary stays bounded at
+// 10⁶–10⁸ tuples. docs/BENCHMARKS.md documents how the benchmark suite
+// uses these corpora.
+package workload

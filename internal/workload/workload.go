@@ -1,8 +1,3 @@
-// Package workload generates the synthetic databases and clause sets the
-// experiments run on: tuple-independent relations, multi-clause lineages,
-// generalized coin bags (Example 2.2 at scale), dirty-duplicate data for
-// the data-cleaning use case, and sensor-reading streams. All generators
-// are deterministic given their *rand.Rand.
 package workload
 
 import (

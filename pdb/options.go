@@ -175,6 +175,27 @@ func WithMaxMemory(bytes int64) Option {
 	}}
 }
 
+// WithSpillDir enables out-of-core execution for evaluations bounded by
+// WithMaxMemory: intermediate relations whose estimated footprint pushes
+// the running total over the memory limit are shed to temp files under dir
+// (a fresh pdb-spill-* subdirectory, removed when the evaluation returns)
+// and transparently reloaded when a later operator needs them, so the
+// evaluation completes instead of aborting with a *LimitError. The memory
+// limit then acts as a high-water mark for the in-memory live set — any
+// single operator's working set still peaks in memory. Results are
+// bit-identical to an unspilled run; Stats reports the spill volume. dir
+// must be non-empty ("." spills under the working directory); without
+// WithMaxMemory the option has no effect.
+func WithSpillDir(dir string) Option {
+	return Option{func(o *core.Options) error {
+		if dir == "" {
+			return optionErr("WithSpillDir", dir, "spill directory must be non-empty")
+		}
+		o.SpillDir = dir
+		return nil
+	}}
+}
+
 // WithStrata enables stratified Karp–Luby estimation: each conf lineage
 // is factored (independent easy subformulas computed exactly) and the
 // hard residue is partitioned into at most n clause-weight strata sampled

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/parser"
 	"repro/internal/rel"
+	"repro/internal/store"
 	"repro/internal/urel"
 	"repro/internal/vars"
 )
@@ -20,11 +21,14 @@ type DB struct {
 	udb *urel.Database
 }
 
-// Open loads a database of complete relations from CSV files, one relation
-// per entry of sources (name → path). The first CSV record is the header;
-// fields are typed by parsing (int, float, bool, string; empty → NULL).
-// Probabilistic data is introduced at query time with repairkey, or
-// programmatically with NewBuilder.
+// Open loads a database of complete relations from files, one relation per
+// entry of sources (name → path). Each file's format is detected by
+// content: pdbstore columnar files (see docs/STORAGE.md) load through the
+// storage layer, anything else parses as CSV — the first record is the
+// header, fields are typed by parsing (int, float, bool, string; empty →
+// NULL). A relation loads to bit-identical content from either format of
+// the same data. Probabilistic data is introduced at query time with
+// repairkey, or programmatically with NewBuilder.
 func Open(sources map[string]string) (*DB, error) {
 	b := NewBuilder()
 	// Deterministic load order so databases built from equal sources are
@@ -35,6 +39,10 @@ func Open(sources map[string]string) (*DB, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		if store.Sniff(sources[name]) {
+			b.Store(name, sources[name])
+			continue
+		}
 		f, err := os.Open(sources[name])
 		if err != nil {
 			return nil, fmt.Errorf("pdb: opening relation %q: %w", name, err)
@@ -102,6 +110,22 @@ func (b *Builder) CSV(name string, src io.Reader) *Builder {
 		return b
 	}
 	r, err := parser.LoadCSV(src)
+	if err != nil {
+		return b.fail(fmt.Errorf("pdb: loading relation %q: %w", name, err))
+	}
+	b.udb.AddComplete(name, r)
+	return b
+}
+
+// Store adds a complete relation read from a pdbstore columnar file (the
+// repository's typed on-disk format — see docs/STORAGE.md; produce files
+// with `pdbcli convert`). Loading the pdbstore conversion of a CSV file
+// yields content bit-identical to loading the CSV itself.
+func (b *Builder) Store(name, path string) *Builder {
+	if b.err != nil || !b.claim(name) {
+		return b
+	}
+	r, err := store.ReadRelation(path, rel.NewInterner())
 	if err != nil {
 		return b.fail(fmt.Errorf("pdb: loading relation %q: %w", name, err))
 	}

@@ -25,7 +25,8 @@ type OpStats struct {
 }
 
 // Stats reports the work an evaluation did. For approximate evaluation all
-// fields are populated; exact evaluation fills only Ops.
+// fields are populated; exact evaluation fills only Ops and the spill
+// fields.
 type Stats struct {
 	// FinalRounds is the round budget l the doubling loop stopped at.
 	FinalRounds int64
@@ -62,6 +63,11 @@ type Stats struct {
 	// throughput — and the effect of WithWorkers on the exact-algebra
 	// path — observable from the public API.
 	Ops map[string]OpStats
+	// SpilledBytes and SpillFiles report out-of-core activity
+	// (WithSpillDir): total bytes written to spill files and the number of
+	// spill files created across the evaluation. Zero without spilling.
+	SpilledBytes int64
+	SpillFiles   int
 }
 
 // Result is the outcome of one evaluation: a deterministic ordered set of
@@ -110,6 +116,8 @@ func newApproxResult(r *core.Result) *Result {
 		EarlyStops:    r.Stats.EarlyStops,
 		ExactFactored: r.Stats.ExactFactored,
 		Ops:           opStatsFrom(r.Stats.Ops),
+		SpilledBytes:  r.Stats.SpilledBytes,
+		SpillFiles:    r.Stats.SpillFiles,
 	}
 	for _, ut := range r.Rel.Tuples() {
 		out.rows = append(out.rows, Row{
@@ -126,7 +134,7 @@ func newApproxResult(r *core.Result) *Result {
 
 func newExactResult(r algebra.URelResult) *Result {
 	out := &Result{cols: append([]string(nil), r.Rel.Schema()...), complete: r.Complete}
-	out.stats = Stats{Ops: opStatsFrom(r.Ops)}
+	out.stats = Stats{Ops: opStatsFrom(r.Ops), SpilledBytes: r.SpilledBytes, SpillFiles: r.SpillFiles}
 	for _, ut := range r.Rel.Tuples() {
 		out.rows = append(out.rows, Row{res: out, vals: ut.Row, cond: ut.D.Key()})
 	}

@@ -1,0 +1,61 @@
+package pdb_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/pdb"
+)
+
+// spillBenchDB builds the join workload the spill benchmarks share: two
+// 2000-row relations whose join materializes 100k tuples.
+func spillBenchDB(b *testing.B) *pdb.DB {
+	b.Helper()
+	var a, bb [][]any
+	for i := 0; i < 2000; i++ {
+		a = append(a, []any{i % 40, i})
+		bb = append(bb, []any{i % 40, float64(i)/7 + 0.5})
+	}
+	db, err := pdb.NewBuilder().
+		Table("A", []string{"K", "X"}, a...).
+		Table("B", []string{"K", "Y"}, bb...).
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+const spillBenchProgram = `project[K, X, Y](union(join(A, B), join(A, B)));`
+
+func benchSpillJoin(b *testing.B, opts ...pdb.Option) {
+	db := spillBenchDB(b)
+	q, err := db.Prepare(spillBenchProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := q.EvalExact(ctx, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Len() == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkJoinInMemory is the unlimited baseline for the spilled run
+// below: the same double join with every intermediate resident.
+func BenchmarkJoinInMemory(b *testing.B) { benchSpillJoin(b) }
+
+// BenchmarkJoinSpilled runs the same join out-of-core: a budget far
+// below the materialized size plus a spill directory, so intermediates
+// shed to disk and hydrate back. The gap to BenchmarkJoinInMemory is the
+// documented cost of completing instead of aborting (docs/BENCHMARKS.md).
+func BenchmarkJoinSpilled(b *testing.B) {
+	benchSpillJoin(b,
+		pdb.WithMaxMemory(1<<20), pdb.WithSpillDir(b.TempDir()))
+}
